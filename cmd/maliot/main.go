@@ -1,0 +1,50 @@
+// Command maliot runs the MalIoT test corpus (paper §6.2, Appendix C):
+// 17 hand-crafted flawed SmartThings apps with ground-truth property
+// violations. It prints the per-app results table and the headline
+// precision figures.
+//
+// Usage:
+//
+//	maliot [-src AppN]
+//
+// With -src the named app's Groovy source (including its ground-truth
+// comment block) is printed instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/soteria-analysis/soteria/internal/experiments"
+	"github.com/soteria-analysis/soteria/internal/maliot"
+)
+
+func main() {
+	src := flag.String("src", "", "print the source of the given app (App1..App17) and exit")
+	flag.Parse()
+
+	if *src != "" {
+		app, ok := maliot.AppByID(*src)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "maliot: unknown app %q\n", *src)
+			os.Exit(2)
+		}
+		fmt.Printf("// %s — %s\n%s", app.ID, app.Description, app.Source)
+		return
+	}
+
+	table, res, err := experiments.MalIoTTable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "maliot: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(table.String())
+	fmt.Printf("identified %d/%d ground-truth violations, %d false positive(s)\n",
+		res.Identified, res.GroundTruth, res.FalsePositives)
+	for _, r := range res.Apps {
+		if !r.Correct {
+			os.Exit(1)
+		}
+	}
+}

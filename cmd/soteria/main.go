@@ -1,0 +1,203 @@
+// Command soteria analyzes SmartThings IoT apps for safety and
+// security property violations.
+//
+// Usage:
+//
+//	soteria [flags] app.groovy [app2.groovy ...]
+//
+// With several files the apps are analyzed together as one environment
+// (the paper's multi-app analysis). Flags:
+//
+//	-ir        print each app's intermediate representation
+//	-dot       print the state model in Graphviz format
+//	-smv       print the model in NuSMV input format
+//	-formula F additionally check the CTL formula F
+//	-engine E  CTL backend for -formula: explicit (default), bdd, bmc
+//	-ltl F     additionally check the LTL formula F over all paths
+//	-witness F produce a trace demonstrating an existential formula
+//	-general   check only the general properties (S.1–S.5)
+//	-specific  check only the app-specific properties (P.1–P.30)
+//	-json      emit the analysis result as JSON
+//	-list      list the property catalogue and exit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/soteria-analysis/soteria"
+)
+
+func main() {
+	var (
+		showIR   = flag.Bool("ir", false, "print each app's intermediate representation")
+		showDot  = flag.Bool("dot", false, "print the state model in Graphviz format")
+		showSMV  = flag.Bool("smv", false, "print the model in NuSMV format")
+		formula  = flag.String("formula", "", "additionally check this CTL formula")
+		engine   = flag.String("engine", "explicit", "model-checking engine: explicit, bdd, or bmc")
+		witness  = flag.String("witness", "", "produce a trace demonstrating this existential CTL formula (EX/EF/EU/EG)")
+		ltlProp  = flag.String("ltl", "", "additionally check this LTL formula (G/F/X/U/R) over all paths")
+		general  = flag.Bool("general", false, "check only general properties (S.1-S.5)")
+		specific = flag.Bool("specific", false, "check only app-specific properties (P.1-P.30)")
+		list     = flag.Bool("list", false, "list the property catalogue and exit")
+		jsonOut  = flag.Bool("json", false, "emit the analysis result as JSON")
+	)
+	flag.Parse()
+
+	if *list {
+		ids := soteria.PropertyIDs()
+		var keys []string
+		for id := range ids {
+			keys = append(keys, id)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			return num(keys[i]) < num(keys[j])
+		})
+		for _, id := range keys {
+			fmt.Printf("%-5s %s\n", id, ids[id])
+		}
+		return
+	}
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: soteria [flags] app.groovy [app2.groovy ...]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var apps []*soteria.App
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fail("reading %s: %v", path, err)
+		}
+		name := filepath.Base(path)
+		app, err := soteria.ParseApp(name, string(src))
+		if err != nil {
+			fail("parsing %s: %v", path, err)
+		}
+		for _, w := range app.Warnings() {
+			fmt.Fprintf(os.Stderr, "warning: %s: %s\n", name, w)
+		}
+		if *showIR {
+			fmt.Println(app.IR())
+		}
+		apps = append(apps, app)
+	}
+
+	var opts []soteria.Option
+	if *general && !*specific {
+		opts = append(opts, soteria.WithGeneralOnly())
+	}
+	if *specific && !*general {
+		opts = append(opts, soteria.WithAppSpecificOnly())
+	}
+
+	res, err := soteria.AnalyzeEnvironment(apps, opts...)
+	if err != nil {
+		fail("analysis: %v", err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Apps                  []string
+			States                int
+			StatesBeforeReduction int
+			Transitions           int
+			Violations            []soteria.Violation
+		}{res.Apps, res.States, res.StatesBeforeReduction, res.Transitions, res.Violations}); err != nil {
+			fail("json: %v", err)
+		}
+		if len(res.Violations) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("model: %d states (%d before reduction), %d transitions\n",
+		res.States, res.StatesBeforeReduction, res.Transitions)
+
+	if *showDot {
+		fmt.Println(res.DOT())
+	}
+	if *showSMV {
+		fmt.Println(res.SMV())
+	}
+
+	if len(res.Violations) == 0 {
+		fmt.Println("no property violations found")
+	}
+	for _, v := range res.Violations {
+		fmt.Printf("VIOLATION %s [%s]: %s\n  %s\n", v.ID, v.Kind, v.Description, v.Detail)
+		if v.Counterexample != "" {
+			fmt.Printf("  counterexample: %s\n", v.Counterexample)
+		}
+	}
+
+	if *formula != "" {
+		holds, cex, err := res.CheckFormulaEngine(*formula, soteria.Engine(*engine))
+		if err != nil {
+			fail("formula: %v", err)
+		}
+		if holds {
+			fmt.Printf("FORMULA HOLDS: %s\n", *formula)
+		} else {
+			fmt.Printf("FORMULA FAILS: %s\n", *formula)
+			if cex != "" {
+				fmt.Printf("  counterexample: %s\n", cex)
+			}
+		}
+	}
+
+	if *ltlProp != "" {
+		holds, cex, err := res.CheckLTL(*ltlProp)
+		if err != nil {
+			fail("ltl: %v", err)
+		}
+		if holds {
+			fmt.Printf("LTL HOLDS: %s\n", *ltlProp)
+		} else {
+			fmt.Printf("LTL FAILS: %s\n", *ltlProp)
+			if cex != "" {
+				fmt.Printf("  lasso counterexample: %s\n", cex)
+			}
+		}
+	}
+
+	if *witness != "" {
+		trace, ok, err := res.WitnessFormula(*witness)
+		if err != nil {
+			fail("witness: %v", err)
+		}
+		if ok {
+			fmt.Printf("WITNESS for %s:\n%s\n", *witness, trace)
+		} else {
+			fmt.Printf("NO WITNESS: %s is unsatisfiable on this model (or not existential)\n", *witness)
+		}
+	}
+
+	if len(res.Violations) > 0 {
+		os.Exit(1)
+	}
+}
+
+func num(id string) int {
+	n := 0
+	for _, r := range id {
+		if r >= '0' && r <= '9' {
+			n = n*10 + int(r-'0')
+		}
+	}
+	return n
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "soteria: "+format+"\n", args...)
+	os.Exit(1)
+}

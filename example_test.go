@@ -1,0 +1,93 @@
+package soteria_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/soteria-analysis/soteria"
+)
+
+// A minimal leak-protection app: the §3 Water-Leak-Detector pattern.
+const leakApp = `
+definition(name: "Leak-Guard", namespace: "x", author: "x", category: "Safety & Security")
+preferences {
+    section("Leak protection") {
+        input "water_sensor", "capability.waterSensor"
+        input "valve_device", "capability.valve"
+    }
+}
+def installed() { subscribe(water_sensor, "water.wet", h) }
+def h(evt) { valve_device.close() }
+`
+
+// A broken variant that opens the valve on a leak.
+const brokenLeakApp = `
+definition(name: "Broken-Leak-Guard", namespace: "x", author: "x", category: "Safety & Security")
+preferences {
+    section("Leak protection") {
+        input "water_sensor", "capability.waterSensor"
+        input "valve_device", "capability.valve"
+    }
+}
+def installed() { subscribe(water_sensor, "water.wet", h) }
+def h(evt) { valve_device.open() }
+`
+
+func ExampleAnalyze() {
+	app, err := soteria.ParseApp("leak-guard", leakApp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := soteria.Analyze(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("states: %d, violations: %d\n", res.States, len(res.Violations))
+	// Output:
+	// states: 4, violations: 0
+}
+
+func ExampleAnalyze_violation() {
+	app, err := soteria.ParseApp("broken-leak-guard", brokenLeakApp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := soteria.Analyze(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		fmt.Println(v.ID)
+	}
+	// Output:
+	// P.11
+	// P.30
+}
+
+func ExampleResult_CheckFormula() {
+	app, err := soteria.ParseApp("leak-guard", leakApp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := soteria.Analyze(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	holds, _, err := res.CheckFormula(`AG ("ev:waterSensor.water.wet" -> "valve.valve=closed")`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(holds)
+	// Output:
+	// true
+}
+
+func ExampleApp_IR() {
+	app, err := soteria.ParseApp("leak-guard", leakApp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(app.Devices())
+	// Output:
+	// [valve waterSensor]
+}

@@ -1,0 +1,72 @@
+// Quickstart: parse one SmartThings app, extract its state model, and
+// check the full Soteria property suite. The embedded app is the
+// paper's §3 buggy smoke alarm (Fig. 2(1b)): a bug silences the alarm
+// in the same handler run that sounds it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/soteria-analysis/soteria"
+)
+
+const buggySmokeAlarm = `
+definition(
+    name: "Buggy-Smoke-Alarm",
+    namespace: "example",
+    author: "Soteria Quickstart",
+    description: "Sounds the alarm on smoke - and then silences it (Fig. 2(1b)).",
+    category: "Safety & Security")
+
+preferences {
+    section("Select smoke detector:") {
+        input "smoke_detector", "capability.smokeDetector", required: true
+    }
+    section("Select alarm device:") {
+        input "the_alarm", "capability.alarm", required: true
+    }
+}
+
+def installed() {
+    subscribe(smoke_detector, "smoke", smokeHandler)
+}
+
+def smokeHandler(evt) {
+    if (evt.value == "detected") {
+        the_alarm.siren()
+        the_alarm.off()   // the bug: stops the sound moments later
+    }
+    if (evt.value == "clear") {
+        the_alarm.off()
+    }
+}
+`
+
+func main() {
+	app, err := soteria.ParseApp("buggy-smoke-alarm", buggySmokeAlarm)
+	if err != nil {
+		log.Fatalf("parse: %v", err)
+	}
+
+	fmt.Println("== Intermediate representation ==")
+	fmt.Println(app.IR())
+
+	res, err := soteria.Analyze(app)
+	if err != nil {
+		log.Fatalf("analyze: %v", err)
+	}
+	fmt.Printf("== State model: %d states, %d transitions ==\n\n", res.States, res.Transitions)
+
+	if len(res.Violations) == 0 {
+		fmt.Println("no violations — but the paper (and this example) says otherwise!")
+		return
+	}
+	fmt.Println("== Violations ==")
+	for _, v := range res.Violations {
+		fmt.Printf("  %s [%s]: %s\n      %s\n", v.ID, v.Kind, v.Description, v.Detail)
+		if v.Counterexample != "" {
+			fmt.Printf("      counterexample: %s\n", v.Counterexample)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/soteria-analysis/soteria
+
+go 1.22

@@ -1,0 +1,325 @@
+// Package bdd implements reduced ordered binary decision diagrams
+// (ROBDDs): the data structure behind NuSMV's symbolic model checking
+// (paper §5 uses "NuSMV options that combine BDD-based model checking
+// with SAT-based model checking"). The implementation is the classic
+// unique-table + ITE-cache design (Brace/Rudell/Bryant).
+package bdd
+
+import "fmt"
+
+// Ref is a BDD node reference. False and True are the terminals.
+type Ref int
+
+// Terminal nodes.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+type node struct {
+	level  int // variable level; terminals use maxLevel
+	lo, hi Ref
+}
+
+const maxLevel = 1 << 30
+
+type triple struct {
+	level  int
+	lo, hi Ref
+}
+
+type iteKey struct{ f, g, h Ref }
+
+// Manager owns the node store for a family of BDDs.
+type Manager struct {
+	nodes    []node
+	unique   map[triple]Ref
+	iteCache map[iteKey]Ref
+	nvars    int
+}
+
+// New creates a manager with the given number of variables.
+func New(nvars int) *Manager {
+	m := &Manager{
+		unique:   map[triple]Ref{},
+		iteCache: map[iteKey]Ref{},
+		nvars:    nvars,
+	}
+	m.nodes = append(m.nodes,
+		node{level: maxLevel}, // False
+		node{level: maxLevel}, // True
+	)
+	return m
+}
+
+// NumVars returns the number of variables.
+func (m *Manager) NumVars() int { return m.nvars }
+
+// Size returns the number of allocated nodes (including terminals).
+func (m *Manager) Size() int { return len(m.nodes) }
+
+// mk returns the canonical node (level, lo, hi).
+func (m *Manager) mk(level int, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	k := triple{level, lo, hi}
+	if r, ok := m.unique[k]; ok {
+		return r
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
+	m.unique[k] = r
+	return r
+}
+
+// Var returns the BDD for variable v.
+func (m *Manager) Var(v int) Ref {
+	if v < 0 || v >= m.nvars {
+		panic(fmt.Sprintf("bdd: variable %d out of range", v))
+	}
+	return m.mk(v, False, True)
+}
+
+// NVar returns the BDD for ¬v.
+func (m *Manager) NVar(v int) Ref {
+	return m.mk(v, True, False)
+}
+
+func (m *Manager) level(r Ref) int { return m.nodes[r].level }
+
+// Ite computes if-then-else(f, g, h) — the universal connective.
+func (m *Manager) Ite(f, g, h Ref) Ref {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	k := iteKey{f, g, h}
+	if r, ok := m.iteCache[k]; ok {
+		return r
+	}
+	// Split on the top variable.
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	if l := m.level(h); l < top {
+		top = l
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	h0, h1 := m.cofactors(h, top)
+	lo := m.Ite(f0, g0, h0)
+	hi := m.Ite(f1, g1, h1)
+	r := m.mk(top, lo, hi)
+	m.iteCache[k] = r
+	return r
+}
+
+func (m *Manager) cofactors(f Ref, level int) (lo, hi Ref) {
+	n := m.nodes[f]
+	if n.level != level {
+		return f, f
+	}
+	return n.lo, n.hi
+}
+
+// And computes f ∧ g.
+func (m *Manager) And(f, g Ref) Ref { return m.Ite(f, g, False) }
+
+// Or computes f ∨ g.
+func (m *Manager) Or(f, g Ref) Ref { return m.Ite(f, True, g) }
+
+// Not computes ¬f.
+func (m *Manager) Not(f Ref) Ref { return m.Ite(f, False, True) }
+
+// Xor computes f ⊕ g.
+func (m *Manager) Xor(f, g Ref) Ref { return m.Ite(f, m.Not(g), g) }
+
+// Implies computes f → g.
+func (m *Manager) Implies(f, g Ref) Ref { return m.Ite(f, g, True) }
+
+// AndN conjoins several BDDs.
+func (m *Manager) AndN(fs ...Ref) Ref {
+	r := True
+	for _, f := range fs {
+		r = m.And(r, f)
+	}
+	return r
+}
+
+// OrN disjoins several BDDs.
+func (m *Manager) OrN(fs ...Ref) Ref {
+	r := False
+	for _, f := range fs {
+		r = m.Or(r, f)
+	}
+	return r
+}
+
+// Exists existentially quantifies the variables in vars (given as a
+// set of levels).
+func (m *Manager) Exists(f Ref, vars map[int]bool) Ref {
+	cache := map[Ref]Ref{}
+	var rec func(f Ref) Ref
+	rec = func(f Ref) Ref {
+		if f == True || f == False {
+			return f
+		}
+		if r, ok := cache[f]; ok {
+			return r
+		}
+		n := m.nodes[f]
+		lo := rec(n.lo)
+		hi := rec(n.hi)
+		var r Ref
+		if vars[n.level] {
+			r = m.Or(lo, hi)
+		} else {
+			r = m.mk(n.level, lo, hi)
+		}
+		cache[f] = r
+		return r
+	}
+	return rec(f)
+}
+
+// AndExists computes ∃vars. (f ∧ g) — the relational product used for
+// symbolic preimages — without building the full conjunction first.
+func (m *Manager) AndExists(f, g Ref, vars map[int]bool) Ref {
+	type key struct{ f, g Ref }
+	cache := map[key]Ref{}
+	var rec func(f, g Ref) Ref
+	rec = func(f, g Ref) Ref {
+		if f == False || g == False {
+			return False
+		}
+		if f == True && g == True {
+			return True
+		}
+		k := key{f, g}
+		if r, ok := cache[k]; ok {
+			return r
+		}
+		top := m.level(f)
+		if l := m.level(g); l < top {
+			top = l
+		}
+		f0, f1 := m.cofactors(f, top)
+		g0, g1 := m.cofactors(g, top)
+		lo := rec(f0, g0)
+		var r Ref
+		if vars[top] {
+			if lo == True {
+				r = True
+			} else {
+				hi := rec(f1, g1)
+				r = m.Or(lo, hi)
+			}
+		} else {
+			hi := rec(f1, g1)
+			r = m.mk(top, lo, hi)
+		}
+		cache[k] = r
+		return r
+	}
+	return rec(f, g)
+}
+
+// Rename substitutes variables according to the level map (old level
+// -> new level). The mapping must be monotone (order-preserving) so
+// the result remains reduced and ordered.
+func (m *Manager) Rename(f Ref, shift map[int]int) Ref {
+	cache := map[Ref]Ref{}
+	var rec func(f Ref) Ref
+	rec = func(f Ref) Ref {
+		if f == True || f == False {
+			return f
+		}
+		if r, ok := cache[f]; ok {
+			return r
+		}
+		n := m.nodes[f]
+		lvl := n.level
+		if nl, ok := shift[lvl]; ok {
+			lvl = nl
+		}
+		r := m.mk(lvl, rec(n.lo), rec(n.hi))
+		cache[f] = r
+		return r
+	}
+	return rec(f)
+}
+
+// Eval evaluates f under a full assignment (level -> value).
+func (m *Manager) Eval(f Ref, assign []bool) bool {
+	for f != True && f != False {
+		n := m.nodes[f]
+		if assign[n.level] {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == True
+}
+
+// SatCount returns the number of satisfying assignments over all
+// manager variables.
+func (m *Manager) SatCount(f Ref) float64 {
+	cache := map[Ref]float64{}
+	var rec func(f Ref, level int) float64
+	rec = func(f Ref, level int) float64 {
+		if f == False {
+			return 0
+		}
+		if f == True {
+			return pow2(m.nvars - level)
+		}
+		n := m.nodes[f]
+		key := f
+		var below float64
+		if v, ok := cache[key]; ok {
+			below = v
+		} else {
+			below = rec(n.lo, n.level+1) + rec(n.hi, n.level+1)
+			cache[key] = below
+		}
+		return below * pow2(n.level-level)
+	}
+	return rec(f, 0)
+}
+
+func pow2(n int) float64 {
+	r := 1.0
+	for i := 0; i < n; i++ {
+		r *= 2
+	}
+	return r
+}
+
+// AnySat returns one satisfying assignment of f (nil when f is
+// unsatisfiable). Unconstrained variables are reported false.
+func (m *Manager) AnySat(f Ref) []bool {
+	if f == False {
+		return nil
+	}
+	assign := make([]bool, m.nvars)
+	for f != True {
+		n := m.nodes[f]
+		if n.hi != False {
+			assign[n.level] = true
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return assign
+}

@@ -1,0 +1,166 @@
+// Package bmc implements SAT-based bounded model checking of safety
+// properties over Kripke structures: the analogue of NuSMV's
+// BMC engine that the paper enables alongside BDDs for large models
+// (§5, citing Biere et al.'s "Symbolic model checking without BDDs").
+//
+// The encoding is one-hot: boolean variable x(i,s) means "the system
+// is in state s at step i". Exactly-one constraints per step, an
+// initial-state clause, transition clauses x(i,s) → ∨_t x(i+1,t), and
+// a target clause at the final step. Unrolling k from 0 upward finds a
+// shortest counterexample to AG p, exactly like classical BMC.
+package bmc
+
+import (
+	"github.com/soteria-analysis/soteria/internal/ctl"
+	"github.com/soteria-analysis/soteria/internal/kripke"
+	"github.com/soteria-analysis/soteria/internal/sat"
+)
+
+// Result of a bounded check.
+type Result struct {
+	// Violated is true when a counterexample was found within the
+	// bound.
+	Violated bool
+	// Path is the counterexample trace (when Violated).
+	Path []int
+	// Depth is the unrolling depth at which it was found, or the
+	// bound when none was.
+	Depth int
+}
+
+// CheckAGProp bounded-checks AG p where p is the set of states
+// satisfying the property: it searches for a path of length ≤ bound
+// from an initial state to a ¬p state.
+func CheckAGProp(k *kripke.Structure, good func(s int) bool, bound int) *Result {
+	for depth := 0; depth <= bound; depth++ {
+		if path, found := pathToBad(k, good, depth); found {
+			return &Result{Violated: true, Path: path, Depth: depth}
+		}
+	}
+	return &Result{Depth: bound}
+}
+
+// CheckAG bounded-checks a CTL AG formula whose body is a boolean
+// combination of propositions (no nested temporal operators) up to
+// the given unrolling bound. As with any BMC, absence of a
+// counterexample within the bound is not a proof; use the unbounded
+// engines for that. A bound of k.N-1 is complete for reachability but
+// costly on large models.
+func CheckAG(k *kripke.Structure, f ctl.Formula, bound int) (*Result, bool) {
+	ag, ok := f.(ctl.AG)
+	if !ok {
+		return nil, false
+	}
+	eval, ok := boolEval(ag.X)
+	if !ok {
+		return nil, false
+	}
+	return CheckAGProp(k, func(s int) bool { return eval(k, s) }, bound), true
+}
+
+// boolEval compiles a propositional (non-temporal) formula into a
+// per-state evaluator.
+func boolEval(f ctl.Formula) (func(*kripke.Structure, int) bool, bool) {
+	switch x := f.(type) {
+	case ctl.Prop:
+		return func(k *kripke.Structure, s int) bool { return k.HasProp(s, x.Name) }, true
+	case ctl.TrueF:
+		return func(*kripke.Structure, int) bool { return true }, true
+	case ctl.FalseF:
+		return func(*kripke.Structure, int) bool { return false }, true
+	case ctl.Not:
+		in, ok := boolEval(x.X)
+		if !ok {
+			return nil, false
+		}
+		return func(k *kripke.Structure, s int) bool { return !in(k, s) }, true
+	case ctl.And:
+		l, ok1 := boolEval(x.L)
+		r, ok2 := boolEval(x.R)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		return func(k *kripke.Structure, s int) bool { return l(k, s) && r(k, s) }, true
+	case ctl.Or:
+		l, ok1 := boolEval(x.L)
+		r, ok2 := boolEval(x.R)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		return func(k *kripke.Structure, s int) bool { return l(k, s) || r(k, s) }, true
+	case ctl.Implies:
+		l, ok1 := boolEval(x.L)
+		r, ok2 := boolEval(x.R)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		return func(k *kripke.Structure, s int) bool { return !l(k, s) || r(k, s) }, true
+	}
+	return nil, false
+}
+
+// pathToBad encodes "∃ path s_0..s_depth with s_0 initial, each step a
+// transition, s_depth bad" into CNF and solves it.
+func pathToBad(k *kripke.Structure, good func(int) bool, depth int) ([]int, bool) {
+	n := k.N
+	// Variable x(i,s) = i*n + s + 1.
+	v := func(i, s int) sat.Lit { return sat.Lit(i*n + s + 1) }
+	f := sat.NewFormula((depth + 1) * n)
+
+	for i := 0; i <= depth; i++ {
+		// At least one state per step.
+		var all []sat.Lit
+		for s := 0; s < n; s++ {
+			all = append(all, v(i, s))
+		}
+		f.Add(all...)
+		// At most one state per step.
+		for s1 := 0; s1 < n; s1++ {
+			for s2 := s1 + 1; s2 < n; s2++ {
+				f.Add(-v(i, s1), -v(i, s2))
+			}
+		}
+	}
+	// Initial states.
+	var init []sat.Lit
+	for _, s := range k.Init {
+		init = append(init, v(0, s))
+	}
+	f.Add(init...)
+	// Transitions.
+	for i := 0; i < depth; i++ {
+		for s := 0; s < n; s++ {
+			lits := []sat.Lit{-v(i, s)}
+			for _, t := range k.Succs[s] {
+				lits = append(lits, v(i+1, t))
+			}
+			f.Add(lits...)
+		}
+	}
+	// Bad state at the last step.
+	var bad []sat.Lit
+	for s := 0; s < n; s++ {
+		if !good(s) {
+			bad = append(bad, v(depth, s))
+		}
+	}
+	if len(bad) == 0 {
+		return nil, false
+	}
+	f.Add(bad...)
+
+	model, ok := sat.Solve(f)
+	if !ok {
+		return nil, false
+	}
+	path := make([]int, depth+1)
+	for i := 0; i <= depth; i++ {
+		for s := 0; s < n; s++ {
+			if model.Value(v(i, s)) {
+				path[i] = s
+				break
+			}
+		}
+	}
+	return path, true
+}

@@ -1,0 +1,400 @@
+// Package cfg builds intra-procedural control-flow graphs and the
+// inter-procedural CFG (ICFG) Soteria's dependence analysis runs on
+// (paper §4.2.1, Algorithm 1's input).
+//
+// Nodes correspond to simple statements (declarations, assignments,
+// calls, returns) and branch points; edges carry the branch predicate
+// expression (and polarity) so backward analyses can accumulate path
+// conditions for the infeasible-path pruning step.
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/soteria-analysis/soteria/internal/groovy"
+	"github.com/soteria-analysis/soteria/internal/ir"
+)
+
+// NodeKind classifies CFG nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	Entry NodeKind = iota
+	Exit
+	Statement
+	Branch
+	Merge
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case Entry:
+		return "entry"
+	case Exit:
+		return "exit"
+	case Statement:
+		return "stmt"
+	case Branch:
+		return "branch"
+	case Merge:
+		return "merge"
+	}
+	return fmt.Sprintf("NodeKind(%d)", int(k))
+}
+
+// Edge is a control-flow edge; for edges leaving a Branch node, Cond
+// holds the branch predicate and Negated its polarity.
+type Edge struct {
+	To      *Node
+	Cond    groovy.Expr
+	Negated bool
+}
+
+// Node is one CFG node.
+type Node struct {
+	ID     int
+	Kind   NodeKind
+	Method string
+	Stmt   groovy.Stmt // for Statement nodes
+	Cond   groovy.Expr // for Branch nodes
+	Succs  []Edge
+	Preds  []*Node
+}
+
+func (n *Node) String() string {
+	switch n.Kind {
+	case Statement:
+		return fmt.Sprintf("n%d[%s]", n.ID, stmtLabel(n.Stmt))
+	case Branch:
+		return fmt.Sprintf("n%d[if %s]", n.ID, groovy.Format(n.Cond))
+	default:
+		return fmt.Sprintf("n%d[%s:%s]", n.ID, n.Kind, n.Method)
+	}
+}
+
+func stmtLabel(s groovy.Stmt) string {
+	switch x := s.(type) {
+	case *groovy.DeclStmt:
+		if x.Init != nil {
+			return fmt.Sprintf("def %s = %s", x.Name, groovy.Format(x.Init))
+		}
+		return "def " + x.Name
+	case *groovy.AssignStmt:
+		return fmt.Sprintf("%s = %s", groovy.Format(x.LHS), groovy.Format(x.RHS))
+	case *groovy.ExprStmt:
+		return groovy.Format(x.X)
+	case *groovy.ReturnStmt:
+		if x.X != nil {
+			return "return " + groovy.Format(x.X)
+		}
+		return "return"
+	case *groovy.IncDecStmt:
+		if x.Decr {
+			return groovy.Format(x.X) + "--"
+		}
+		return groovy.Format(x.X) + "++"
+	}
+	return fmt.Sprintf("<%T>", s)
+}
+
+// Graph is the CFG of a single method.
+type Graph struct {
+	Method string
+	Entry  *Node
+	Exit   *Node
+	Nodes  []*Node
+}
+
+// ICFG holds the per-method graphs of an app plus the call-site
+// resolution used for depth-one inter-procedural analysis.
+type ICFG struct {
+	App    *ir.App
+	Graphs map[string]*Graph
+}
+
+// builder constructs one method's graph.
+type builder struct {
+	g      *Graph
+	nextID *int
+	// loop context for break/continue.
+	breakTo    []*Node
+	continueTo []*Node
+}
+
+func (b *builder) newNode(kind NodeKind) *Node {
+	n := &Node{ID: *b.nextID, Kind: kind, Method: b.g.Method}
+	*b.nextID++
+	b.g.Nodes = append(b.g.Nodes, n)
+	return n
+}
+
+func connect(from *Node, e Edge) {
+	from.Succs = append(from.Succs, e)
+	e.To.Preds = append(e.To.Preds, from)
+}
+
+// BuildMethod constructs the CFG of one method. nextID supplies
+// globally unique node IDs across an app's methods.
+func BuildMethod(m *groovy.MethodDecl, nextID *int) *Graph {
+	g := &Graph{Method: m.Name}
+	b := &builder{g: g, nextID: nextID}
+	g.Entry = b.newNode(Entry)
+	g.Exit = b.newNode(Exit)
+	last := b.buildBlock(m.Body, g.Entry)
+	for _, n := range last {
+		connect(n, Edge{To: g.Exit})
+	}
+	return g
+}
+
+// buildBlock threads a block's statements after the given
+// predecessors and returns the dangling exits of the block.
+func (b *builder) buildBlock(blk *groovy.Block, pred *Node) []*Node {
+	frontier := []*Node{pred}
+	if blk == nil {
+		return frontier
+	}
+	for _, s := range blk.Stmts {
+		frontier = b.buildStmt(s, frontier)
+		if len(frontier) == 0 {
+			// Unreachable code after return/break: stop threading.
+			return nil
+		}
+	}
+	return frontier
+}
+
+func (b *builder) buildStmt(s groovy.Stmt, preds []*Node) []*Node {
+	link := func(n *Node) {
+		for _, p := range preds {
+			connect(p, Edge{To: n})
+		}
+	}
+	switch x := s.(type) {
+	case *groovy.IfStmt:
+		br := b.newNode(Branch)
+		br.Cond = x.Cond
+		link(br)
+		thenEntry := b.newNode(Merge)
+		connect(br, Edge{To: thenEntry, Cond: x.Cond})
+		thenExits := b.buildBlock(x.Then, thenEntry)
+		var elseExits []*Node
+		if x.Else != nil {
+			elseEntry := b.newNode(Merge)
+			connect(br, Edge{To: elseEntry, Cond: x.Cond, Negated: true})
+			switch e := x.Else.(type) {
+			case *groovy.Block:
+				elseExits = b.buildBlock(e, elseEntry)
+			default:
+				elseExits = b.buildStmt(e, []*Node{elseEntry})
+			}
+		} else {
+			// Fallthrough edge carries the negated predicate.
+			fall := b.newNode(Merge)
+			connect(br, Edge{To: fall, Cond: x.Cond, Negated: true})
+			elseExits = []*Node{fall}
+		}
+		return append(thenExits, elseExits...)
+
+	case *groovy.WhileStmt:
+		br := b.newNode(Branch)
+		br.Cond = x.Cond
+		link(br)
+		bodyEntry := b.newNode(Merge)
+		connect(br, Edge{To: bodyEntry, Cond: x.Cond})
+		after := b.newNode(Merge)
+		connect(br, Edge{To: after, Cond: x.Cond, Negated: true})
+		b.breakTo = append(b.breakTo, after)
+		b.continueTo = append(b.continueTo, br)
+		bodyExits := b.buildBlock(x.Body, bodyEntry)
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		b.continueTo = b.continueTo[:len(b.continueTo)-1]
+		for _, n := range bodyExits {
+			connect(n, Edge{To: br})
+		}
+		return []*Node{after}
+
+	case *groovy.ForInStmt:
+		// Model the loop body as executing zero or one time: branch
+		// into the body or past it; back edge to the branch.
+		br := b.newNode(Branch)
+		link(br)
+		bodyEntry := b.newNode(Merge)
+		connect(br, Edge{To: bodyEntry})
+		after := b.newNode(Merge)
+		connect(br, Edge{To: after})
+		b.breakTo = append(b.breakTo, after)
+		b.continueTo = append(b.continueTo, br)
+		bodyExits := b.buildBlock(x.Body, bodyEntry)
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		b.continueTo = b.continueTo[:len(b.continueTo)-1]
+		for _, n := range bodyExits {
+			connect(n, Edge{To: br})
+		}
+		return []*Node{after}
+
+	case *groovy.SwitchStmt:
+		br := b.newNode(Branch)
+		br.Cond = x.Tag
+		link(br)
+		after := b.newNode(Merge)
+		hasDefault := false
+		for _, c := range x.Cases {
+			caseEntry := b.newNode(Merge)
+			if c.Value != nil {
+				// Synthesise tag == value as the edge condition.
+				eq := &groovy.BinaryExpr{Op: groovy.EQ, L: x.Tag, R: c.Value, Pos: c.Pos}
+				connect(br, Edge{To: caseEntry, Cond: eq})
+			} else {
+				hasDefault = true
+				connect(br, Edge{To: caseEntry})
+			}
+			b.breakTo = append(b.breakTo, after)
+			blk := &groovy.Block{Stmts: c.Body, Pos: c.Pos}
+			exits := b.buildBlock(blk, caseEntry)
+			b.breakTo = b.breakTo[:len(b.breakTo)-1]
+			for _, n := range exits {
+				connect(n, Edge{To: after})
+			}
+		}
+		if !hasDefault {
+			connect(br, Edge{To: after})
+		}
+		return []*Node{after}
+
+	case *groovy.ReturnStmt:
+		n := b.newNode(Statement)
+		n.Stmt = x
+		link(n)
+		connect(n, Edge{To: b.g.Exit})
+		return nil
+
+	case *groovy.BreakStmt:
+		n := b.newNode(Statement)
+		n.Stmt = x
+		link(n)
+		if len(b.breakTo) > 0 {
+			connect(n, Edge{To: b.breakTo[len(b.breakTo)-1]})
+		} else {
+			connect(n, Edge{To: b.g.Exit})
+		}
+		return nil
+
+	case *groovy.ContinueStmt:
+		n := b.newNode(Statement)
+		n.Stmt = x
+		link(n)
+		if len(b.continueTo) > 0 {
+			connect(n, Edge{To: b.continueTo[len(b.continueTo)-1]})
+		} else {
+			connect(n, Edge{To: b.g.Exit})
+		}
+		return nil
+
+	case *groovy.Block:
+		entry := b.newNode(Merge)
+		link(entry)
+		return b.buildBlock(x, entry)
+
+	default:
+		n := b.newNode(Statement)
+		n.Stmt = s
+		link(n)
+		return []*Node{n}
+	}
+}
+
+// Build constructs the ICFG for an app: one graph per declared method,
+// with globally unique node IDs.
+func Build(app *ir.App) *ICFG {
+	ic := &ICFG{App: app, Graphs: map[string]*Graph{}}
+	next := 0
+	for _, m := range app.File.Methods {
+		ic.Graphs[m.Name] = BuildMethod(m, &next)
+	}
+	return ic
+}
+
+// Graph returns the CFG of the named method.
+func (ic *ICFG) Graph(method string) (*Graph, bool) {
+	g, ok := ic.Graphs[method]
+	return g, ok
+}
+
+// CallSites returns the statement nodes in caller's graph whose
+// statement contains a direct call to callee.
+func (ic *ICFG) CallSites(caller, callee string) []*Node {
+	g, ok := ic.Graphs[caller]
+	if !ok {
+		return nil
+	}
+	var out []*Node
+	for _, n := range g.Nodes {
+		if n.Kind != Statement || n.Stmt == nil {
+			continue
+		}
+		found := false
+		groovy.Walk(n.Stmt, func(nd groovy.Node) bool {
+			if c, ok := nd.(*groovy.CallExpr); ok && c.Recv == nil && c.Name == callee {
+				found = true
+			}
+			return true
+		})
+		if found {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ReturnNodes returns the statement nodes of the method that are
+// return statements (carrying the returned expression).
+func (ic *ICFG) ReturnNodes(method string) []*Node {
+	g, ok := ic.Graphs[method]
+	if !ok {
+		return nil
+	}
+	var out []*Node
+	for _, n := range g.Nodes {
+		if n.Kind == Statement {
+			if _, ok := n.Stmt.(*groovy.ReturnStmt); ok {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// Dot renders the graph in Graphviz format (used by cmd/soteria's
+// debugging output).
+func (g *Graph) Dot() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", g.Method)
+	for _, n := range g.Nodes {
+		label := n.Kind.String()
+		switch n.Kind {
+		case Statement:
+			label = stmtLabel(n.Stmt)
+		case Branch:
+			label = "if " + groovy.Format(n.Cond)
+		}
+		fmt.Fprintf(&sb, "  n%d [label=%q];\n", n.ID, label)
+	}
+	for _, n := range g.Nodes {
+		for _, e := range n.Succs {
+			attr := ""
+			if e.Cond != nil {
+				c := groovy.Format(e.Cond)
+				if e.Negated {
+					c = "!(" + c + ")"
+				}
+				attr = fmt.Sprintf(" [label=%q]", c)
+			}
+			fmt.Fprintf(&sb, "  n%d -> n%d%s;\n", n.ID, e.To.ID, attr)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,349 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/soteria-analysis/soteria/internal/groovy"
+	"github.com/soteria-analysis/soteria/internal/ir"
+	"github.com/soteria-analysis/soteria/internal/paperapps"
+)
+
+func buildICFG(t *testing.T, name, src string) *ICFG {
+	t.Helper()
+	app, err := ir.BuildSource(name, src)
+	if err != nil {
+		t.Fatalf("BuildSource: %v", err)
+	}
+	return Build(app)
+}
+
+func TestLinearMethod(t *testing.T) {
+	ic := buildICFG(t, "t", `
+def h() {
+    def a = 1
+    def b = a + 2
+    dev.on()
+}
+`)
+	g, ok := ic.Graph("h")
+	if !ok {
+		t.Fatal("graph missing")
+	}
+	// entry -> 3 statements -> exit.
+	stmts := 0
+	for _, n := range g.Nodes {
+		if n.Kind == Statement {
+			stmts++
+		}
+	}
+	if stmts != 3 {
+		t.Errorf("statement nodes = %d, want 3", stmts)
+	}
+	// Entry reaches exit.
+	if !reaches(g.Entry, g.Exit) {
+		t.Error("entry does not reach exit")
+	}
+}
+
+func reaches(from, to *Node) bool {
+	seen := map[int]bool{}
+	var dfs func(n *Node) bool
+	dfs = func(n *Node) bool {
+		if n == to {
+			return true
+		}
+		if seen[n.ID] {
+			return false
+		}
+		seen[n.ID] = true
+		for _, e := range n.Succs {
+			if dfs(e.To) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(from)
+}
+
+func TestIfElseBranchEdges(t *testing.T) {
+	ic := buildICFG(t, "t", `
+def h(evt) {
+    if (evt.value == "on") {
+        dev.on()
+    } else {
+        dev.off()
+    }
+}
+`)
+	g, _ := ic.Graph("h")
+	var br *Node
+	for _, n := range g.Nodes {
+		if n.Kind == Branch {
+			br = n
+		}
+	}
+	if br == nil {
+		t.Fatal("no branch node")
+	}
+	if len(br.Succs) != 2 {
+		t.Fatalf("branch successors = %d", len(br.Succs))
+	}
+	// One edge carries the condition, the other its negation.
+	if br.Succs[0].Negated == br.Succs[1].Negated {
+		t.Error("branch edges should have opposite polarity")
+	}
+	for _, e := range br.Succs {
+		if e.Cond == nil {
+			t.Error("branch edge missing condition")
+		}
+	}
+}
+
+func TestIfWithoutElseHasNegatedFallthrough(t *testing.T) {
+	ic := buildICFG(t, "t", `
+def h(evt) {
+    if (x > 5) {
+        dev.on()
+    }
+    dev.off()
+}
+`)
+	g, _ := ic.Graph("h")
+	var br *Node
+	for _, n := range g.Nodes {
+		if n.Kind == Branch {
+			br = n
+		}
+	}
+	negated := 0
+	for _, e := range br.Succs {
+		if e.Negated {
+			negated++
+		}
+	}
+	if negated != 1 {
+		t.Errorf("negated edges = %d, want 1", negated)
+	}
+}
+
+func TestReturnGoesToExit(t *testing.T) {
+	ic := buildICFG(t, "t", `
+def h() {
+    if (x) {
+        return 1
+    }
+    return 2
+}
+`)
+	g, _ := ic.Graph("h")
+	rets := 0
+	for _, n := range g.Nodes {
+		if n.Kind == Statement {
+			if _, ok := n.Stmt.(*groovy.ReturnStmt); ok {
+				rets++
+				if len(n.Succs) != 1 || n.Succs[0].To != g.Exit {
+					t.Errorf("return node %v should go to exit", n)
+				}
+			}
+		}
+	}
+	if rets != 2 {
+		t.Errorf("returns = %d, want 2", rets)
+	}
+}
+
+func TestWhileLoopBackEdge(t *testing.T) {
+	ic := buildICFG(t, "t", `
+def h() {
+    while (x < 10) {
+        x = x + 1
+    }
+    dev.on()
+}
+`)
+	g, _ := ic.Graph("h")
+	var br *Node
+	for _, n := range g.Nodes {
+		if n.Kind == Branch {
+			br = n
+		}
+	}
+	// The loop body's assignment must flow back to the branch.
+	var assign *Node
+	for _, n := range g.Nodes {
+		if n.Kind == Statement {
+			if _, ok := n.Stmt.(*groovy.AssignStmt); ok {
+				assign = n
+			}
+		}
+	}
+	if assign == nil || !reaches(assign, br) {
+		t.Error("loop body should flow back to the branch")
+	}
+}
+
+func TestBreakLeavesLoop(t *testing.T) {
+	ic := buildICFG(t, "t", `
+def h() {
+    while (x < 10) {
+        if (y) {
+            break
+        }
+        x = x + 1
+    }
+    dev.on()
+}
+`)
+	g, _ := ic.Graph("h")
+	// break node's successor should not be the loop branch.
+	for _, n := range g.Nodes {
+		if n.Kind == Statement {
+			if _, ok := n.Stmt.(*groovy.BreakStmt); ok {
+				if len(n.Succs) != 1 {
+					t.Fatalf("break succs = %d", len(n.Succs))
+				}
+				if n.Succs[0].To.Kind == Branch {
+					t.Error("break should exit the loop, not return to branch")
+				}
+			}
+		}
+	}
+}
+
+func TestSwitchCases(t *testing.T) {
+	ic := buildICFG(t, "t", `
+def h(evt) {
+    switch (evt.value) {
+        case "open":
+            dev.on()
+            break
+        case "closed":
+            dev.off()
+            break
+    }
+}
+`)
+	g, _ := ic.Graph("h")
+	var br *Node
+	for _, n := range g.Nodes {
+		if n.Kind == Branch {
+			br = n
+		}
+	}
+	// Two case edges plus the implicit no-match edge.
+	if len(br.Succs) != 3 {
+		t.Errorf("switch branch successors = %d, want 3", len(br.Succs))
+	}
+	conds := 0
+	for _, e := range br.Succs {
+		if e.Cond != nil {
+			conds++
+			if !strings.Contains(groovy.Format(e.Cond), "evt.value ==") {
+				t.Errorf("case edge condition = %s", groovy.Format(e.Cond))
+			}
+		}
+	}
+	if conds != 2 {
+		t.Errorf("conditioned edges = %d, want 2", conds)
+	}
+}
+
+func TestICFGOverSmokeAlarm(t *testing.T) {
+	app, err := ir.BuildSource("smoke-alarm", paperapps.SmokeAlarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic := Build(app)
+	for _, m := range []string{"installed", "updated", "initialize", "smokeHandler", "batteryHandler", "findBatteryLevel"} {
+		if _, ok := ic.Graph(m); !ok {
+			t.Errorf("graph for %s missing", m)
+		}
+	}
+	// batteryHandler contains a call site of findBatteryLevel.
+	sites := ic.CallSites("batteryHandler", "findBatteryLevel")
+	if len(sites) != 1 {
+		t.Errorf("call sites = %d, want 1", len(sites))
+	}
+	// findBatteryLevel has one return node.
+	rets := ic.ReturnNodes("findBatteryLevel")
+	if len(rets) != 1 {
+		t.Errorf("returns = %d, want 1", len(rets))
+	}
+}
+
+func TestNodeIDsGloballyUnique(t *testing.T) {
+	app, err := ir.BuildSource("smoke-alarm", paperapps.SmokeAlarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic := Build(app)
+	seen := map[int]string{}
+	for name, g := range ic.Graphs {
+		for _, n := range g.Nodes {
+			if prev, dup := seen[n.ID]; dup {
+				t.Fatalf("node ID %d used by both %s and %s", n.ID, prev, name)
+			}
+			seen[n.ID] = name
+		}
+	}
+}
+
+func TestPredsMirrorSuccs(t *testing.T) {
+	app, err := ir.BuildSource("thermostat", paperapps.ThermostatEnergyControl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic := Build(app)
+	for _, g := range ic.Graphs {
+		for _, n := range g.Nodes {
+			for _, e := range n.Succs {
+				found := false
+				for _, p := range e.To.Preds {
+					if p == n {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("%s: succ edge %v->%v has no matching pred", g.Method, n, e.To)
+				}
+			}
+		}
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	ic := buildICFG(t, "t", `
+def h(evt) {
+    if (evt.value == "on") { dev.on() }
+}
+`)
+	g, _ := ic.Graph("h")
+	dot := g.Dot()
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "->") {
+		t.Errorf("dot output malformed:\n%s", dot)
+	}
+}
+
+func TestUnreachableAfterReturn(t *testing.T) {
+	ic := buildICFG(t, "t", `
+def h() {
+    return 1
+    dev.on()
+}
+`)
+	g, _ := ic.Graph("h")
+	// dev.on() node should have no predecessors (unreachable).
+	for _, n := range g.Nodes {
+		if n.Kind == Statement {
+			if es, ok := n.Stmt.(*groovy.ExprStmt); ok {
+				if c, ok := es.X.(*groovy.CallExpr); ok && c.Name == "on" {
+					if len(n.Preds) != 0 {
+						t.Error("statement after return should be unreachable")
+					}
+				}
+			}
+		}
+	}
+}

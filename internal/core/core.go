@@ -1,0 +1,254 @@
+// Package core is the Soteria analyzer pipeline (paper Fig. 3/10):
+// source → IR → state model → Kripke structure → property checking.
+// It ties the substrates together for single apps and multi-app
+// environments and records per-stage timings for the §6.3
+// micro-benchmarks.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/soteria-analysis/soteria/internal/bmc"
+	"github.com/soteria-analysis/soteria/internal/ctl"
+	"github.com/soteria-analysis/soteria/internal/ir"
+	"github.com/soteria-analysis/soteria/internal/kripke"
+	"github.com/soteria-analysis/soteria/internal/ltl"
+	"github.com/soteria-analysis/soteria/internal/modelcheck"
+	"github.com/soteria-analysis/soteria/internal/properties"
+	"github.com/soteria-analysis/soteria/internal/smv"
+	"github.com/soteria-analysis/soteria/internal/statemodel"
+	"github.com/soteria-analysis/soteria/internal/symbolic"
+)
+
+// Options selects which property families to verify.
+type Options struct {
+	// General enables the S.1–S.5 checks and nondeterminism detection.
+	General bool
+	// AppSpecific enables the P.1–P.30 catalogue.
+	AppSpecific bool
+	// PropertyIDs restricts the app-specific catalogue to the listed
+	// IDs (empty = all).
+	PropertyIDs []string
+}
+
+// DefaultOptions checks everything.
+func DefaultOptions() Options {
+	return Options{General: true, AppSpecific: true}
+}
+
+// Timings records per-stage durations (§6.3).
+type Timings struct {
+	IR       time.Duration // parsing + IR extraction
+	Model    time.Duration // symbolic execution + state model
+	Checking time.Duration // property verification
+}
+
+// Analysis is the result of analyzing one app or an environment.
+type Analysis struct {
+	Apps       []*ir.App
+	Model      *statemodel.Model
+	Kripke     *kripke.Structure
+	Violations []properties.Violation
+	Timings    Timings
+}
+
+// NamedSource pairs an app name with its Groovy source.
+type NamedSource struct {
+	Name   string
+	Source string
+}
+
+// AnalyzeSources parses, models, and checks a set of apps as one
+// environment (a single app is the one-element case).
+func AnalyzeSources(opts Options, sources ...NamedSource) (*Analysis, error) {
+	var apps []*ir.App
+	t0 := time.Now()
+	for _, s := range sources {
+		app, err := ir.BuildSource(s.Name, s.Source)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", s.Name, err)
+		}
+		apps = append(apps, app)
+	}
+	a, err := AnalyzeApps(opts, apps...)
+	if err != nil {
+		return nil, err
+	}
+	a.Timings.IR = time.Since(t0) - a.Timings.Model - a.Timings.Checking
+	return a, nil
+}
+
+// AnalyzeApps models and checks already-extracted apps.
+func AnalyzeApps(opts Options, apps ...*ir.App) (*Analysis, error) {
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("core: no apps to analyze")
+	}
+	a := &Analysis{Apps: apps}
+
+	t0 := time.Now()
+	m, err := statemodel.Build(apps...)
+	if err != nil {
+		return nil, fmt.Errorf("state model: %w", err)
+	}
+	a.Model = m
+	a.Kripke = kripke.FromModel(m)
+	a.Timings.Model = time.Since(t0)
+
+	t1 := time.Now()
+	if opts.General {
+		a.Violations = append(a.Violations, properties.CheckGeneral(m)...)
+	}
+	if opts.AppSpecific {
+		vs := properties.CheckAppSpecific(m, a.Kripke)
+		if len(opts.PropertyIDs) > 0 {
+			want := map[string]bool{}
+			for _, id := range opts.PropertyIDs {
+				want[id] = true
+			}
+			var filtered []properties.Violation
+			for _, v := range vs {
+				if want[v.ID] {
+					filtered = append(filtered, v)
+				}
+			}
+			vs = filtered
+		}
+		a.Violations = append(a.Violations, vs...)
+	}
+	a.Timings.Checking = time.Since(t1)
+	return a, nil
+}
+
+// Engine selects a model-checking backend.
+type Engine string
+
+// Available engines.
+const (
+	// Explicit is the explicit-state fixpoint checker (default; the
+	// only engine producing counterexamples).
+	Explicit Engine = "explicit"
+	// BDD is the symbolic engine over binary decision diagrams.
+	BDD Engine = "bdd"
+	// BMC is SAT-based bounded model checking; it handles AG formulas
+	// with propositional bodies and reports a counterexample path when
+	// one exists within the bound.
+	BMC Engine = "bmc"
+)
+
+// CheckFormula verifies a custom CTL formula against the analysis
+// model with the explicit-state engine; it returns whether the
+// property holds and a rendered counterexample when it does not.
+func (a *Analysis) CheckFormula(formula string) (bool, string, error) {
+	return a.CheckFormulaEngine(formula, Explicit)
+}
+
+// CheckFormulaEngine is CheckFormula with an explicit backend choice
+// (the paper's NuSMV combined BDD- and SAT-based engines; §5).
+func (a *Analysis) CheckFormulaEngine(formula string, engine Engine) (bool, string, error) {
+	f, err := ctl.Parse(formula)
+	if err != nil {
+		return false, "", err
+	}
+	switch engine {
+	case Explicit, "":
+		r := modelcheck.Check(a.Kripke, f)
+		if r.Holds {
+			return true, "", nil
+		}
+		cex := ""
+		if len(r.Counterexample) > 0 {
+			cex = a.Kripke.RenderPath(r.Counterexample)
+		}
+		return false, cex, nil
+	case BDD:
+		r := symbolic.New(a.Kripke).Check(f)
+		return r.Holds, "", nil
+	case BMC:
+		bound := a.Kripke.N
+		if bound > 64 {
+			bound = 64
+		}
+		r, handled := bmc.CheckAG(a.Kripke, f, bound)
+		if !handled {
+			return false, "", fmt.Errorf("core: BMC handles only AG formulas with propositional bodies")
+		}
+		if !r.Violated {
+			return true, "", nil
+		}
+		return false, a.Kripke.RenderPath(r.Path), nil
+	}
+	return false, "", fmt.Errorf("core: unknown engine %q", engine)
+}
+
+// CheckLTL verifies an LTL property (interpreted over all paths from
+// all initial states — the second temporal logic the paper names in
+// §2). When the property fails, the counterexample is a rendered
+// lasso: a finite stem followed by a loop.
+func (a *Analysis) CheckLTL(formula string) (bool, string, error) {
+	f, err := ltl.Parse(formula)
+	if err != nil {
+		return false, "", err
+	}
+	r := ltl.Check(a.Kripke, f)
+	if r.Holds {
+		return true, "", nil
+	}
+	cex := a.Kripke.RenderPath(r.Counterexample)
+	if r.Loop >= 0 && r.Loop < len(r.Counterexample) {
+		cex += fmt.Sprintf("\n  --(loops back to step %d)--> %s",
+			r.Loop, a.Kripke.Names[r.Counterexample[r.Loop]])
+	}
+	return false, cex, nil
+}
+
+// WitnessFormula produces a rendered trace demonstrating an
+// existential CTL formula (EX/EF/EU/EG) from some state of the model —
+// evidence for "can the environment ever reach ...?" questions.
+// ok=false when the formula is unsatisfiable or not existential.
+func (a *Analysis) WitnessFormula(formula string) (trace string, ok bool, err error) {
+	f, err := ctl.Parse(formula)
+	if err != nil {
+		return "", false, err
+	}
+	for _, s := range a.Kripke.Init {
+		if path, _, found := modelcheck.Witness(a.Kripke, f, s); found {
+			return a.Kripke.RenderPath(path), true, nil
+		}
+	}
+	return "", false, nil
+}
+
+// DOT renders the state model in Graphviz format.
+func (a *Analysis) DOT() string { return a.Model.Dot() }
+
+// SMV renders the state model in NuSMV input format, with the full
+// catalogue's applicable formulas as SPECs.
+func (a *Analysis) SMV() string {
+	var specs []ctl.Formula
+	for _, prop := range properties.Catalogue() {
+		for _, variant := range prop.Variants {
+			if !variant.Applicable(a.Model) {
+				continue
+			}
+			if f, ok := variant.Build(a.Model); ok {
+				specs = append(specs, f)
+			}
+		}
+	}
+	return smv.Emit(a.Model, specs)
+}
+
+// ViolatedIDs returns the distinct violated property IDs in report
+// order.
+func (a *Analysis) ViolatedIDs() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, v := range a.Violations {
+		if !seen[v.ID] {
+			seen[v.ID] = true
+			out = append(out, v.ID)
+		}
+	}
+	return out
+}

@@ -1,0 +1,366 @@
+// Package ctl defines Computation Tree Logic formulas and a parser
+// for them. Soteria expresses its safety/security properties in
+// temporal logic (paper §4.4) and verifies them with a symbolic model
+// checker; this package is the formula half of that substrate.
+//
+// Syntax accepted by Parse (precedence low to high):
+//
+//	f ::= f '->' f | f '|' f | f '&' f | '!' f
+//	    | 'AX' f | 'EX' f | 'AF' f | 'EF' f | 'AG' f | 'EG' f
+//	    | 'A' '[' f 'U' f ']' | 'E' '[' f 'U' f ']'
+//	    | '(' f ')' | 'true' | 'false' | prop
+//
+// Atomic propositions are written as double-quoted strings
+// ("valve.valve=closed") or bare tokens without spaces or operator
+// characters.
+package ctl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Formula is a CTL formula.
+type Formula interface {
+	String() string
+}
+
+// Prop is an atomic proposition.
+type Prop struct{ Name string }
+
+// TrueF is the constant true.
+type TrueF struct{}
+
+// FalseF is the constant false.
+type FalseF struct{}
+
+// Not is logical negation.
+type Not struct{ X Formula }
+
+// And is logical conjunction.
+type And struct{ L, R Formula }
+
+// Or is logical disjunction.
+type Or struct{ L, R Formula }
+
+// Implies is logical implication.
+type Implies struct{ L, R Formula }
+
+// EX: some successor satisfies X.
+type EX struct{ X Formula }
+
+// AX: every successor satisfies X.
+type AX struct{ X Formula }
+
+// EF: some path eventually satisfies X.
+type EF struct{ X Formula }
+
+// AF: every path eventually satisfies X.
+type AF struct{ X Formula }
+
+// EG: some path globally satisfies X.
+type EG struct{ X Formula }
+
+// AG: every path globally satisfies X.
+type AG struct{ X Formula }
+
+// EU: some path satisfies A until B.
+type EU struct{ A, B Formula }
+
+// AU: every path satisfies A until B.
+type AU struct{ A, B Formula }
+
+func (p Prop) String() string    { return fmt.Sprintf("%q", p.Name) }
+func (TrueF) String() string     { return "true" }
+func (FalseF) String() string    { return "false" }
+func (n Not) String() string     { return "!" + paren(n.X) }
+func (a And) String() string     { return paren(a.L) + " & " + paren(a.R) }
+func (o Or) String() string      { return paren(o.L) + " | " + paren(o.R) }
+func (i Implies) String() string { return paren(i.L) + " -> " + paren(i.R) }
+func (x EX) String() string      { return "EX " + paren(x.X) }
+func (x AX) String() string      { return "AX " + paren(x.X) }
+func (x EF) String() string      { return "EF " + paren(x.X) }
+func (x AF) String() string      { return "AF " + paren(x.X) }
+func (x EG) String() string      { return "EG " + paren(x.X) }
+func (x AG) String() string      { return "AG " + paren(x.X) }
+func (u EU) String() string      { return "E[" + u.A.String() + " U " + u.B.String() + "]" }
+func (u AU) String() string      { return "A[" + u.A.String() + " U " + u.B.String() + "]" }
+
+func paren(f Formula) string {
+	switch f.(type) {
+	case Prop, TrueF, FalseF, Not:
+		return f.String()
+	}
+	return "(" + f.String() + ")"
+}
+
+// Props returns the distinct atomic proposition names in f.
+func Props(f Formula) []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch x := f.(type) {
+		case Prop:
+			if !seen[x.Name] {
+				seen[x.Name] = true
+				out = append(out, x.Name)
+			}
+		case Not:
+			walk(x.X)
+		case And:
+			walk(x.L)
+			walk(x.R)
+		case Or:
+			walk(x.L)
+			walk(x.R)
+		case Implies:
+			walk(x.L)
+			walk(x.R)
+		case EX:
+			walk(x.X)
+		case AX:
+			walk(x.X)
+		case EF:
+			walk(x.X)
+		case AF:
+			walk(x.X)
+		case EG:
+			walk(x.X)
+		case AG:
+			walk(x.X)
+		case EU:
+			walk(x.A)
+			walk(x.B)
+		case AU:
+			walk(x.A)
+			walk(x.B)
+		}
+	}
+	walk(f)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+type parser struct {
+	src string
+	pos int
+}
+
+// Parse parses a CTL formula.
+func Parse(src string) (Formula, error) {
+	p := &parser{src: src}
+	f, err := p.parseImplies()
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("ctl: trailing input at %d: %q", p.pos, p.src[p.pos:])
+	}
+	return f, nil
+}
+
+// MustParse parses a formula, panicking on error; for property tables.
+func MustParse(src string) Formula {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func (p *parser) skipWS() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *parser) peekWord() string {
+	p.skipWS()
+	i := p.pos
+	for i < len(p.src) && isWordChar(p.src[i]) {
+		i++
+	}
+	return p.src[p.pos:i]
+}
+
+func isWordChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '_' || c == '.' || c == '=' || c == '<' || c == '>'
+}
+
+func (p *parser) eat(s string) bool {
+	p.skipWS()
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseImplies() (Formula, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	if p.eat("->") {
+		r, err := p.parseImplies() // right-associative
+		if err != nil {
+			return nil, err
+		}
+		return Implies{L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseOr() (Formula, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipWS()
+		// Don't consume the '-' of '->'.
+		if p.pos < len(p.src) && p.src[p.pos] == '|' {
+			p.pos++
+			r, err := p.parseAnd()
+			if err != nil {
+				return nil, err
+			}
+			l = Or{L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseAnd() (Formula, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipWS()
+		if p.pos < len(p.src) && p.src[p.pos] == '&' {
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = And{L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseUnary() (Formula, error) {
+	p.skipWS()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("ctl: unexpected end of formula")
+	}
+	switch {
+	case p.src[p.pos] == '!':
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{X: x}, nil
+	case p.src[p.pos] == '(':
+		p.pos++
+		f, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		p.skipWS()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, fmt.Errorf("ctl: missing ')' at %d", p.pos)
+		}
+		p.pos++
+		return f, nil
+	case p.src[p.pos] == '"':
+		return p.parseQuotedProp()
+	}
+	w := p.peekWord()
+	switch w {
+	case "AX", "EX", "AF", "EF", "AG", "EG":
+		p.pos += 2
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		switch w {
+		case "AX":
+			return AX{X: x}, nil
+		case "EX":
+			return EX{X: x}, nil
+		case "AF":
+			return AF{X: x}, nil
+		case "EF":
+			return EF{X: x}, nil
+		case "AG":
+			return AG{X: x}, nil
+		case "EG":
+			return EG{X: x}, nil
+		}
+	case "A", "E":
+		p.pos++
+		p.skipWS()
+		if p.pos >= len(p.src) || p.src[p.pos] != '[' {
+			return nil, fmt.Errorf("ctl: expected '[' after %s at %d", w, p.pos)
+		}
+		p.pos++
+		a, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		p.skipWS()
+		if p.peekWord() != "U" {
+			return nil, fmt.Errorf("ctl: expected 'U' at %d", p.pos)
+		}
+		p.pos++
+		b, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		p.skipWS()
+		if p.pos >= len(p.src) || p.src[p.pos] != ']' {
+			return nil, fmt.Errorf("ctl: expected ']' at %d", p.pos)
+		}
+		p.pos++
+		if w == "A" {
+			return AU{A: a, B: b}, nil
+		}
+		return EU{A: a, B: b}, nil
+	case "true":
+		p.pos += 4
+		return TrueF{}, nil
+	case "false":
+		p.pos += 5
+		return FalseF{}, nil
+	case "":
+		return nil, fmt.Errorf("ctl: unexpected character %q at %d", p.src[p.pos], p.pos)
+	}
+	p.pos += len(w)
+	return Prop{Name: w}, nil
+}
+
+func (p *parser) parseQuotedProp() (Formula, error) {
+	start := p.pos
+	p.pos++ // opening quote
+	var sb strings.Builder
+	for p.pos < len(p.src) && p.src[p.pos] != '"' {
+		sb.WriteByte(p.src[p.pos])
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("ctl: unterminated proposition at %d", start)
+	}
+	p.pos++
+	return Prop{Name: sb.String()}, nil
+}

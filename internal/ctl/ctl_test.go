@@ -1,0 +1,127 @@
+package ctl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasic(t *testing.T) {
+	cases := map[string]string{
+		`"a"`:                  `"a"`,
+		`true`:                 `true`,
+		`false`:                `false`,
+		`!"a"`:                 `!"a"`,
+		`"a" & "b"`:            `"a" & "b"`,
+		`"a" | "b"`:            `"a" | "b"`,
+		`"a" -> "b"`:           `"a" -> "b"`,
+		`AG "a"`:               `AG "a"`,
+		`AG ("a" -> AF "b")`:   `AG ("a" -> (AF "b"))`,
+		`E["a" U "b"]`:         `E["a" U "b"]`,
+		`A["a" U "b"]`:         `A["a" U "b"]`,
+		`AX "a"`:               `AX "a"`,
+		`EX "a"`:               `EX "a"`,
+		`EF "a"`:               `EF "a"`,
+		`EG "a"`:               `EG "a"`,
+		`!AG "a"`:              `!(AG "a")`,
+		`"a" & "b" | "c"`:      `("a" & "b") | "c"`,
+		`"a" -> "b" -> "c"`:    `"a" -> ("b" -> "c")`, // right assoc
+		`AG ("x=1" -> EX "y")`: `AG ("x=1" -> (EX "y"))`,
+	}
+	for src, want := range cases {
+		f, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if got := f.String(); got != want {
+			t.Errorf("Parse(%q) = %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestParsePropsWithSpecials(t *testing.T) {
+	f, err := Parse(`AG ("valve.valve=closed" -> "ev:water.wet")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	props := Props(f)
+	if len(props) != 2 || props[0] != "valve.valve=closed" || props[1] != "ev:water.wet" {
+		t.Errorf("props = %v", props)
+	}
+}
+
+func TestParseBareProp(t *testing.T) {
+	f, err := Parse(`smoke=detected`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := f.(Prop)
+	if !ok || p.Name != "smoke=detected" {
+		t.Errorf("got %v", f)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		``, `(`, `("a"`, `A["a" "b"]`, `E["a" U "b"`, `"unterminated`,
+		`"a" &`, `AG`, `"a") extra`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("((")
+}
+
+// Property: String() output of a parsed formula re-parses to the same
+// string (printer/parser round trip).
+func TestRoundTrip(t *testing.T) {
+	inputs := []string{
+		`AG ("a" -> AF "b")`,
+		`E["p" U ("q" & !"r")]`,
+		`A[true U "done"]`,
+		`AG (("x" | "y") -> EX "z")`,
+		`!EF ("bad" & "worse")`,
+	}
+	for _, src := range inputs {
+		f1 := MustParse(src)
+		f2 := MustParse(f1.String())
+		if f1.String() != f2.String() {
+			t.Errorf("round trip failed: %q -> %q -> %q", src, f1.String(), f2.String())
+		}
+	}
+}
+
+// Property: Props never returns duplicates.
+func TestPropsNoDuplicates(t *testing.T) {
+	f := MustParse(`AG ("a" -> AF ("a" & "b" | "a"))`)
+	props := Props(f)
+	seen := map[string]bool{}
+	for _, p := range props {
+		if seen[p] {
+			t.Errorf("duplicate prop %q", p)
+		}
+		seen[p] = true
+	}
+	if len(props) != 2 {
+		t.Errorf("props = %v", props)
+	}
+}
+
+func TestParseTotalQuick(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = Parse(s) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,85 @@
+package dataflow
+
+import (
+	"sort"
+
+	"github.com/soteria-analysis/soteria/internal/capability"
+	"github.com/soteria-analysis/soteria/internal/cfg"
+	"github.com/soteria-analysis/soteria/internal/groovy"
+	"github.com/soteria-analysis/soteria/internal/ir"
+)
+
+// ActionArg is a device action call site whose argument sets a
+// numerical-valued attribute (Algorithm 1's starting points).
+type ActionArg struct {
+	Method string
+	Node   *cfg.Node
+	Perm   *ir.Permission
+	Attr   string // attribute set by the command (Command.ArgAttr)
+	Arg    groovy.Expr
+}
+
+// NumericActionArgs scans every method for device action calls that
+// set a numeric attribute from an argument (setHeatingSetpoint,
+// setLevel, ...).
+func (a *Analysis) NumericActionArgs() []ActionArg {
+	var out []ActionArg
+	var methods []string
+	for name := range a.icfg.Graphs {
+		methods = append(methods, name)
+	}
+	sort.Strings(methods)
+	for _, name := range methods {
+		g := a.icfg.Graphs[name]
+		for _, n := range g.Nodes {
+			if n.Kind != cfg.Statement || n.Stmt == nil {
+				continue
+			}
+			node := n
+			groovy.Walk(n.Stmt, func(nd groovy.Node) bool {
+				call, ok := nd.(*groovy.CallExpr)
+				if !ok {
+					return true
+				}
+				perm, cmdName, _, isAct := ir.DeviceAction(a.app, call)
+				if !isAct || perm == nil || perm.Cap == nil {
+					return true
+				}
+				cmd, _ := perm.Cap.Command(cmdName)
+				if cmd == nil || cmd.ArgAttr == "" || len(call.Args) == 0 {
+					return true
+				}
+				attr, ok2 := perm.Cap.Attribute(cmd.ArgAttr)
+				if !ok2 || attr.Kind != capability.Numeric {
+					return true
+				}
+				out = append(out, ActionArg{
+					Method: name, Node: node, Perm: perm,
+					Attr: cmd.ArgAttr, Arg: call.Args[0],
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// AttributeSources runs Algorithm 1 for every numeric action argument
+// and merges the results per device attribute, keyed
+// "handle.attribute". These are exactly the values property
+// abstraction turns into model states.
+func (a *Analysis) AttributeSources() map[string]*Result {
+	out := map[string]*Result{}
+	for _, aa := range a.NumericActionArgs() {
+		key := aa.Perm.Handle + "." + aa.Attr
+		r := a.NumericSources(aa.Method, aa.Node, aa.Arg)
+		if prev, ok := out[key]; ok {
+			prev.Sources = append(prev.Sources, r.Sources...)
+			prev.Deps = append(prev.Deps, r.Deps...)
+			prev.Pruned += r.Pruned
+		} else {
+			out[key] = r
+		}
+	}
+	return out
+}

@@ -1,0 +1,622 @@
+// Package dataflow implements Soteria's backward dependence analysis
+// (paper §4.2.1, Algorithm 1): a worklist algorithm that, starting from
+// the identifiers used as arguments of device action calls that set a
+// numerical-valued attribute, walks definitions backward through the
+// ICFG — inter-procedurally with depth-one call-site sensitivity — to
+// the set of possible sources (developer-defined constants, user
+// inputs, device state reads, persistent state variables).
+//
+// The produced sources drive property abstraction: each concrete
+// source value becomes one state of the numeric attribute, plus one
+// "other" state (§4.2.1's thermostat example: 45 temperature values
+// collapse to {== 68°F, ≠ 68°F}).
+//
+// Infeasible dependence paths are pruned with the custom path-condition
+// checker (internal/pathcond), mirroring the paper's use of path- and
+// context-sensitivity instead of an SMT solver.
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/soteria-analysis/soteria/internal/cfg"
+	"github.com/soteria-analysis/soteria/internal/groovy"
+	"github.com/soteria-analysis/soteria/internal/ir"
+	"github.com/soteria-analysis/soteria/internal/pathcond"
+)
+
+// SourceKind classifies where a numeric attribute value originates.
+type SourceKind int
+
+// Source kinds.
+const (
+	// Constant is a developer-defined literal (possibly adjusted by
+	// simple arithmetic along the dependence chain).
+	Constant SourceKind = iota
+	// UserInput is an install-time user input permission.
+	UserInput
+	// DeviceRead is a device attribute read (currentValue and
+	// friends).
+	DeviceRead
+	// StateVar is a persistent state/atomicState field.
+	StateVar
+	// Unknown covers expressions outside the tracked fragment.
+	Unknown
+)
+
+func (k SourceKind) String() string {
+	switch k {
+	case Constant:
+		return "developer-defined"
+	case UserInput:
+		return "user-defined"
+	case DeviceRead:
+		return "device-state"
+	case StateVar:
+		return "state-variable"
+	}
+	return "unknown"
+}
+
+// Source is one possible origin of a numeric attribute value.
+type Source struct {
+	Kind   SourceKind
+	Value  float64 // meaningful when Kind == Constant
+	Handle string  // user-input handle or device handle
+	Attr   string  // device attribute (Kind == DeviceRead)
+	Field  string  // state field (Kind == StateVar)
+	// Offset is the net arithmetic adjustment accumulated along the
+	// dependence chain (footnote 3's `x = y + 10` pattern).
+	Offset float64
+	// Expr is the defining expression, for diagnostics.
+	Expr groovy.Expr
+}
+
+// Label renders the source for transition labels and reports.
+func (s Source) Label() string {
+	switch s.Kind {
+	case Constant:
+		return fmt.Sprintf("%g", s.Value)
+	case UserInput:
+		if s.Offset != 0 {
+			return fmt.Sprintf("%s%+g", s.Handle, s.Offset)
+		}
+		return s.Handle
+	case DeviceRead:
+		return s.Handle + "." + s.Attr
+	case StateVar:
+		return "state." + s.Field
+	}
+	return "?"
+}
+
+// Dep records one dependence edge (n: id) -> (n': id') discovered by
+// Algorithm 1, mirroring the paper's dep relation.
+type Dep struct {
+	UseNode int    // node where id is used
+	UseID   string // identifier used
+	DefNode int    // node of the definition
+	DefID   string // identifier on the right-hand side
+}
+
+// Result is the output of Algorithm 1 for one action-call argument.
+type Result struct {
+	Sources []Source
+	Deps    []Dep
+	// Pruned counts dependence paths discarded as infeasible by the
+	// path-condition checker.
+	Pruned int
+}
+
+// ConstantValues returns the sorted distinct constant values among the
+// sources (these become the abstracted states).
+func (r *Result) ConstantValues() []float64 {
+	set := map[float64]bool{}
+	for _, s := range r.Sources {
+		if s.Kind == Constant {
+			set[s.Value] = true
+		}
+	}
+	out := make([]float64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Analysis runs Algorithm 1 over an app's ICFG.
+type Analysis struct {
+	app  *ir.App
+	icfg *cfg.ICFG
+	// callers maps callee -> caller methods within the app (for
+	// parameter back-propagation with depth-one call-site
+	// sensitivity).
+	callers map[string][]string
+}
+
+// New prepares an analysis over the app's ICFG.
+func New(app *ir.App, icfg *cfg.ICFG) *Analysis {
+	a := &Analysis{app: app, icfg: icfg, callers: map[string][]string{}}
+	for _, m := range app.File.Methods {
+		groovy.Walk(m, func(n groovy.Node) bool {
+			if c, ok := n.(*groovy.CallExpr); ok && c.Recv == nil && c.Name != "" {
+				if app.File.MethodByName(c.Name) != nil {
+					a.addCaller(c.Name, m.Name)
+				}
+			}
+			return true
+		})
+	}
+	return a
+}
+
+func (a *Analysis) addCaller(callee, caller string) {
+	for _, c := range a.callers[callee] {
+		if c == caller {
+			return
+		}
+	}
+	a.callers[callee] = append(a.callers[callee], caller)
+}
+
+// item is a worklist entry: identifier id used at node n of method m,
+// with the arithmetic offset accumulated so far.
+type item struct {
+	method string
+	node   *cfg.Node
+	id     string
+	offset float64
+}
+
+func (it item) key() string {
+	return fmt.Sprintf("%s:%d:%s:%g", it.method, it.node.ID, it.id, it.offset)
+}
+
+// NumericSources runs Algorithm 1: it computes the set of possible
+// sources of expression arg evaluated at node n of method (the
+// argument of a device action call that sets a numeric attribute).
+func (a *Analysis) NumericSources(method string, n *cfg.Node, arg groovy.Expr) *Result {
+	res := &Result{}
+	done := map[string]bool{}
+	var worklist []item
+
+	// Seed: classify the argument expression itself; identifiers go on
+	// the worklist (Algorithm 1 line 2-4).
+	a.classify(method, n, arg, 0, res, &worklist)
+
+	for len(worklist) > 0 {
+		it := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		if done[it.key()] {
+			continue
+		}
+		done[it.key()] = true
+		a.traceDefs(it, res, &worklist)
+	}
+	return res
+}
+
+// classify resolves a right-hand-side expression into sources or new
+// worklist items.
+func (a *Analysis) classify(method string, n *cfg.Node, e groovy.Expr, offset float64, res *Result, wl *[]item) {
+	switch x := e.(type) {
+	case *groovy.NumberLit:
+		res.Sources = append(res.Sources, Source{Kind: Constant, Value: x.Value + offset, Expr: e})
+		return
+	case *groovy.Ident:
+		if p, ok := a.app.PermissionByHandle(x.Name); ok && p.Kind == ir.UserInput {
+			res.Sources = append(res.Sources, Source{Kind: UserInput, Handle: x.Name, Offset: offset, Expr: e})
+			return
+		}
+		*wl = append(*wl, item{method: method, node: n, id: x.Name, offset: offset})
+		return
+	case *groovy.BinaryExpr:
+		// Footnote 3: simple arithmetic id ± const propagates the
+		// offset through the identifier.
+		if x.Op == groovy.PLUS || x.Op == groovy.MINUS {
+			if c, ok := x.R.(*groovy.NumberLit); ok {
+				d := c.Value
+				if x.Op == groovy.MINUS {
+					d = -d
+				}
+				a.classify(method, n, x.L, offset+d, res, wl)
+				return
+			}
+			if c, ok := x.L.(*groovy.NumberLit); ok && x.Op == groovy.PLUS {
+				a.classify(method, n, x.R, offset+c.Value, res, wl)
+				return
+			}
+		}
+	case *groovy.TernaryExpr:
+		a.classify(method, n, x.Then, offset, res, wl)
+		a.classify(method, n, x.Else, offset, res, wl)
+		return
+	case *groovy.ElvisExpr:
+		a.classify(method, n, x.Value, offset, res, wl)
+		a.classify(method, n, x.Default, offset, res, wl)
+		return
+	case *groovy.CallExpr:
+		// Device attribute read?
+		if h, attr, ok := ir.DeviceRead(a.app, e); ok {
+			res.Sources = append(res.Sources, Source{Kind: DeviceRead, Handle: h, Attr: attr, Offset: offset, Expr: e})
+			return
+		}
+		// Call of an app method: trace its return expressions
+		// (treating parameter passing and returns as inter-procedural
+		// definitions).
+		if x.Recv == nil && a.app.File.MethodByName(x.Name) != nil {
+			for _, ret := range a.icfg.ReturnNodes(x.Name) {
+				rs := ret.Stmt.(*groovy.ReturnStmt)
+				if rs.X != nil {
+					a.classify(x.Name, ret, rs.X, offset, res, wl)
+				}
+			}
+			return
+		}
+	case *groovy.PropExpr:
+		if h, attr, ok := ir.DeviceRead(a.app, e); ok {
+			res.Sources = append(res.Sources, Source{Kind: DeviceRead, Handle: h, Attr: attr, Offset: offset, Expr: e})
+			return
+		}
+		if f, ok := ir.StateFieldRef(e); ok {
+			res.Sources = append(res.Sources, Source{Kind: StateVar, Field: f, Offset: offset, Expr: e})
+			return
+		}
+		// Conversion wrappers around trackable expressions.
+		if inner := unwrap(e); inner != e {
+			a.classify(method, n, inner, offset, res, wl)
+			return
+		}
+	}
+	res.Sources = append(res.Sources, Source{Kind: Unknown, Expr: e})
+}
+
+func unwrap(e groovy.Expr) groovy.Expr {
+	if pe, ok := e.(*groovy.PropExpr); ok {
+		switch pe.Name {
+		case "integerValue", "floatValue", "doubleValue", "value":
+			return pe.Recv
+		}
+	}
+	return e
+}
+
+// traceDefs finds the reaching definitions of it.id at it.node by a
+// backward DFS over the CFG, pruning paths whose accumulated branch
+// conditions are infeasible, then classifies each definition's RHS
+// (Algorithm 1 lines 5-12).
+func (a *Analysis) traceDefs(it item, res *Result, wl *[]item) {
+	g, ok := a.icfg.Graph(it.method)
+	if !ok {
+		res.Sources = append(res.Sources, Source{Kind: Unknown})
+		return
+	}
+	type walkState struct {
+		node *cfg.Node
+		cond pathcond.Cond
+	}
+	// Visited states are keyed by node plus the canonical (deduped)
+	// condition, so loops terminate (the atom set saturates) without
+	// blocking alternative feasible paths through shared nodes.
+	visited := map[string]bool{}
+	key := func(ws walkState) string {
+		return fmt.Sprintf("%d|%s", ws.node.ID, ws.cond.Canonical())
+	}
+	reachedEntry := false
+	seenDefs := map[int]bool{}
+	var stack []walkState
+	for _, p := range it.node.Preds {
+		stack = append(stack, walkState{node: p, cond: condOnEdge(p, it.node)})
+	}
+	if len(it.node.Preds) == 0 && it.node == g.Entry {
+		reachedEntry = true
+	}
+	const maxSteps = 200000
+	for steps := 0; len(stack) > 0 && steps < maxSteps; steps++ {
+		ws := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !pathcond.Feasible(ws.cond) {
+			res.Pruned++
+			continue
+		}
+		if k := key(ws); visited[k] {
+			continue
+		} else {
+			visited[k] = true
+		}
+
+		if def, rhs := defines(ws.node, it.id); def {
+			// Accept the definition only if the path from the method
+			// entry down to it is consistent with the conditions
+			// accumulated between the definition and the use — the
+			// paper's infeasible-path pruning over the full
+			// initialization-to-action path.
+			if !a.feasibleFromEntry(g, ws.node, ws.cond) {
+				res.Pruned++
+				continue
+			}
+			if !seenDefs[ws.node.ID] {
+				seenDefs[ws.node.ID] = true
+				res.Deps = append(res.Deps, Dep{
+					UseNode: it.node.ID, UseID: it.id,
+					DefNode: ws.node.ID, DefID: rhsIdent(rhs),
+				})
+				if rhs != nil {
+					a.classify(it.method, ws.node, rhs, it.offset, res, wl)
+				} else {
+					res.Sources = append(res.Sources, Source{Kind: Unknown})
+				}
+			}
+			continue // definition kills the backward walk on this path
+		}
+		if ws.node == g.Entry {
+			reachedEntry = true
+			continue
+		}
+		for _, p := range ws.node.Preds {
+			stack = append(stack, walkState{node: p, cond: ws.cond.And(condOnEdge(p, ws.node))})
+		}
+	}
+
+	if reachedEntry {
+		a.resolveAtEntry(it, res, wl)
+	}
+}
+
+// feasibleFromEntry reports whether some path from the method entry to
+// node is feasible under the already-accumulated condition cond.
+func (a *Analysis) feasibleFromEntry(g *cfg.Graph, node *cfg.Node, cond pathcond.Cond) bool {
+	type walkState struct {
+		node *cfg.Node
+		cond pathcond.Cond
+	}
+	visited := map[string]bool{}
+	stack := []walkState{{node: node, cond: cond}}
+	const maxSteps = 100000
+	for steps := 0; len(stack) > 0 && steps < maxSteps; steps++ {
+		ws := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !pathcond.Feasible(ws.cond) {
+			continue
+		}
+		if ws.node == g.Entry {
+			return true
+		}
+		k := fmt.Sprintf("%d|%s", ws.node.ID, ws.cond.Canonical())
+		if visited[k] {
+			continue
+		}
+		visited[k] = true
+		for _, p := range ws.node.Preds {
+			stack = append(stack, walkState{node: p, cond: ws.cond.And(condOnEdge(p, ws.node))})
+		}
+	}
+	return false
+}
+
+// resolveAtEntry handles an identifier with no local definition: it is
+// a method parameter (bound at call sites — depth-one call-site
+// sensitivity), a permission handle, or unknown.
+func (a *Analysis) resolveAtEntry(it item, res *Result, wl *[]item) {
+	m := a.app.File.MethodByName(it.method)
+	if m != nil {
+		for pi, param := range m.Params {
+			if param != it.id {
+				continue
+			}
+			// Back-propagate through every call site of this method.
+			for _, caller := range a.callers[it.method] {
+				for _, site := range a.icfg.CallSites(caller, it.method) {
+					arg := callArg(site, it.method, pi)
+					if arg != nil {
+						a.classify(caller, site, arg, it.offset, res, wl)
+					}
+				}
+			}
+			return
+		}
+	}
+	if p, ok := a.app.PermissionByHandle(it.id); ok {
+		if p.Kind == ir.UserInput {
+			res.Sources = append(res.Sources, Source{Kind: UserInput, Handle: it.id, Offset: it.offset})
+		} else {
+			res.Sources = append(res.Sources, Source{Kind: DeviceRead, Handle: it.id, Offset: it.offset})
+		}
+		return
+	}
+	res.Sources = append(res.Sources, Source{Kind: Unknown})
+}
+
+// callArg extracts the pi-th actual argument of the call to callee
+// inside the statement at site.
+func callArg(site *cfg.Node, callee string, pi int) groovy.Expr {
+	var arg groovy.Expr
+	groovy.Walk(site.Stmt, func(n groovy.Node) bool {
+		c, ok := n.(*groovy.CallExpr)
+		if !ok || c.Recv != nil || c.Name != callee {
+			return true
+		}
+		if pi < len(c.Args) {
+			arg = c.Args[pi]
+		}
+		return false
+	})
+	return arg
+}
+
+// defines reports whether node n assigns identifier id and returns the
+// right-hand side.
+func defines(n *cfg.Node, id string) (bool, groovy.Expr) {
+	if n.Kind != cfg.Statement || n.Stmt == nil {
+		return false, nil
+	}
+	switch s := n.Stmt.(type) {
+	case *groovy.DeclStmt:
+		if s.Name == id {
+			return true, s.Init
+		}
+	case *groovy.AssignStmt:
+		if lhs, ok := s.LHS.(*groovy.Ident); ok && lhs.Name == id {
+			if s.Op == groovy.ASSIGN {
+				return true, s.RHS
+			}
+			// x += e: treat as unknown-preserving definition.
+			return true, nil
+		}
+	case *groovy.IncDecStmt:
+		if x, ok := s.X.(*groovy.Ident); ok && x.Name == id {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func rhsIdent(e groovy.Expr) string {
+	if id, ok := e.(*groovy.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// condOnEdge returns the path condition contributed by traversing the
+// edge pred -> node (non-trivial only when pred is a Branch).
+func condOnEdge(pred, node *cfg.Node) pathcond.Cond {
+	if pred.Kind != cfg.Branch {
+		return pathcond.True()
+	}
+	for _, e := range pred.Succs {
+		if e.To == node && e.Cond != nil {
+			return CondFromExpr(e.Cond, e.Negated)
+		}
+	}
+	return pathcond.True()
+}
+
+// CondFromExpr converts a Groovy boolean expression into a pathcond
+// conjunction. Comparisons of a simple variable expression against a
+// literal become atoms; conjunctions distribute; everything else
+// becomes an opaque term. When negated is set the whole expression is
+// logically negated (conjunctions of atoms negate soundly only for
+// single atoms; compound negations fall back to opaque, which is the
+// safe over-approximation).
+func CondFromExpr(e groovy.Expr, negated bool) pathcond.Cond {
+	switch x := e.(type) {
+	case *groovy.BinaryExpr:
+		switch x.Op {
+		case groovy.ANDAND:
+			if !negated {
+				return CondFromExpr(x.L, false).And(CondFromExpr(x.R, false))
+			}
+		case groovy.OROR:
+			if negated { // ¬(a ∨ b) = ¬a ∧ ¬b
+				return CondFromExpr(x.L, true).And(CondFromExpr(x.R, true))
+			}
+		case groovy.EQ, groovy.NEQ, groovy.LT, groovy.LEQ, groovy.GT, groovy.GEQ:
+			if atom, ok := atomFrom(x); ok {
+				if negated {
+					atom = atom.Negated()
+				}
+				return pathcond.True().WithAtom(atom)
+			}
+		}
+	case *groovy.UnaryExpr:
+		if x.Op == groovy.NOT {
+			return CondFromExpr(x.X, !negated)
+		}
+	}
+	return pathcond.True().WithOpaque(groovy.Format(e), negated)
+}
+
+func atomFrom(x *groovy.BinaryExpr) (pathcond.Atom, bool) {
+	v, lit, swapped, ok := splitCmp(x)
+	if !ok {
+		return pathcond.Atom{}, false
+	}
+	op := cmpOp(x.Op)
+	if swapped {
+		op = swapOp(op)
+	}
+	a := pathcond.Atom{Var: canonicalVar(v)}
+	a.Op = op
+	switch l := lit.(type) {
+	case *groovy.NumberLit:
+		a.IsNum = true
+		a.Num = l.Value
+	case *groovy.StringLit:
+		a.Str = l.Value
+	case *groovy.GStringLit:
+		s, static := l.StaticText()
+		if !static {
+			return pathcond.Atom{}, false
+		}
+		a.Str = s
+	case *groovy.BoolLit:
+		a.Str = fmt.Sprintf("%t", l.Value)
+	default:
+		return pathcond.Atom{}, false
+	}
+	return a, true
+}
+
+// splitCmp separates a comparison into its variable side and literal
+// side; swapped is true when the literal is on the left.
+func splitCmp(x *groovy.BinaryExpr) (v, lit groovy.Expr, swapped, ok bool) {
+	if isLiteral(x.R) && !isLiteral(x.L) {
+		return x.L, x.R, false, true
+	}
+	if isLiteral(x.L) && !isLiteral(x.R) {
+		return x.R, x.L, true, true
+	}
+	return nil, nil, false, false
+}
+
+func isLiteral(e groovy.Expr) bool {
+	switch l := e.(type) {
+	case *groovy.NumberLit, *groovy.StringLit, *groovy.BoolLit:
+		return true
+	case *groovy.GStringLit:
+		_, ok := l.StaticText()
+		return ok
+	}
+	return false
+}
+
+func cmpOp(k groovy.TokKind) pathcond.Op {
+	switch k {
+	case groovy.EQ:
+		return pathcond.EQ
+	case groovy.NEQ:
+		return pathcond.NE
+	case groovy.LT:
+		return pathcond.LT
+	case groovy.LEQ:
+		return pathcond.LE
+	case groovy.GT:
+		return pathcond.GT
+	case groovy.GEQ:
+		return pathcond.GE
+	}
+	return pathcond.EQ
+}
+
+func swapOp(o pathcond.Op) pathcond.Op {
+	switch o {
+	case pathcond.LT:
+		return pathcond.GT
+	case pathcond.LE:
+		return pathcond.GE
+	case pathcond.GT:
+		return pathcond.LT
+	case pathcond.GE:
+		return pathcond.LE
+	}
+	return o
+}
+
+// canonicalVar renders the variable side of an atom deterministically.
+func canonicalVar(e groovy.Expr) string {
+	return strings.TrimSpace(groovy.Format(e))
+}

@@ -1,0 +1,443 @@
+package dataflow
+
+import (
+	"testing"
+
+	"github.com/soteria-analysis/soteria/internal/cfg"
+	"github.com/soteria-analysis/soteria/internal/groovy"
+	"github.com/soteria-analysis/soteria/internal/ir"
+	"github.com/soteria-analysis/soteria/internal/paperapps"
+	"github.com/soteria-analysis/soteria/internal/pathcond"
+)
+
+func analysisFor(t *testing.T, name, src string) *Analysis {
+	t.Helper()
+	app, err := ir.BuildSource(name, src)
+	if err != nil {
+		t.Fatalf("BuildSource: %v", err)
+	}
+	return New(app, cfg.Build(app))
+}
+
+// TestFig6PropertyAbstraction reproduces the paper's Fig. 6 example:
+// modeChangeHandler sets temp = 68, calls setTemp(temp), which calls
+// ther.setHeatingSetpoint(t). Algorithm 1 must discover the single
+// constant source 68 so the state space collapses from 45 values to 2.
+func TestFig6PropertyAbstraction(t *testing.T) {
+	a := analysisFor(t, "thermostat", paperapps.ThermostatEnergyControl)
+	args := a.NumericActionArgs()
+	var heat *ActionArg
+	for i := range args {
+		if args[i].Attr == "heatingSetpoint" {
+			heat = &args[i]
+		}
+	}
+	if heat == nil {
+		t.Fatalf("setHeatingSetpoint action not found; args = %+v", args)
+	}
+	if heat.Method != "setTemp" {
+		t.Errorf("action method = %s, want setTemp", heat.Method)
+	}
+	res := a.NumericSources(heat.Method, heat.Node, heat.Arg)
+	vals := res.ConstantValues()
+	if len(vals) != 1 || vals[0] != 68 {
+		t.Fatalf("constant sources = %v, want [68]; sources = %+v", vals, res.Sources)
+	}
+	// The dep relation should include the (6:t, 3:temp) style edge.
+	if len(res.Deps) == 0 {
+		t.Error("dep relation is empty")
+	}
+}
+
+func TestDirectConstantArgument(t *testing.T) {
+	a := analysisFor(t, "t", `
+preferences { section("s") { input "ther", "capability.thermostat" } }
+def installed() { subscribe(location, "mode", h) }
+def h(evt) { ther.setHeatingSetpoint(72) }
+`)
+	args := a.NumericActionArgs()
+	if len(args) != 1 {
+		t.Fatalf("args = %d", len(args))
+	}
+	res := a.NumericSources(args[0].Method, args[0].Node, args[0].Arg)
+	if vals := res.ConstantValues(); len(vals) != 1 || vals[0] != 72 {
+		t.Errorf("values = %v", vals)
+	}
+}
+
+func TestUserInputSource(t *testing.T) {
+	a := analysisFor(t, "t", `
+preferences {
+    section("s") {
+        input "ther", "capability.thermostat"
+        input "userTemp", "number", title: "Temperature"
+    }
+}
+def installed() { subscribe(location, "mode", h) }
+def h(evt) {
+    def v = userTemp
+    ther.setHeatingSetpoint(v)
+}
+`)
+	args := a.NumericActionArgs()
+	res := a.NumericSources(args[0].Method, args[0].Node, args[0].Arg)
+	if len(res.Sources) != 1 || res.Sources[0].Kind != UserInput || res.Sources[0].Handle != "userTemp" {
+		t.Errorf("sources = %+v", res.Sources)
+	}
+}
+
+// TestFootnote3Arithmetic checks `x = y + 10` offset propagation: the
+// user input is stored in y, x = y + 10, and a device attribute change
+// uses x.
+func TestFootnote3Arithmetic(t *testing.T) {
+	a := analysisFor(t, "t", `
+preferences {
+    section("s") {
+        input "ther", "capability.thermostat"
+        input "base", "number"
+    }
+}
+def installed() { subscribe(location, "mode", h) }
+def h(evt) {
+    def y = base
+    def x = y + 10
+    ther.setHeatingSetpoint(x)
+}
+`)
+	args := a.NumericActionArgs()
+	res := a.NumericSources(args[0].Method, args[0].Node, args[0].Arg)
+	if len(res.Sources) != 1 {
+		t.Fatalf("sources = %+v", res.Sources)
+	}
+	s := res.Sources[0]
+	if s.Kind != UserInput || s.Handle != "base" || s.Offset != 10 {
+		t.Errorf("source = %+v", s)
+	}
+	if s.Label() != "base+10" {
+		t.Errorf("label = %s", s.Label())
+	}
+}
+
+func TestConstantPlusArithmetic(t *testing.T) {
+	a := analysisFor(t, "t", `
+preferences { section("s") { input "ther", "capability.thermostat" } }
+def installed() { subscribe(location, "mode", h) }
+def h(evt) {
+    def y = 60
+    def x = y + 8
+    ther.setHeatingSetpoint(x)
+}
+`)
+	args := a.NumericActionArgs()
+	res := a.NumericSources(args[0].Method, args[0].Node, args[0].Arg)
+	if vals := res.ConstantValues(); len(vals) != 1 || vals[0] != 68 {
+		t.Errorf("values = %v", vals)
+	}
+}
+
+func TestMultipleDefsBothBranches(t *testing.T) {
+	a := analysisFor(t, "t", `
+preferences { section("s") { input "ther", "capability.thermostat" } }
+def installed() { subscribe(location, "mode", h) }
+def h(evt) {
+    def v = 70
+    if (evt.value == "away") {
+        v = 60
+    }
+    ther.setHeatingSetpoint(v)
+}
+`)
+	args := a.NumericActionArgs()
+	res := a.NumericSources(args[0].Method, args[0].Node, args[0].Arg)
+	vals := res.ConstantValues()
+	if len(vals) != 2 || vals[0] != 60 || vals[1] != 70 {
+		t.Errorf("values = %v", vals)
+	}
+}
+
+// TestKilledDefinitionNotReported: a definition overwritten on every
+// path to the use must not appear as a source.
+func TestKilledDefinitionNotReported(t *testing.T) {
+	a := analysisFor(t, "t", `
+preferences { section("s") { input "ther", "capability.thermostat" } }
+def installed() { subscribe(location, "mode", h) }
+def h(evt) {
+    def v = 50
+    v = 65
+    ther.setHeatingSetpoint(v)
+}
+`)
+	args := a.NumericActionArgs()
+	res := a.NumericSources(args[0].Method, args[0].Node, args[0].Arg)
+	vals := res.ConstantValues()
+	if len(vals) != 1 || vals[0] != 65 {
+		t.Errorf("values = %v (the v=50 def is killed)", vals)
+	}
+}
+
+// TestInfeasiblePathPruned reproduces §4.2.1's pruning example: a
+// dependence path through branches x > 1 and x < 0 is infeasible and
+// must be discarded.
+func TestInfeasiblePathPruned(t *testing.T) {
+	a := analysisFor(t, "t", `
+preferences { section("s") { input "ther", "capability.thermostat" } }
+def installed() { subscribe(location, "mode", h) }
+def h(evt) {
+    def v = 99
+    if (x > 1) {
+        v = 70
+    }
+    if (x < 0) {
+        ther.setHeatingSetpoint(v)
+    }
+}
+`)
+	args := a.NumericActionArgs()
+	res := a.NumericSources(args[0].Method, args[0].Node, args[0].Arg)
+	// Reaching the v=70 definition requires crossing both the x<0 and
+	// the x>1 branch edges — an infeasible combination, so 70 must be
+	// pruned. The v=99 definition is reachable via the ¬(x>1) edge
+	// (x<0 ∧ x<=1 is satisfiable) and must be kept.
+	vals := res.ConstantValues()
+	if len(vals) != 1 || vals[0] != 99 {
+		t.Errorf("values = %v, want [99]", vals)
+	}
+	if res.Pruned == 0 {
+		t.Error("expected at least one pruned path")
+	}
+}
+
+func TestDeviceReadSource(t *testing.T) {
+	a := analysisFor(t, "t", `
+preferences {
+    section("s") {
+        input "ther", "capability.thermostat"
+        input "meter", "capability.powerMeter"
+    }
+}
+def installed() { subscribe(meter, "power", h) }
+def h(evt) {
+    def p = meter.currentValue("power")
+    ther.setHeatingSetpoint(p)
+}
+`)
+	args := a.NumericActionArgs()
+	res := a.NumericSources(args[0].Method, args[0].Node, args[0].Arg)
+	if len(res.Sources) != 1 || res.Sources[0].Kind != DeviceRead {
+		t.Fatalf("sources = %+v", res.Sources)
+	}
+	if res.Sources[0].Handle != "meter" || res.Sources[0].Attr != "power" {
+		t.Errorf("source = %+v", res.Sources[0])
+	}
+}
+
+func TestStateVarSource(t *testing.T) {
+	a := analysisFor(t, "t", `
+preferences { section("s") { input "ther", "capability.thermostat" } }
+def installed() { subscribe(location, "mode", h) }
+def h(evt) {
+    ther.setHeatingSetpoint(state.target)
+}
+`)
+	args := a.NumericActionArgs()
+	res := a.NumericSources(args[0].Method, args[0].Node, args[0].Arg)
+	if len(res.Sources) != 1 || res.Sources[0].Kind != StateVar || res.Sources[0].Field != "target" {
+		t.Errorf("sources = %+v", res.Sources)
+	}
+}
+
+func TestTernarySources(t *testing.T) {
+	a := analysisFor(t, "t", `
+preferences {
+    section("s") {
+        input "ther", "capability.thermostat"
+        input "userTemp", "number"
+    }
+}
+def installed() { subscribe(location, "mode", h) }
+def h(evt) {
+    ther.setHeatingSetpoint(userTemp ?: 70)
+}
+`)
+	args := a.NumericActionArgs()
+	res := a.NumericSources(args[0].Method, args[0].Node, args[0].Arg)
+	if len(res.Sources) != 2 {
+		t.Fatalf("sources = %+v", res.Sources)
+	}
+	kinds := map[SourceKind]bool{}
+	for _, s := range res.Sources {
+		kinds[s.Kind] = true
+	}
+	if !kinds[UserInput] || !kinds[Constant] {
+		t.Errorf("sources = %+v", res.Sources)
+	}
+}
+
+func TestInterproceduralReturnChain(t *testing.T) {
+	a := analysisFor(t, "t", `
+preferences { section("s") { input "ther", "capability.thermostat" } }
+def installed() { subscribe(location, "mode", h) }
+def h(evt) {
+    def v = pick()
+    ther.setHeatingSetpoint(v)
+}
+def pick() {
+    def inner = 66
+    return inner
+}
+`)
+	args := a.NumericActionArgs()
+	res := a.NumericSources(args[0].Method, args[0].Node, args[0].Arg)
+	if vals := res.ConstantValues(); len(vals) != 1 || vals[0] != 66 {
+		t.Errorf("values = %v; sources = %+v", vals, res.Sources)
+	}
+}
+
+func TestAttributeSourcesKeying(t *testing.T) {
+	a := analysisFor(t, "thermostat", paperapps.ThermostatEnergyControl)
+	srcs := a.AttributeSources()
+	r, ok := srcs["ther.heatingSetpoint"]
+	if !ok {
+		t.Fatalf("keys = %v", keysOf(srcs))
+	}
+	if vals := r.ConstantValues(); len(vals) != 1 || vals[0] != 68 {
+		t.Errorf("values = %v", vals)
+	}
+}
+
+func keysOf(m map[string]*Result) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// --- CondFromExpr tests -------------------------------------------------
+
+func condOf(t *testing.T, src string, negated bool) pathcond.Cond {
+	t.Helper()
+	e, err := groovy.ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	return CondFromExpr(e, negated)
+}
+
+func TestCondFromExprComparisons(t *testing.T) {
+	c := condOf(t, `power_val > 50`, false)
+	if len(c.Atoms) != 1 || c.Atoms[0].Op != pathcond.GT || c.Atoms[0].Num != 50 {
+		t.Errorf("cond = %+v", c)
+	}
+	c = condOf(t, `evt.value == "detected"`, false)
+	if len(c.Atoms) != 1 || c.Atoms[0].Str != "detected" || c.Atoms[0].Var != "evt.value" {
+		t.Errorf("cond = %+v", c)
+	}
+}
+
+func TestCondFromExprNegation(t *testing.T) {
+	c := condOf(t, `x > 5`, true)
+	if len(c.Atoms) != 1 || c.Atoms[0].Op != pathcond.LE {
+		t.Errorf("cond = %+v", c)
+	}
+	c = condOf(t, `!(x > 5)`, false)
+	if len(c.Atoms) != 1 || c.Atoms[0].Op != pathcond.LE {
+		t.Errorf("double negation cond = %+v", c)
+	}
+}
+
+func TestCondFromExprConjunction(t *testing.T) {
+	c := condOf(t, `x > 5 && y == "on"`, false)
+	if len(c.Atoms) != 2 {
+		t.Errorf("cond = %+v", c)
+	}
+}
+
+func TestCondFromExprDeMorgan(t *testing.T) {
+	// ¬(a ∨ b) = ¬a ∧ ¬b.
+	c := condOf(t, `x > 5 || x < 1`, true)
+	if len(c.Atoms) != 2 {
+		t.Fatalf("cond = %+v", c)
+	}
+	if !pathcond.Feasible(c) {
+		t.Error("1 <= x <= 5 should be feasible")
+	}
+}
+
+func TestCondFromExprSwappedLiteral(t *testing.T) {
+	c := condOf(t, `50 < power_val`, false)
+	if len(c.Atoms) != 1 || c.Atoms[0].Op != pathcond.GT || c.Atoms[0].Var != "power_val" {
+		t.Errorf("cond = %+v", c)
+	}
+}
+
+func TestCondFromExprOpaqueFallback(t *testing.T) {
+	c := condOf(t, `location.contactBookEnabled`, false)
+	if len(c.Opaque) != 1 || len(c.Atoms) != 0 {
+		t.Errorf("cond = %+v", c)
+	}
+	// Negated conjunction (unsupported exactly) must become opaque,
+	// not silently wrong.
+	c = condOf(t, `x > 1 && y > 2`, true)
+	if len(c.Atoms) != 0 || len(c.Opaque) != 1 {
+		t.Errorf("negated conjunction should be opaque: %+v", c)
+	}
+}
+
+// TestDepthOneCallSiteSensitivity: the same helper called from two
+// sites with different constants yields both constants as sources —
+// parameter back-propagation over call sites (§4.2.1's "depth-one
+// call-site sensitivity").
+func TestDepthOneCallSiteSensitivity(t *testing.T) {
+	a := analysisFor(t, "t", `
+preferences { section("s") { input "ther", "capability.thermostat" } }
+def installed() {
+    subscribe(location, "mode", h1)
+    subscribe(ther, "temperature", h2)
+}
+def h1(evt) { apply(70) }
+def h2(evt) { apply(62) }
+def apply(t) {
+    ther.setHeatingSetpoint(t)
+}
+`)
+	args := a.NumericActionArgs()
+	if len(args) != 1 {
+		t.Fatalf("args = %d", len(args))
+	}
+	res := a.NumericSources(args[0].Method, args[0].Node, args[0].Arg)
+	vals := res.ConstantValues()
+	if len(vals) != 2 || vals[0] != 62 || vals[1] != 70 {
+		t.Errorf("values = %v, want [62 70]", vals)
+	}
+}
+
+// TestParameterThroughLocalThroughCall: constants flow through a local
+// in the caller and the parameter of the callee.
+func TestParameterThroughLocalThroughCall(t *testing.T) {
+	a := analysisFor(t, "t", `
+preferences {
+    section("s") {
+        input "ther", "capability.thermostat"
+        input "bias", "number"
+    }
+}
+def installed() { subscribe(location, "mode", h) }
+def h(evt) {
+    def target = bias + 2
+    apply(target)
+}
+def apply(t) {
+    ther.setHeatingSetpoint(t)
+}
+`)
+	args := a.NumericActionArgs()
+	res := a.NumericSources(args[0].Method, args[0].Node, args[0].Arg)
+	if len(res.Sources) != 1 {
+		t.Fatalf("sources = %+v", res.Sources)
+	}
+	s := res.Sources[0]
+	if s.Kind != UserInput || s.Handle != "bias" || s.Offset != 2 {
+		t.Errorf("source = %+v", s)
+	}
+}

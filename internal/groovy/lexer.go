@@ -1,0 +1,423 @@
+package groovy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Lexer turns SmartThings-Groovy source text into a token stream.
+// It strips // line comments and /* */ block comments, folds
+// backslash-newline continuations, and emits NL tokens at newlines and
+// semicolons so the parser can honour Groovy's newline-terminated
+// statements and command-call argument lists.
+type Lexer struct {
+	src    string
+	off    int
+	line   int
+	col    int
+	errors []error
+}
+
+// NewLexer returns a Lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// LexError describes a lexical error at a source position.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *LexError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func (l *Lexer) errorf(pos Pos, format string, args ...any) {
+	l.errors = append(l.errors, &LexError{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []error { return l.errors }
+
+func (l *Lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return r
+}
+
+func (l *Lexer) peek2() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	_, w := utf8.DecodeRuneInString(l.src[l.off:])
+	if l.off+w >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off+w:])
+	return r
+}
+
+func (l *Lexer) next() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	r, w := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Tokens lexes the entire input and returns the token stream, always
+// terminated by an EOF token. Lexical errors are recorded (see Errors)
+// and the offending characters skipped, so a best-effort stream is
+// returned even for malformed input.
+func (l *Lexer) Tokens() []Token {
+	var toks []Token
+	emit := func(t Token) { toks = append(toks, t) }
+	for {
+		t := l.scan()
+		// Collapse runs of NL into one.
+		if t.Kind == NL && len(toks) > 0 && toks[len(toks)-1].Kind == NL {
+			continue
+		}
+		emit(t)
+		if t.Kind == EOF {
+			return toks
+		}
+	}
+}
+
+func (l *Lexer) scan() Token {
+	for {
+		r := l.peek()
+		switch {
+		case r == 0:
+			return Token{Kind: EOF, Pos: l.pos()}
+		case r == '\n' || r == ';':
+			p := l.pos()
+			l.next()
+			return Token{Kind: NL, Pos: p}
+		case r == ' ' || r == '\t' || r == '\r':
+			l.next()
+		case r == '\\' && l.peek2() == '\n':
+			l.next()
+			l.next() // line continuation
+		case r == '/' && l.peek2() == '/':
+			for l.peek() != '\n' && l.peek() != 0 {
+				l.next()
+			}
+		case r == '/' && l.peek2() == '*':
+			p := l.pos()
+			l.next()
+			l.next()
+			closed := false
+			for l.peek() != 0 {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.next()
+					l.next()
+					closed = true
+					break
+				}
+				l.next()
+			}
+			if !closed {
+				l.errorf(p, "unterminated block comment")
+			}
+		default:
+			return l.scanToken()
+		}
+	}
+}
+
+func (l *Lexer) scanToken() Token {
+	p := l.pos()
+	r := l.peek()
+	switch {
+	case isIdentStart(r) && r != '$':
+		return l.scanIdent(p)
+	case unicode.IsDigit(r):
+		return l.scanNumber(p)
+	case r == '\'':
+		return l.scanString(p, '\'')
+	case r == '"':
+		return l.scanGString(p)
+	}
+	l.next()
+	two := func(k TokKind, text string) Token {
+		l.next()
+		return Token{Kind: k, Text: text, Pos: p}
+	}
+	one := func(k TokKind, text string) Token {
+		return Token{Kind: k, Text: text, Pos: p}
+	}
+	switch r {
+	case '(':
+		return one(LPAREN, "(")
+	case ')':
+		return one(RPAREN, ")")
+	case '{':
+		return one(LBRACE, "{")
+	case '}':
+		return one(RBRACE, "}")
+	case '[':
+		return one(LBRACKET, "[")
+	case ']':
+		return one(RBRACKET, "]")
+	case ',':
+		return one(COMMA, ",")
+	case ':':
+		return one(COLON, ":")
+	case '.':
+		return one(DOT, ".")
+	case '?':
+		switch l.peek() {
+		case ':':
+			return two(ELVIS, "?:")
+		case '.':
+			return two(SAFEDOT, "?.")
+		}
+		return one(QUESTION, "?")
+	case '=':
+		if l.peek() == '=' {
+			return two(EQ, "==")
+		}
+		return one(ASSIGN, "=")
+	case '!':
+		if l.peek() == '=' {
+			return two(NEQ, "!=")
+		}
+		return one(NOT, "!")
+	case '<':
+		if l.peek() == '=' {
+			return two(LEQ, "<=")
+		}
+		return one(LT, "<")
+	case '>':
+		if l.peek() == '=' {
+			return two(GEQ, ">=")
+		}
+		return one(GT, ">")
+	case '&':
+		if l.peek() == '&' {
+			return two(ANDAND, "&&")
+		}
+		l.errorf(p, "unexpected '&'")
+		return l.scan()
+	case '|':
+		if l.peek() == '|' {
+			return two(OROR, "||")
+		}
+		l.errorf(p, "unexpected '|'")
+		return l.scan()
+	case '+':
+		switch l.peek() {
+		case '+':
+			return two(INCR, "++")
+		case '=':
+			return two(PLUSASSIGN, "+=")
+		}
+		return one(PLUS, "+")
+	case '-':
+		switch l.peek() {
+		case '-':
+			return two(DECR, "--")
+		case '=':
+			return two(MINUSASSIGN, "-=")
+		case '>':
+			return two(ARROW, "->")
+		}
+		return one(MINUS, "-")
+	case '*':
+		return one(STAR, "*")
+	case '/':
+		return one(SLASH, "/")
+	case '%':
+		return one(PERCENT, "%")
+	}
+	l.errorf(p, "unexpected character %q", r)
+	return l.scan()
+}
+
+func (l *Lexer) scanIdent(p Pos) Token {
+	var sb strings.Builder
+	for isIdentPart(l.peek()) {
+		sb.WriteRune(l.next())
+	}
+	name := sb.String()
+	if k, ok := keywords[name]; ok {
+		return Token{Kind: k, Text: name, Pos: p}
+	}
+	return Token{Kind: IDENT, Text: name, Pos: p}
+}
+
+func (l *Lexer) scanNumber(p Pos) Token {
+	var sb strings.Builder
+	isInt := true
+	for unicode.IsDigit(l.peek()) {
+		sb.WriteRune(l.next())
+	}
+	if l.peek() == '.' && unicode.IsDigit(l.peek2()) {
+		isInt = false
+		sb.WriteRune(l.next())
+		for unicode.IsDigit(l.peek()) {
+			sb.WriteRune(l.next())
+		}
+	}
+	// Trailing type suffixes (Groovy's 10L, 2.5f, 3d) are accepted and
+	// ignored; they do not affect the analysis.
+	switch l.peek() {
+	case 'L', 'l', 'f', 'F', 'd', 'D', 'g', 'G', 'i', 'I':
+		l.next()
+	}
+	text := sb.String()
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		l.errorf(p, "bad number %q", text)
+	}
+	return Token{Kind: NUMBER, Text: text, Num: v, IsInt: isInt, Pos: p}
+}
+
+func (l *Lexer) scanString(p Pos, quote rune) Token {
+	l.next() // opening quote
+	var sb strings.Builder
+	for {
+		r := l.peek()
+		if r == 0 || r == '\n' {
+			l.errorf(p, "unterminated string")
+			break
+		}
+		l.next()
+		if r == quote {
+			break
+		}
+		if r == '\\' {
+			sb.WriteRune(l.unescape(l.next()))
+			continue
+		}
+		sb.WriteRune(r)
+	}
+	return Token{Kind: STRING, Text: sb.String(), Pos: p}
+}
+
+func (l *Lexer) unescape(r rune) rune {
+	switch r {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	default:
+		return r // \", \', \\, \$ and anything else map to themselves
+	}
+}
+
+// scanGString lexes a double-quoted string, splitting it into literal
+// text and interpolation parts. Two interpolation forms are supported,
+// matching Groovy: ${expr} with arbitrary nesting of braces, and the
+// bare $ident(.ident)* path form.
+func (l *Lexer) scanGString(p Pos) Token {
+	l.next() // opening quote
+	var parts []GPart
+	var text strings.Builder
+	flushText := func() {
+		if text.Len() > 0 {
+			parts = append(parts, GPart{Text: text.String()})
+			text.Reset()
+		}
+	}
+	var full strings.Builder
+	for {
+		r := l.peek()
+		if r == 0 || r == '\n' {
+			l.errorf(p, "unterminated string")
+			break
+		}
+		if r == '"' {
+			l.next()
+			break
+		}
+		if r == '\\' {
+			l.next()
+			e := l.unescape(l.next())
+			text.WriteRune(e)
+			full.WriteRune(e)
+			continue
+		}
+		if r == '$' {
+			l.next()
+			if l.peek() == '{' {
+				l.next()
+				depth := 1
+				var expr strings.Builder
+				for depth > 0 {
+					c := l.peek()
+					if c == 0 {
+						l.errorf(p, "unterminated interpolation")
+						break
+					}
+					l.next()
+					if c == '{' {
+						depth++
+					} else if c == '}' {
+						depth--
+						if depth == 0 {
+							break
+						}
+					}
+					expr.WriteRune(c)
+				}
+				flushText()
+				parts = append(parts, GPart{Expr: expr.String(), IsExpr: true})
+				full.WriteString("${" + expr.String() + "}")
+				continue
+			}
+			if isIdentStart(l.peek()) {
+				var expr strings.Builder
+				for isIdentPart(l.peek()) {
+					expr.WriteRune(l.next())
+				}
+				// Dotted path: $evt.value
+				for l.peek() == '.' && isIdentStart(l.peek2()) {
+					expr.WriteRune(l.next())
+					for isIdentPart(l.peek()) {
+						expr.WriteRune(l.next())
+					}
+				}
+				flushText()
+				parts = append(parts, GPart{Expr: expr.String(), IsExpr: true})
+				full.WriteString("$" + expr.String())
+				continue
+			}
+			text.WriteRune('$')
+			full.WriteRune('$')
+			continue
+		}
+		l.next()
+		text.WriteRune(r)
+		full.WriteRune(r)
+	}
+	flushText()
+	return Token{Kind: GSTRING, Text: full.String(), Parts: parts, Pos: p}
+}

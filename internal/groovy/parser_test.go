@@ -1,0 +1,700 @@
+package groovy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// smokeAlarmSrc is the Smoke-Alarm app from the paper's Appendix A.1
+// (Listing 1), verbatim except for trimmed metadata strings.
+const smokeAlarmSrc = `
+/**
+ * Smoke-Alarm app
+ * Author:Soteria
+ */
+definition(
+    name: "SmartApp",
+    namespace: "mygithubusername",
+    author: "Model Analyzer",
+    description: "Smoke-Detector App introduced in Section 3.",
+    category: "Safety & Security",
+    iconUrl: "https://example.com/icon.png")
+
+preferences {
+    section("Select smoke detector: "){
+        input "smoke_detector", "capability.smokeDetector", title: "Which detector?", required: true
+    }
+    section("Select switch for low batter notification: "){
+        input "the_switch", "capability.switch", title: "Which switch?", required: true
+    }
+    section("Select alarm device: ") {
+        input "the_alarm", "capability.alarm", title: "Which alarm?", required: true
+    }
+    section("Select water valve: "){
+        input "the_valve", "capability.valve", title: "Which valve?", required: true
+    }
+    section("Select battery settings: "){
+        input "the_battery", "capability.battery", title: "Which battery?", required: true
+    }
+    section( "Low battery warning: "){
+        input "thrshld", "number", title: "Low Battery Threshold", required: true
+    }
+}
+
+def installed()
+{
+    initialize()
+}
+
+def updated()
+{
+    unsubscribe()
+    initialize()
+}
+
+private initialize() {
+    subscribe(smoke_detector, "smoke", smokeHandler)
+    subscribe(the_battery, "battery", batteryHandler)
+}
+
+def smokeHandler(evt) {
+    log.trace "$evt.value: $evt, $settings"
+    String theMessage
+    log.debug "event created at: ${evt.date}"
+
+    if (evt.value == "tested") {
+        theMessage = "${evt.displayName} tested for smoke."
+    } else if (evt.value == "clear") {
+        theMessage = "${evt.displayName} is clear for smoke."
+        the_alarm.off()
+        the_valve.close()
+        log.debug "evt clear"
+    } else if (evt.value == "detected") {
+        theMessage = "${evt.displayName} detected smoke!"
+        the_alarm.siren()
+        the_valve.open()
+    } else {
+        theMessage = ("Unknown event received ${evt.name}")
+    }
+    log.warn "$theMessage"
+}
+
+def batteryHandler(evt) {
+    log.trace "$evt.value: $evt, $settings"
+    def String theMessage
+    def check = thrshld
+    def battLevel = findBatteryLevel()
+
+    if (battLevel < check) {
+        the_switch.on()
+        theMessage = "${evt.displayName} has battery ${battLevel}"
+    }
+}
+
+def findBatteryLevel(){
+    return the_battery.currentValue("battery").integerValue
+}
+`
+
+// waterLeakSrc is the Water-Leak-Detector app from Appendix A.2.
+const waterLeakSrc = `
+definition(
+    name: "SmartApp",
+    namespace: "mygithubusername",
+    author: "Model Analyzer",
+    description: "Water-Leak-Detector app introduced in Section 3.",
+    category: "Safety & Security")
+
+preferences {
+    section("When there's water detected...") {
+        input "water_sensor", "capability.waterSensor", title: "Where?"
+        input "valve_device", "capability.valve", title: "Valve device"
+    }
+    section("Send a notification to...") {
+        input("recipients", "contact", title: "Recipients", description: "Send notifications to") {
+            input "phone", "phone", title: "Phone number?", required: false
+        }
+    }
+}
+
+def installed(){
+    subscribe(water_sensor, "water.wet", waterWetHandler)
+}
+
+def updated(){
+    unsubscribe()
+    subscribe(water_sensor, "water.wet", waterWetHandler)
+}
+
+def waterWetHandler(evt){
+    def deltaSeconds = 60
+
+    def timeAgo = new Date(now() - (1000 * deltaSeconds))
+    def recentEvents = water_sensor.eventsSince(timeAgo)
+    log.debug "Found ${recentEvents?.size() ?: 0} events in the last $deltaSeconds seconds"
+    valve_device.close()
+    def alreadySentSms = recentEvents.count {it.value && it.value == "wet"} > 1
+    if (alreadySentSms){
+        log.debug "SMS already sent within the last $deltaSeconds seconds"
+    }else{
+        def msg = "${water_sensor.displayName} is wet!"
+        if (location.contactBookEnabled){
+            sendNotificationToContacts(msg, recipients)
+        }
+        else{
+            sendPush(msg)
+            if (phone) {
+                sendSms(phone, msg)
+            }
+        }
+    }
+}
+`
+
+// thermostatSrc is the Thermostat-Energy-Control app from Appendix A.3.
+const thermostatSrc = `
+definition(
+    name: "SmartApp",
+    namespace: "mygithubusername",
+    author: "Model Analyzer",
+    description: "Thermostat-Energy-Control",
+    category: "Green Living")
+
+preferences {
+    section("Control") {
+        input "ther", "capability.thermostat", title: "Thermostat", required:true
+    }
+    section("Select the door lock:") {
+        input "the_lock", "capability.lock", required: true
+    }
+    section("Select the thermostat energy meter to monitor:") {
+        input "power_meter", "capability.powerMeter", title: "Energy Meters", required: true
+        input "price_kwh", "number", title: "thereshold value for energy usage", required: true
+    }
+    section("Select the heater outlet switch:"){
+        input "the_switch", "capability.switch", title: "Outlets", required: true
+    }
+}
+
+def installed(){
+    initialize()
+}
+
+def updated(){
+    unsubscribe()
+    unschedule()
+    initialize()
+}
+
+def initialize(){
+    subscribe(location, "mode", modeChangeHandler)
+    subscribe(power_meter, "power", powerHandler)
+}
+
+def modeChangeHandler(evt) {
+    def temp = 68
+    setTemp(temp)
+    the_lock.lock()
+}
+
+def setTemp(t){
+    ther.setHeatingSetpoint(t)
+    def msg = "heating and cooling point set, door is locked!"
+    send(msg)
+}
+
+def powerHandler(evt){
+    def above_thrshld_val = 50
+    def below_thrshld_val = 5
+    def dUnit = evt.unit ?: "Watts"
+
+    power_val = get_power()
+
+    if (power_val > above_thrshld_val ){
+        the_switch.off()
+        send("above")
+    }
+    if (power_val < below_thrshld_val ){
+        the_switch.on()
+        send("below")
+    }
+}
+
+def get_power(){
+    latest_power = power_meter.currentValue("power")
+    return latest_power
+}
+
+def send(msg){
+    if(location.contactBookEnabled) {
+        if (recipients) {
+            sendNotificationToContacts(msg, recipients)
+        }
+    }
+    if (phoneNumber) {
+        sendSms( phoneNumber, msg)
+    }
+}
+`
+
+func parseOK(t *testing.T, name, src string) *File {
+	t.Helper()
+	f, err := Parse(name, src)
+	if err != nil {
+		t.Fatalf("Parse(%s): %v", name, err)
+	}
+	return f
+}
+
+func TestParseSmokeAlarm(t *testing.T) {
+	f := parseOK(t, "smoke-alarm", smokeAlarmSrc)
+	wantMethods := []string{"installed", "updated", "initialize", "smokeHandler", "batteryHandler", "findBatteryLevel"}
+	if len(f.Methods) != len(wantMethods) {
+		var got []string
+		for _, m := range f.Methods {
+			got = append(got, m.Name)
+		}
+		t.Fatalf("methods = %v, want %v", got, wantMethods)
+	}
+	for i, w := range wantMethods {
+		if f.Methods[i].Name != w {
+			t.Errorf("method %d = %s, want %s", i, f.Methods[i].Name, w)
+		}
+	}
+	if !f.MethodByName("initialize").Private {
+		t.Error("initialize should be private")
+	}
+	// Top level: definition(...) and preferences{...}.
+	if len(f.Stmts) != 2 {
+		t.Fatalf("top-level stmts = %d, want 2", len(f.Stmts))
+	}
+}
+
+func TestParseDefinitionNamedArgs(t *testing.T) {
+	f := parseOK(t, "smoke-alarm", smokeAlarmSrc)
+	es, ok := f.Stmts[0].(*ExprStmt)
+	if !ok {
+		t.Fatalf("stmt 0 is %T", f.Stmts[0])
+	}
+	call, ok := es.X.(*CallExpr)
+	if !ok || call.Name != "definition" {
+		t.Fatalf("stmt 0 = %s", Format(es.X))
+	}
+	named := map[string]bool{}
+	for _, na := range call.NamedArgs {
+		named[na.Key] = true
+	}
+	for _, k := range []string{"name", "namespace", "author", "description", "category"} {
+		if !named[k] {
+			t.Errorf("missing named arg %q", k)
+		}
+	}
+}
+
+func TestParsePreferencesNesting(t *testing.T) {
+	f := parseOK(t, "smoke-alarm", smokeAlarmSrc)
+	es := f.Stmts[1].(*ExprStmt)
+	prefs := es.X.(*CallExpr)
+	if prefs.Name != "preferences" || prefs.Closure == nil {
+		t.Fatalf("preferences = %s", Format(es.X))
+	}
+	// Count input command calls across all sections.
+	inputs := 0
+	Walk(prefs.Closure, func(n Node) bool {
+		if c, ok := n.(*CallExpr); ok && c.Name == "input" {
+			inputs++
+		}
+		return true
+	})
+	if inputs != 6 {
+		t.Errorf("found %d input calls, want 6", inputs)
+	}
+}
+
+func TestParseCommandCallArgs(t *testing.T) {
+	f := parseOK(t, "t", `input "thrshld", "number", title: "Low Battery Threshold", required: true`)
+	call := f.Stmts[0].(*ExprStmt).X.(*CallExpr)
+	if call.Name != "input" || !call.Command {
+		t.Fatalf("got %s", Format(call))
+	}
+	if len(call.Args) != 2 {
+		t.Fatalf("args = %d, want 2", len(call.Args))
+	}
+	if s, ok := StringValue(call.Args[0]); !ok || s != "thrshld" {
+		t.Errorf("arg0 = %s", Format(call.Args[0]))
+	}
+	if len(call.NamedArgs) != 2 {
+		t.Fatalf("named args = %d, want 2", len(call.NamedArgs))
+	}
+	if call.NamedArgs[1].Key != "required" {
+		t.Errorf("named arg 1 key = %q", call.NamedArgs[1].Key)
+	}
+	if b, ok := call.NamedArgs[1].Value.(*BoolLit); !ok || !b.Value {
+		t.Errorf("required = %s", Format(call.NamedArgs[1].Value))
+	}
+}
+
+func TestParseIfElseChain(t *testing.T) {
+	f := parseOK(t, "smoke-alarm", smokeAlarmSrc)
+	h := f.MethodByName("smokeHandler")
+	var ifs *IfStmt
+	for _, s := range h.Body.Stmts {
+		if i, ok := s.(*IfStmt); ok {
+			ifs = i
+			break
+		}
+	}
+	if ifs == nil {
+		t.Fatal("no if statement in smokeHandler")
+	}
+	// Chain depth: tested -> clear -> detected -> else.
+	depth := 0
+	for cur := Stmt(ifs); cur != nil; {
+		i, ok := cur.(*IfStmt)
+		if !ok {
+			break
+		}
+		depth++
+		cur = i.Else
+	}
+	if depth != 3 {
+		t.Errorf("if-chain depth = %d, want 3", depth)
+	}
+	// First condition is evt.value == "tested".
+	cond := ifs.Cond.(*BinaryExpr)
+	if cond.Op != EQ || Format(cond.L) != "evt.value" {
+		t.Errorf("cond = %s", Format(ifs.Cond))
+	}
+}
+
+func TestParseMethodBodyBraceOnNextLine(t *testing.T) {
+	f := parseOK(t, "t", "def installed()\n{\n  initialize()\n}")
+	if len(f.Methods) != 1 || f.Methods[0].Name != "installed" {
+		t.Fatalf("methods = %+v", f.Methods)
+	}
+}
+
+func TestParseWaterLeak(t *testing.T) {
+	f := parseOK(t, "water-leak", waterLeakSrc)
+	h := f.MethodByName("waterWetHandler")
+	if h == nil {
+		t.Fatal("waterWetHandler not found")
+	}
+	// `new Date(now() - (1000 * deltaSeconds))`
+	var foundNew *NewExpr
+	Walk(h, func(n Node) bool {
+		if ne, ok := n.(*NewExpr); ok {
+			foundNew = ne
+		}
+		return true
+	})
+	if foundNew == nil || foundNew.Type != "Date" || len(foundNew.Args) != 1 {
+		t.Errorf("new expr = %+v", foundNew)
+	}
+	// Closure-only call: recentEvents.count { ... } > 1
+	var countCall *CallExpr
+	Walk(h, func(n Node) bool {
+		if c, ok := n.(*CallExpr); ok && c.Name == "count" {
+			countCall = c
+		}
+		return true
+	})
+	if countCall == nil || countCall.Closure == nil {
+		t.Fatal("count{...} call not found")
+	}
+}
+
+func TestParseThermostat(t *testing.T) {
+	f := parseOK(t, "thermostat", thermostatSrc)
+	h := f.MethodByName("powerHandler")
+	if h == nil {
+		t.Fatal("powerHandler not found")
+	}
+	// Elvis operator: evt.unit ?: "Watts"
+	var elvis *ElvisExpr
+	Walk(h, func(n Node) bool {
+		if e, ok := n.(*ElvisExpr); ok {
+			elvis = e
+		}
+		return true
+	})
+	if elvis == nil {
+		t.Fatal("elvis expression not found")
+	}
+	if Format(elvis.Value) != "evt.unit" {
+		t.Errorf("elvis value = %s", Format(elvis.Value))
+	}
+}
+
+func TestParseReflectionCall(t *testing.T) {
+	src := `
+def getMethod(){
+    httpGet("http://url"){ resp ->
+        if(resp.status == 200){
+            name = resp.data.toString()
+        }
+    }
+    "$name"()
+}
+def foo() { x = 1 }
+def bar() { y = 2 }
+`
+	f := parseOK(t, "reflect", src)
+	g := f.MethodByName("getMethod")
+	var dyn *CallExpr
+	Walk(g, func(n Node) bool {
+		if c, ok := n.(*CallExpr); ok && c.Dynamic != nil {
+			dyn = c
+		}
+		return true
+	})
+	if dyn == nil {
+		t.Fatal("dynamic call not found")
+	}
+	gs := dyn.Dynamic.(*GStringLit)
+	if len(gs.Parts) != 1 || !gs.Parts[0].IsExpr {
+		t.Errorf("dynamic callee parts = %+v", gs.Parts)
+	}
+	// httpGet with trailing closure taking `resp ->`.
+	var httpGet *CallExpr
+	Walk(g, func(n Node) bool {
+		if c, ok := n.(*CallExpr); ok && c.Name == "httpGet" {
+			httpGet = c
+		}
+		return true
+	})
+	if httpGet == nil || httpGet.Closure == nil {
+		t.Fatal("httpGet{...} not found")
+	}
+	if len(httpGet.Closure.Params) != 1 || httpGet.Closure.Params[0] != "resp" {
+		t.Errorf("closure params = %v", httpGet.Closure.Params)
+	}
+}
+
+func TestParseStateVariable(t *testing.T) {
+	src := `
+def turnedOnHandler() {
+    state.counter = state.counter + 1
+    if (state.counter > threshold){
+        theSwitch.off()
+    }
+}
+`
+	f := parseOK(t, "state", src)
+	h := f.MethodByName("turnedOnHandler")
+	as, ok := h.Body.Stmts[0].(*AssignStmt)
+	if !ok {
+		t.Fatalf("stmt 0 is %T", h.Body.Stmts[0])
+	}
+	lhs := as.LHS.(*PropExpr)
+	if Format(lhs) != "state.counter" {
+		t.Errorf("lhs = %s", Format(lhs))
+	}
+}
+
+func TestParseTernary(t *testing.T) {
+	f := parseOK(t, "t", "def h() { x = a > 1 ? b : c }")
+	var tern *TernaryExpr
+	Walk(f.Methods[0], func(n Node) bool {
+		if e, ok := n.(*TernaryExpr); ok {
+			tern = e
+		}
+		return true
+	})
+	if tern == nil {
+		t.Fatal("no ternary")
+	}
+	if Format(tern) != "((a > 1) ? b : c)" {
+		t.Errorf("ternary = %s", Format(tern))
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	cases := map[string]string{
+		"a + b * c":        "(a + (b * c))",
+		"a * b + c":        "((a * b) + c)",
+		"a || b && c":      "(a || (b && c))",
+		"a == b && c != d": "((a == b) && (c != d))",
+		"!a && b":          "(!a && b)",
+		"a < b == true":    "((a < b) == true)",
+		"-a + b":           "(-a + b)",
+	}
+	for src, want := range cases {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if got := Format(e); got != want {
+			t.Errorf("%q: got %s want %s", src, got, want)
+		}
+	}
+}
+
+func TestParseListsAndMaps(t *testing.T) {
+	e, err := ParseExpr(`[1, 2, 3]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l, ok := e.(*ListLit); !ok || len(l.Elems) != 3 {
+		t.Errorf("list = %s", Format(e))
+	}
+	e, err = ParseExpr(`[a: 1, b: "two"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := e.(*MapLit); !ok || len(m.Entries) != 2 || m.Entries[1].Key != "b" {
+		t.Errorf("map = %s", Format(e))
+	}
+	e, err = ParseExpr(`[:]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*MapLit); !ok {
+		t.Errorf("empty map = %T", e)
+	}
+	e, err = ParseExpr(`[]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*ListLit); !ok {
+		t.Errorf("empty list = %T", e)
+	}
+}
+
+func TestParseSwitch(t *testing.T) {
+	src := `
+def h(evt) {
+    switch (evt.value) {
+        case "open":
+            theSwitch.on()
+            break
+        case "closed":
+            theSwitch.off()
+            break
+        default:
+            log.debug "other"
+    }
+}
+`
+	f := parseOK(t, "switch", src)
+	sw, ok := f.Methods[0].Body.Stmts[0].(*SwitchStmt)
+	if !ok {
+		t.Fatalf("stmt is %T", f.Methods[0].Body.Stmts[0])
+	}
+	if len(sw.Cases) != 3 {
+		t.Fatalf("cases = %d", len(sw.Cases))
+	}
+	if sw.Cases[2].Value != nil {
+		t.Error("case 2 should be default")
+	}
+}
+
+func TestParseWhileAndFor(t *testing.T) {
+	src := `
+def h() {
+    while (x < 10) {
+        x = x + 1
+    }
+    for (d in devices) {
+        d.off()
+    }
+}
+`
+	f := parseOK(t, "loops", src)
+	stmts := f.Methods[0].Body.Stmts
+	if _, ok := stmts[0].(*WhileStmt); !ok {
+		t.Errorf("stmt 0 = %T", stmts[0])
+	}
+	fr, ok := stmts[1].(*ForInStmt)
+	if !ok {
+		t.Fatalf("stmt 1 = %T", stmts[1])
+	}
+	if fr.Var != "d" {
+		t.Errorf("loop var = %q", fr.Var)
+	}
+}
+
+func TestParseIncDec(t *testing.T) {
+	f := parseOK(t, "t", "def h() { state.n++ }")
+	st, ok := f.Methods[0].Body.Stmts[0].(*IncDecStmt)
+	if !ok {
+		t.Fatalf("stmt = %T", f.Methods[0].Body.Stmts[0])
+	}
+	if st.Decr {
+		t.Error("should be increment")
+	}
+}
+
+func TestParseErrorsReported(t *testing.T) {
+	_, err := Parse("bad", "def h() { if ( { }")
+	if err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("bad.groovy", "def h() { x = = }")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "bad.groovy") {
+		t.Errorf("error should carry filename: %v", err)
+	}
+}
+
+// Property: parsing never panics on arbitrary input.
+func TestParseTotalOnArbitraryInput(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = Parse("fuzz", s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Format of a parsed simple binary expression re-parses to
+// the same formatted form (idempotence of the printer through the
+// parser).
+func TestFormatParseIdempotent(t *testing.T) {
+	exprs := []string{
+		"a + b * c", "x == 1 && y < 2", "a ?: b", "p ? q : r",
+		"dev.currentValue(\"power\")", "!(a || b)", "m[k]", "[1, 2]",
+	}
+	for _, src := range exprs {
+		e1, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		s1 := Format(e1)
+		e2, err := ParseExpr(s1)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", s1, err)
+		}
+		if s2 := Format(e2); s1 != s2 {
+			t.Errorf("%q: %q != %q", src, s1, s2)
+		}
+	}
+}
+
+func TestWalkVisitsAllCalls(t *testing.T) {
+	f := parseOK(t, "smoke-alarm", smokeAlarmSrc)
+	calls := map[string]int{}
+	WalkFile(f, func(n Node) bool {
+		if c, ok := n.(*CallExpr); ok && c.Name != "" {
+			calls[c.Name]++
+		}
+		return true
+	})
+	if calls["subscribe"] != 2 {
+		t.Errorf("subscribe calls = %d, want 2", calls["subscribe"])
+	}
+	if calls["siren"] != 1 || calls["open"] != 1 || calls["close"] != 1 {
+		t.Errorf("device action calls = %v", calls)
+	}
+	if calls["initialize"] != 2 { // from installed() and updated()
+		t.Errorf("initialize calls = %d, want 2", calls["initialize"])
+	}
+}

@@ -1,0 +1,118 @@
+package groovy
+
+// Walk traverses the AST rooted at n in depth-first order, calling fn
+// for every node. If fn returns false for a node, that node's children
+// are not visited.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *MethodDecl:
+		Walk(x.Body, fn)
+	case *Block:
+		for _, s := range x.Stmts {
+			Walk(s, fn)
+		}
+	case *ExprStmt:
+		Walk(x.X, fn)
+	case *DeclStmt:
+		if x.Init != nil {
+			Walk(x.Init, fn)
+		}
+	case *AssignStmt:
+		Walk(x.LHS, fn)
+		Walk(x.RHS, fn)
+	case *IncDecStmt:
+		Walk(x.X, fn)
+	case *IfStmt:
+		Walk(x.Cond, fn)
+		Walk(x.Then, fn)
+		if x.Else != nil {
+			Walk(x.Else, fn)
+		}
+	case *WhileStmt:
+		Walk(x.Cond, fn)
+		Walk(x.Body, fn)
+	case *ForInStmt:
+		Walk(x.Iter, fn)
+		Walk(x.Body, fn)
+	case *ReturnStmt:
+		if x.X != nil {
+			Walk(x.X, fn)
+		}
+	case *SwitchStmt:
+		Walk(x.Tag, fn)
+		for _, c := range x.Cases {
+			if c.Value != nil {
+				Walk(c.Value, fn)
+			}
+			for _, s := range c.Body {
+				Walk(s, fn)
+			}
+		}
+	case *GStringLit:
+		for _, p := range x.Parts {
+			if p.IsExpr && p.Expr != nil {
+				Walk(p.Expr, fn)
+			}
+		}
+	case *ListLit:
+		for _, el := range x.Elems {
+			Walk(el, fn)
+		}
+	case *MapLit:
+		for _, en := range x.Entries {
+			Walk(en.Value, fn)
+		}
+	case *PropExpr:
+		Walk(x.Recv, fn)
+	case *IndexExpr:
+		Walk(x.Recv, fn)
+		Walk(x.Index, fn)
+	case *CallExpr:
+		if x.Recv != nil {
+			Walk(x.Recv, fn)
+		}
+		if x.Dynamic != nil {
+			Walk(x.Dynamic, fn)
+		}
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+		for _, na := range x.NamedArgs {
+			Walk(na.Value, fn)
+		}
+		if x.Closure != nil {
+			Walk(x.Closure, fn)
+		}
+	case *ClosureLit:
+		Walk(x.Body, fn)
+	case *BinaryExpr:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	case *UnaryExpr:
+		Walk(x.X, fn)
+	case *TernaryExpr:
+		Walk(x.Cond, fn)
+		Walk(x.Then, fn)
+		Walk(x.Else, fn)
+	case *ElvisExpr:
+		Walk(x.Value, fn)
+		Walk(x.Default, fn)
+	case *NewExpr:
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	}
+}
+
+// WalkFile traverses every method body and top-level statement of f.
+func WalkFile(f *File, fn func(Node) bool) {
+	for _, m := range f.Methods {
+		Walk(m, fn)
+	}
+	for _, s := range f.Stmts {
+		Walk(s, fn)
+	}
+}

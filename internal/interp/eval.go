@@ -1,0 +1,297 @@
+package interp
+
+import (
+	"strconv"
+
+	"github.com/soteria-analysis/soteria/internal/capability"
+	"github.com/soteria-analysis/soteria/internal/groovy"
+	"github.com/soteria-analysis/soteria/internal/ir"
+)
+
+// eval evaluates an expression concretely.
+func (e *Env) eval(x groovy.Expr, frame map[string]Value) Value {
+	switch ex := x.(type) {
+	case *groovy.NumberLit:
+		return NumV(ex.Value)
+	case *groovy.StringLit:
+		return StrV(ex.Value)
+	case *groovy.BoolLit:
+		return BoolV(ex.Value)
+	case *groovy.NullLit:
+		return Value{}
+	case *groovy.GStringLit:
+		return e.evalGString(ex, frame)
+	case *groovy.Ident:
+		return e.evalIdent(ex, frame)
+	case *groovy.PropExpr:
+		return e.evalProp(ex, frame)
+	case *groovy.IndexExpr, *groovy.ListLit, *groovy.MapLit, *groovy.ClosureLit, *groovy.NewExpr:
+		return Value{}
+	case *groovy.UnaryExpr:
+		v := e.eval(ex.X, frame)
+		switch ex.Op {
+		case groovy.MINUS:
+			return NumV(-v.Num)
+		case groovy.NOT:
+			return BoolV(!v.truthy())
+		}
+		return Value{}
+	case *groovy.BinaryExpr:
+		return e.evalBinary(ex, frame)
+	case *groovy.TernaryExpr:
+		if e.eval(ex.Cond, frame).truthy() {
+			return e.eval(ex.Then, frame)
+		}
+		return e.eval(ex.Else, frame)
+	case *groovy.ElvisExpr:
+		v := e.eval(ex.Value, frame)
+		if v.truthy() {
+			return v
+		}
+		return e.eval(ex.Default, frame)
+	case *groovy.CallExpr:
+		return e.evalCall(ex, frame)
+	}
+	return Value{}
+}
+
+func (e *Env) evalIdent(id *groovy.Ident, frame map[string]Value) Value {
+	if v, ok := frame[id.Name]; ok {
+		return v
+	}
+	if v, ok := e.Config[id.Name]; ok {
+		return v
+	}
+	return Value{}
+}
+
+func (e *Env) evalProp(pe *groovy.PropExpr, frame map[string]Value) Value {
+	// evt.value and friends.
+	if id, ok := pe.Recv.(*groovy.Ident); ok && id.Name == e.evtParam && e.evtParam != "" {
+		switch pe.Name {
+		case "value", "stringValue":
+			return e.evtString()
+		case "doubleValue", "floatValue", "integerValue", "numberValue", "numericValue":
+			if n, err := strconv.ParseFloat(e.evtValue, 64); err == nil {
+				return NumV(n)
+			}
+			return Value{}
+		case "displayName", "name", "date":
+			return StrV(e.evtValue)
+		}
+	}
+	if f, ok := ir.StateFieldRef(pe); ok {
+		return e.State[f]
+	}
+	if h, attr, ok := ir.DeviceRead(e.App, pe); ok {
+		return e.deviceValue(h, attr)
+	}
+	// Conversion wrappers.
+	switch pe.Name {
+	case "integerValue", "floatValue", "doubleValue", "value":
+		return e.eval(pe.Recv, frame)
+	}
+	if id, ok := pe.Recv.(*groovy.Ident); ok && id.Name == "location" && pe.Name == "mode" {
+		return StrV(e.Devices["location.mode"])
+	}
+	return Value{}
+}
+
+// evtString returns the event value, numeric events as numbers.
+func (e *Env) evtString() Value {
+	if n, err := strconv.ParseFloat(e.evtValue, 64); err == nil {
+		return NumV(n)
+	}
+	return StrV(e.evtValue)
+}
+
+// deviceValue reads a device attribute from the concrete store.
+func (e *Env) deviceValue(handle, attr string) Value {
+	key, ok := e.capKeyFor(handle, attr)
+	if !ok {
+		return Value{}
+	}
+	raw, ok := e.Devices[key]
+	if !ok {
+		return Value{}
+	}
+	if n, err := strconv.ParseFloat(raw, 64); err == nil {
+		return NumV(n)
+	}
+	return StrV(raw)
+}
+
+func (e *Env) evalGString(g *groovy.GStringLit, frame map[string]Value) Value {
+	if s, static := g.StaticText(); static {
+		return StrV(s)
+	}
+	out := ""
+	for _, part := range g.Parts {
+		if part.IsExpr {
+			out += e.eval(part.Expr, frame).String()
+		} else {
+			out += part.Text
+		}
+	}
+	return StrV(out)
+}
+
+func (e *Env) evalBinary(b *groovy.BinaryExpr, frame map[string]Value) Value {
+	// Short-circuit booleans first.
+	switch b.Op {
+	case groovy.ANDAND:
+		if !e.eval(b.L, frame).truthy() {
+			return BoolV(false)
+		}
+		return BoolV(e.eval(b.R, frame).truthy())
+	case groovy.OROR:
+		if e.eval(b.L, frame).truthy() {
+			return BoolV(true)
+		}
+		return BoolV(e.eval(b.R, frame).truthy())
+	}
+	l := e.eval(b.L, frame)
+	r := e.eval(b.R, frame)
+	switch b.Op {
+	case groovy.PLUS:
+		if l.Kind == Str || r.Kind == Str {
+			return StrV(l.String() + r.String())
+		}
+		return NumV(l.Num + r.Num)
+	case groovy.MINUS:
+		return NumV(l.Num - r.Num)
+	case groovy.STAR:
+		return NumV(l.Num * r.Num)
+	case groovy.SLASH:
+		if r.Num == 0 {
+			return Value{}
+		}
+		return NumV(l.Num / r.Num)
+	case groovy.PERCENT:
+		if r.Num == 0 {
+			return Value{}
+		}
+		return NumV(float64(int64(l.Num) % int64(r.Num)))
+	case groovy.EQ:
+		return BoolV(equal(l, r))
+	case groovy.NEQ:
+		return BoolV(!equal(l, r))
+	case groovy.LT:
+		return BoolV(l.Num < r.Num)
+	case groovy.LEQ:
+		return BoolV(l.Num <= r.Num)
+	case groovy.GT:
+		return BoolV(l.Num > r.Num)
+	case groovy.GEQ:
+		return BoolV(l.Num >= r.Num)
+	}
+	return Value{}
+}
+
+func (e *Env) evalCall(c *groovy.CallExpr, frame map[string]Value) Value {
+	// Reflection: resolve the callee string concretely.
+	if c.Dynamic != nil {
+		name := e.eval(c.Dynamic, frame)
+		if name.Kind == Str && e.App.File.MethodByName(name.Str) != nil {
+			return e.callMethod(name.Str, c.Args, frame)
+		}
+		return Value{}
+	}
+	// Device actions.
+	if perm, cmdName, call, ok := ir.DeviceAction(e.App, c); ok {
+		e.applyAction(perm, cmdName, call, frame)
+		return Value{}
+	}
+	// Device reads.
+	if h, attr, ok := ir.DeviceRead(e.App, c); ok {
+		return e.deviceValue(h, attr)
+	}
+	// App methods.
+	if c.Recv == nil && e.App.File.MethodByName(c.Name) != nil {
+		return e.callMethod(c.Name, c.Args, frame)
+	}
+	// Conversion wrappers on receivers.
+	if c.Recv != nil {
+		switch c.Name {
+		case "toInteger", "toFloat", "toDouble", "toString":
+			return e.eval(c.Recv, frame)
+		}
+	}
+	// Platform calls (logging, notifications, scheduling) are no-ops.
+	// Arguments are still evaluated for their effects.
+	for _, a := range c.Args {
+		e.eval(a, frame)
+	}
+	return Value{}
+}
+
+func (e *Env) callMethod(name string, args []groovy.Expr, frame map[string]Value) Value {
+	if e.depth >= maxDepth {
+		e.fail("recursion limit in %s", name)
+		return Value{}
+	}
+	m := e.App.File.MethodByName(name)
+	callee := map[string]Value{}
+	for i, p := range m.Params {
+		if i < len(args) {
+			callee[p] = e.eval(args[i], frame)
+		} else {
+			callee[p] = Value{}
+		}
+	}
+	e.depth++
+	v, _ := e.execBlock(m.Body, callee)
+	e.depth--
+	return v
+}
+
+// applyAction applies a device command to the concrete store and logs
+// it.
+func (e *Env) applyAction(perm *ir.Permission, cmdName string, call *groovy.CallExpr, frame map[string]Value) {
+	record := func(capName, attr, value string) {
+		e.Devices[capName+"."+attr] = value
+		e.Trace = append(e.Trace, Action{Cap: capName, Attr: attr, Value: value})
+	}
+	if perm == nil {
+		// setLocationMode(mode).
+		if len(call.Args) > 0 {
+			v := e.eval(call.Args[0], frame)
+			record("location", "mode", v.String())
+		}
+		return
+	}
+	cmd, _ := perm.Cap.Command(cmdName)
+	for _, eff := range cmd.Effects {
+		record(perm.Cap.Name, eff.Attr, eff.Value)
+	}
+	if cmd.ArgAttr != "" && len(call.Args) > 0 {
+		v := e.eval(call.Args[0], frame)
+		record(perm.Cap.Name, cmd.ArgAttr, v.String())
+	}
+}
+
+// DefaultDevices returns a concrete initial device assignment for an
+// app: the first enum value of each attribute, zero for numerics.
+func DefaultDevices(app *ir.App) map[string]string {
+	out := map[string]string{}
+	for _, p := range app.Devices() {
+		if p.Cap == nil {
+			continue
+		}
+		for _, a := range p.Cap.Attributes {
+			key := p.Cap.Name + "." + a.Name
+			switch a.Kind {
+			case capability.Enum:
+				if len(a.Values) > 0 {
+					out[key] = a.Values[0]
+				}
+			case capability.Numeric:
+				out[key] = "0"
+			}
+		}
+	}
+	if app.SubscribesToMode() {
+		out["location.mode"] = "home"
+	}
+	return out
+}

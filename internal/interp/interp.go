@@ -1,0 +1,287 @@
+// Package interp is a concrete interpreter for SmartThings apps: it
+// executes event handlers on a concrete environment (device states,
+// install-time configuration, persistent state variables) and applies
+// device actions.
+//
+// Its role in the reproduction is differential validation of the
+// static analysis: the state model extracted by internal/statemodel is
+// a sound over-approximation, so every concrete step the interpreter
+// takes must be simulated by a model transition. The differential
+// tests drive random event sequences through both and compare
+// (paper §6.2's manual true-positive verification, automated).
+package interp
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/soteria-analysis/soteria/internal/groovy"
+	"github.com/soteria-analysis/soteria/internal/ir"
+)
+
+// Value is a concrete Groovy value.
+type Value struct {
+	Kind ValKind
+	Num  float64
+	Str  string
+	Bool bool
+}
+
+// ValKind tags concrete values.
+type ValKind int
+
+// Value kinds.
+const (
+	Null ValKind = iota
+	Num
+	Str
+	Bool
+)
+
+// NumV, StrV, BoolV construct concrete values.
+func NumV(v float64) Value { return Value{Kind: Num, Num: v} }
+func StrV(s string) Value  { return Value{Kind: Str, Str: s} }
+func BoolV(b bool) Value   { return Value{Kind: Bool, Bool: b} }
+
+func (v Value) String() string {
+	switch v.Kind {
+	case Num:
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	case Str:
+		return v.Str
+	case Bool:
+		return strconv.FormatBool(v.Bool)
+	}
+	return "null"
+}
+
+// truthy implements Groovy truth: null and empty strings are false,
+// zero is false.
+func (v Value) truthy() bool {
+	switch v.Kind {
+	case Bool:
+		return v.Bool
+	case Num:
+		return v.Num != 0
+	case Str:
+		return v.Str != ""
+	}
+	return false
+}
+
+// Action is one concrete device actuation.
+type Action struct {
+	Cap   string
+	Attr  string
+	Value string
+}
+
+// Env is a concrete execution environment for one app.
+type Env struct {
+	App *ir.App
+	// Devices maps "capability.attribute" (the state model's canonical
+	// keys) to the current concrete value; numeric attributes are
+	// stored as their decimal rendering.
+	Devices map[string]string
+	// Config holds install-time user inputs by handle.
+	Config map[string]Value
+	// State holds the persistent state/atomicState fields.
+	State map[string]Value
+	// Trace accumulates the actions of the last Fire call.
+	Trace []Action
+
+	depth    int
+	err      error
+	evtValue string
+	evtParam string
+}
+
+// NewEnv creates an environment with the given device state and
+// configuration.
+func NewEnv(app *ir.App, devices map[string]string, config map[string]Value) *Env {
+	d := map[string]string{}
+	for k, v := range devices {
+		d[k] = v
+	}
+	c := map[string]Value{}
+	for k, v := range config {
+		c[k] = v
+	}
+	return &Env{App: app, Devices: d, Config: c, State: map[string]Value{}}
+}
+
+// capKeyFor maps a device handle and attribute to the canonical key.
+func (e *Env) capKeyFor(handle, attr string) (string, bool) {
+	if handle == "location" {
+		return "location." + attr, true
+	}
+	p, ok := e.App.PermissionByHandle(handle)
+	if !ok || p.Cap == nil {
+		return "", false
+	}
+	return p.Cap.Name + "." + attr, true
+}
+
+// Fire delivers one event: it sets the triggering attribute to the
+// event value (device and mode events), then runs the subscription's
+// handler concretely. The returned actions are also applied to
+// Devices.
+func (e *Env) Fire(sub ir.Subscription, value string) ([]Action, error) {
+	e.Trace = nil
+	e.err = nil
+	switch sub.Kind {
+	case ir.DeviceEvent:
+		if key, ok := e.capKeyFor(sub.Handle, sub.Attr); ok {
+			e.Devices[key] = value
+		}
+	case ir.ModeEvent:
+		e.Devices["location.mode"] = value
+	}
+	h := e.App.File.MethodByName(sub.Handler)
+	if h == nil {
+		return nil, fmt.Errorf("interp: handler %q not found", sub.Handler)
+	}
+	frame := map[string]Value{}
+	e.evtValue = value
+	e.evtParam = ""
+	if len(h.Params) > 0 {
+		e.evtParam = h.Params[0]
+	}
+	e.execBlock(h.Body, frame)
+	return e.Trace, e.err
+}
+
+func (e *Env) fail(format string, args ...any) {
+	if e.err == nil {
+		e.err = fmt.Errorf("interp: "+format, args...)
+	}
+}
+
+const maxDepth = 16
+
+// execBlock executes statements; returns the return value if a return
+// statement ran (nil otherwise), with doneReturn indicating it.
+func (e *Env) execBlock(b *groovy.Block, frame map[string]Value) (Value, bool) {
+	if b == nil {
+		return Value{}, false
+	}
+	for _, s := range b.Stmts {
+		if v, done := e.execStmt(s, frame); done {
+			return v, true
+		}
+		if e.err != nil {
+			return Value{}, false
+		}
+	}
+	return Value{}, false
+}
+
+func (e *Env) execStmt(s groovy.Stmt, frame map[string]Value) (Value, bool) {
+	switch st := s.(type) {
+	case *groovy.ExprStmt:
+		e.eval(st.X, frame)
+	case *groovy.DeclStmt:
+		if st.Init != nil {
+			frame[st.Name] = e.eval(st.Init, frame)
+		} else {
+			frame[st.Name] = Value{}
+		}
+	case *groovy.AssignStmt:
+		v := e.eval(st.RHS, frame)
+		e.assign(st.LHS, v, st.Op, frame)
+	case *groovy.IncDecStmt:
+		if id, ok := st.X.(*groovy.Ident); ok {
+			cur := frame[id.Name]
+			d := 1.0
+			if st.Decr {
+				d = -1
+			}
+			frame[id.Name] = NumV(cur.Num + d)
+		} else if f, ok := ir.StateFieldRef(st.X); ok {
+			cur := e.State[f]
+			d := 1.0
+			if st.Decr {
+				d = -1
+			}
+			e.State[f] = NumV(cur.Num + d)
+		}
+	case *groovy.IfStmt:
+		if e.eval(st.Cond, frame).truthy() {
+			return e.execBlock(st.Then, frame)
+		}
+		if st.Else != nil {
+			switch el := st.Else.(type) {
+			case *groovy.Block:
+				return e.execBlock(el, frame)
+			default:
+				return e.execStmt(el, frame)
+			}
+		}
+	case *groovy.WhileStmt:
+		for i := 0; i < 100 && e.eval(st.Cond, frame).truthy(); i++ {
+			if v, done := e.execBlock(st.Body, frame); done {
+				return v, true
+			}
+			if e.err != nil {
+				return Value{}, false
+			}
+		}
+	case *groovy.ForInStmt:
+		// Collections are not modeled concretely; execute the body once
+		// with a null loop variable (mirrors the static analysis).
+		frame[st.Var] = Value{}
+		return e.execBlock(st.Body, frame)
+	case *groovy.SwitchStmt:
+		tag := e.eval(st.Tag, frame)
+		var defaultBody []groovy.Stmt
+		for _, c := range st.Cases {
+			if c.Value == nil {
+				defaultBody = c.Body
+				continue
+			}
+			if equal(tag, e.eval(c.Value, frame)) {
+				return e.execBlock(&groovy.Block{Stmts: c.Body}, frame)
+			}
+		}
+		if defaultBody != nil {
+			return e.execBlock(&groovy.Block{Stmts: defaultBody}, frame)
+		}
+	case *groovy.ReturnStmt:
+		if st.X != nil {
+			return e.eval(st.X, frame), true
+		}
+		return Value{}, true
+	case *groovy.BreakStmt, *groovy.ContinueStmt:
+		// Loops run bounded; treat as end of iteration.
+	case *groovy.Block:
+		return e.execBlock(st, frame)
+	}
+	return Value{}, false
+}
+
+func (e *Env) assign(lhs groovy.Expr, v Value, op groovy.TokKind, frame map[string]Value) {
+	apply := func(cur Value) Value {
+		switch op {
+		case groovy.PLUSASSIGN:
+			return NumV(cur.Num + v.Num)
+		case groovy.MINUSASSIGN:
+			return NumV(cur.Num - v.Num)
+		}
+		return v
+	}
+	switch l := lhs.(type) {
+	case *groovy.Ident:
+		frame[l.Name] = apply(frame[l.Name])
+	case *groovy.PropExpr:
+		if f, ok := ir.StateFieldRef(l); ok {
+			e.State[f] = apply(e.State[f])
+		}
+	}
+}
+
+func equal(a, b Value) bool {
+	if a.Kind == Num && b.Kind == Num {
+		return a.Num == b.Num
+	}
+	return a.String() == b.String() && a.Kind == b.Kind
+}

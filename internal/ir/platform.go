@@ -1,0 +1,141 @@
+package ir
+
+import (
+	"strings"
+	"unicode"
+
+	"github.com/soteria-analysis/soteria/internal/groovy"
+)
+
+// DeviceRead recognises the SmartThings interfaces that read a device
+// attribute value (paper §4.2.3, "Platform-specific Interfaces"):
+//
+//	dev.currentValue("attr")
+//	dev.currentState("attr")         // .value wrapper also accepted
+//	dev.currentAttr                  // e.g. dev.currentTemperature
+//	dev.latestValue("attr")
+//
+// plus numeric conversion wrappers around any of them (.integerValue,
+// .floatValue, .toInteger(), .toFloat(), .toDouble()). It returns the
+// device handle and attribute read, with ok=false when e is not a
+// device read on a declared device of the app.
+func DeviceRead(app *App, e groovy.Expr) (handle, attr string, ok bool) {
+	e = unwrapConversions(e)
+	switch x := e.(type) {
+	case *groovy.CallExpr:
+		recv, isIdent := x.Recv.(*groovy.Ident)
+		if !isIdent {
+			return "", "", false
+		}
+		switch x.Name {
+		case "currentValue", "currentState", "latestValue", "latestState":
+			if len(x.Args) != 1 {
+				return "", "", false
+			}
+			a, isStr := groovy.StringValue(x.Args[0])
+			if !isStr {
+				return "", "", false
+			}
+			if !app.isDeviceHandle(recv.Name) {
+				return "", "", false
+			}
+			return recv.Name, a, true
+		}
+	case *groovy.PropExpr:
+		recv, isIdent := x.Recv.(*groovy.Ident)
+		if !isIdent {
+			return "", "", false
+		}
+		if strings.HasPrefix(x.Name, "current") && len(x.Name) > len("current") {
+			if !app.isDeviceHandle(recv.Name) {
+				return "", "", false
+			}
+			return recv.Name, lowerFirst(strings.TrimPrefix(x.Name, "current")), true
+		}
+	}
+	return "", "", false
+}
+
+// unwrapConversions strips numeric conversion wrappers and the .value
+// accessor of currentState results.
+func unwrapConversions(e groovy.Expr) groovy.Expr {
+	for {
+		switch x := e.(type) {
+		case *groovy.PropExpr:
+			switch x.Name {
+			case "integerValue", "floatValue", "doubleValue", "value":
+				e = x.Recv
+				continue
+			}
+		case *groovy.CallExpr:
+			switch x.Name {
+			case "toInteger", "toFloat", "toDouble", "toBigDecimal":
+				if x.Recv != nil {
+					e = x.Recv
+					continue
+				}
+			}
+		}
+		return e
+	}
+}
+
+func lowerFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	r := []rune(s)
+	r[0] = unicode.ToLower(r[0])
+	return string(r)
+}
+
+func (a *App) isDeviceHandle(name string) bool {
+	p, ok := a.PermissionByHandle(name)
+	return ok && p.Kind == Device
+}
+
+// StateFieldRef recognises state.X / atomicState.X accesses and
+// returns the field name.
+func StateFieldRef(e groovy.Expr) (field string, ok bool) {
+	pe, isProp := e.(*groovy.PropExpr)
+	if !isProp {
+		return "", false
+	}
+	id, isIdent := pe.Recv.(*groovy.Ident)
+	if !isIdent {
+		return "", false
+	}
+	if id.Name == "state" || id.Name == "atomicState" {
+		return pe.Name, true
+	}
+	return "", false
+}
+
+// DeviceAction recognises a device action call `handle.command(args)`
+// on a declared device, or the abstract setLocationMode action.
+// It returns the device permission and the command name.
+func DeviceAction(app *App, e groovy.Expr) (perm *Permission, command string, call *groovy.CallExpr, ok bool) {
+	c, isCall := e.(*groovy.CallExpr)
+	if !isCall {
+		return nil, "", nil, false
+	}
+	if c.Recv == nil {
+		// Abstract action: setLocationMode("home").
+		if c.Name == "setLocationMode" || c.Name == "sendLocationEvent" {
+			return nil, "setLocationMode", c, true
+		}
+		return nil, "", nil, false
+	}
+	recv, isIdent := c.Recv.(*groovy.Ident)
+	if !isIdent {
+		return nil, "", nil, false
+	}
+	p, found := app.PermissionByHandle(recv.Name)
+	if !found || p.Kind != Device || p.Cap == nil {
+		return nil, "", nil, false
+	}
+	if _, isCmd := p.Cap.Command(c.Name); !isCmd {
+		return nil, "", nil, false
+	}
+	return p, c.Name, c, true
+}

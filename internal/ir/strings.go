@@ -1,0 +1,123 @@
+package ir
+
+import (
+	"github.com/soteria-analysis/soteria/internal/groovy"
+)
+
+// ReflectionTargets performs the string analysis the paper's §7 plans
+// as future work: for a call by reflection `"$name"()`, it statically
+// collects the possible values of the interpolated variable and, when
+// every assignment to it in the app is a compile-time constant,
+// returns the resolved target-method names. ok=false means the value
+// set could not be bounded (e.g. it flows from httpGet) and the caller
+// must fall back to the all-methods over-approximation (§4.2.3).
+func ReflectionTargets(app *App, gs *groovy.GStringLit) ([]string, bool) {
+	// Fully static callee: a single known name.
+	if name, static := gs.StaticText(); static {
+		return []string{name}, true
+	}
+	// Supported shape: optional literal prefix/suffix around exactly
+	// one interpolated expression ("pre${v}post").
+	prefix, suffix := "", ""
+	var expr groovy.Expr
+	for _, part := range gs.Parts {
+		if !part.IsExpr {
+			if expr == nil {
+				prefix += part.Text
+			} else {
+				suffix += part.Text
+			}
+			continue
+		}
+		if expr != nil {
+			return nil, false // two interpolations: give up
+		}
+		expr = part.Expr
+	}
+	if expr == nil {
+		return nil, false
+	}
+	values, ok := possibleStringValues(app, expr)
+	if !ok || len(values) == 0 {
+		return nil, false
+	}
+	out := make([]string, 0, len(values))
+	for _, v := range values {
+		out = append(out, prefix+v+suffix)
+	}
+	return out, true
+}
+
+// possibleStringValues bounds the compile-time string values an
+// expression can take: constants directly, or — for a local/state
+// variable — the set of constant right-hand sides assigned to it
+// anywhere in the app, provided no assignment is non-constant and the
+// name is not externally supplied (parameter or user input).
+func possibleStringValues(app *App, e groovy.Expr) ([]string, bool) {
+	if s, ok := groovy.StringValue(e); ok {
+		return []string{s}, true
+	}
+	var match func(lhs groovy.Expr) bool
+	switch x := e.(type) {
+	case *groovy.Ident:
+		name := x.Name
+		if _, isPerm := app.PermissionByHandle(name); isPerm {
+			return nil, false // install-time value: unbounded
+		}
+		for _, m := range app.File.Methods {
+			for _, p := range m.Params {
+				if p == name {
+					return nil, false // caller-supplied: unbounded here
+				}
+			}
+		}
+		match = func(lhs groovy.Expr) bool {
+			id, ok := lhs.(*groovy.Ident)
+			return ok && id.Name == name
+		}
+	case *groovy.PropExpr:
+		field, ok := StateFieldRef(x)
+		if !ok {
+			return nil, false
+		}
+		match = func(lhs groovy.Expr) bool {
+			f, ok := StateFieldRef(lhs)
+			return ok && f == field
+		}
+	default:
+		return nil, false
+	}
+
+	var values []string
+	bounded := true
+	seen := map[string]bool{}
+	add := func(rhs groovy.Expr) {
+		if s, ok := groovy.StringValue(rhs); ok {
+			if !seen[s] {
+				seen[s] = true
+				values = append(values, s)
+			}
+			return
+		}
+		bounded = false
+	}
+	groovy.WalkFile(app.File, func(n groovy.Node) bool {
+		switch s := n.(type) {
+		case *groovy.AssignStmt:
+			if s.Op == groovy.ASSIGN && match(s.LHS) {
+				add(s.RHS)
+			} else if match(s.LHS) {
+				bounded = false // += etc.
+			}
+		case *groovy.DeclStmt:
+			if id, ok := e.(*groovy.Ident); ok && s.Name == id.Name && s.Init != nil {
+				add(s.Init)
+			}
+		}
+		return true
+	})
+	if !bounded {
+		return nil, false
+	}
+	return values, true
+}

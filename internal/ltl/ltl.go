@@ -1,0 +1,315 @@
+// Package ltl implements linear temporal logic model checking, the
+// second temporal logic the paper names (§2: "properties can be
+// written in temporal logic formulas such as Linear Temporal Logic
+// (LTL) or Computational Tree Logic (CTL)"; NuSMV checks both).
+//
+// Checking uses the automata-theoretic approach: the negation of the
+// property is translated to a generalized Büchi automaton with the
+// classic tableau construction (Gerth–Peled–Vardi–Wolper), the
+// automaton is producted with the Kripke structure, and emptiness is
+// decided by SCC analysis; a non-empty product yields a lasso
+// counterexample.
+package ltl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Formula is an LTL formula. The exported constructors build the
+// standard operators; internally formulas are normalised to negation
+// normal form over {Prop, ¬Prop, ∧, ∨, X, U, R}.
+type Formula interface {
+	String() string
+}
+
+// Prop is an atomic proposition.
+type Prop struct{ Name string }
+
+// NProp is a negated atomic proposition (negation normal form).
+type NProp struct{ Name string }
+
+// TrueF and FalseF are constants.
+type TrueF struct{}
+
+// FalseF is the constant false.
+type FalseF struct{}
+
+// And is conjunction.
+type And struct{ L, R Formula }
+
+// Or is disjunction.
+type Or struct{ L, R Formula }
+
+// Next is the X operator.
+type Next struct{ X Formula }
+
+// Until is the (strong) U operator.
+type Until struct{ L, R Formula }
+
+// Release is the R operator (dual of U).
+type Release struct{ L, R Formula }
+
+func (p Prop) String() string    { return fmt.Sprintf("%q", p.Name) }
+func (p NProp) String() string   { return "!" + fmt.Sprintf("%q", p.Name) }
+func (TrueF) String() string     { return "true" }
+func (FalseF) String() string    { return "false" }
+func (f And) String() string     { return "(" + f.L.String() + " & " + f.R.String() + ")" }
+func (f Or) String() string      { return "(" + f.L.String() + " | " + f.R.String() + ")" }
+func (f Next) String() string    { return "X " + f.X.String() }
+func (f Until) String() string   { return "(" + f.L.String() + " U " + f.R.String() + ")" }
+func (f Release) String() string { return "(" + f.L.String() + " R " + f.R.String() + ")" }
+
+// Derived constructors.
+
+// F is the eventually operator: F f = true U f.
+func F(f Formula) Formula { return Until{L: TrueF{}, R: f} }
+
+// G is the globally operator: G f = false R f.
+func G(f Formula) Formula { return Release{L: FalseF{}, R: f} }
+
+// Not negates a formula, pushing the negation to the propositions.
+func Not(f Formula) Formula {
+	switch x := f.(type) {
+	case Prop:
+		return NProp{Name: x.Name}
+	case NProp:
+		return Prop{Name: x.Name}
+	case TrueF:
+		return FalseF{}
+	case FalseF:
+		return TrueF{}
+	case And:
+		return Or{L: Not(x.L), R: Not(x.R)}
+	case Or:
+		return And{L: Not(x.L), R: Not(x.R)}
+	case Next:
+		return Next{X: Not(x.X)}
+	case Until:
+		return Release{L: Not(x.L), R: Not(x.R)}
+	case Release:
+		return Until{L: Not(x.L), R: Not(x.R)}
+	}
+	panic(fmt.Sprintf("ltl: Not(%T)", f))
+}
+
+// Implies builds f -> g as ¬f ∨ g.
+func Implies(f, g Formula) Formula { return Or{L: Not(f), R: g} }
+
+// ---------------------------------------------------------------------------
+// Parser
+//
+// Grammar (precedence low→high):
+//
+//	f ::= f '->' f | f '|' f | f '&' f
+//	    | 'X' f | 'F' f | 'G' f | '!' f
+//	    | f 'U' f | f 'R' f                (binary temporal, left assoc)
+//	    | '(' f ')' | 'true' | 'false' | prop
+type parser struct {
+	src string
+	pos int
+}
+
+// Parse parses an LTL formula. Propositions are double-quoted strings
+// or bare word tokens, as in the ctl package.
+func Parse(src string) (Formula, error) {
+	p := &parser{src: src}
+	f, err := p.parseImplies()
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("ltl: trailing input at %d: %q", p.pos, p.src[p.pos:])
+	}
+	return f, nil
+}
+
+// MustParse panics on parse errors.
+func MustParse(src string) Formula {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func (p *parser) skipWS() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *parser) peekWord() string {
+	p.skipWS()
+	i := p.pos
+	for i < len(p.src) && isWordChar(p.src[i]) {
+		i++
+	}
+	return p.src[p.pos:i]
+}
+
+func isWordChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '_' || c == '.' || c == '=' || c == '<' || c == '>' || c == ':'
+}
+
+func (p *parser) eat(s string) bool {
+	p.skipWS()
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseImplies() (Formula, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	if p.eat("->") {
+		r, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		return Implies(l, r), nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseOr() (Formula, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipWS()
+		if p.pos < len(p.src) && p.src[p.pos] == '|' {
+			p.pos++
+			r, err := p.parseAnd()
+			if err != nil {
+				return nil, err
+			}
+			l = Or{L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseAnd() (Formula, error) {
+	l, err := p.parseBinaryTemporal()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipWS()
+		if p.pos < len(p.src) && p.src[p.pos] == '&' {
+			p.pos++
+			r, err := p.parseBinaryTemporal()
+			if err != nil {
+				return nil, err
+			}
+			l = And{L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseBinaryTemporal() (Formula, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peekWord() {
+		case "U":
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = Until{L: l, R: r}
+		case "R":
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = Release{L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Formula, error) {
+	p.skipWS()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("ltl: unexpected end of formula")
+	}
+	switch {
+	case p.src[p.pos] == '!':
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(x), nil
+	case p.src[p.pos] == '(':
+		p.pos++
+		f, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		p.skipWS()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, fmt.Errorf("ltl: missing ')' at %d", p.pos)
+		}
+		p.pos++
+		return f, nil
+	case p.src[p.pos] == '"':
+		start := p.pos
+		p.pos++
+		var sb strings.Builder
+		for p.pos < len(p.src) && p.src[p.pos] != '"' {
+			sb.WriteByte(p.src[p.pos])
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("ltl: unterminated proposition at %d", start)
+		}
+		p.pos++
+		return Prop{Name: sb.String()}, nil
+	}
+	w := p.peekWord()
+	switch w {
+	case "X", "F", "G":
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		switch w {
+		case "X":
+			return Next{X: x}, nil
+		case "F":
+			return F(x), nil
+		default:
+			return G(x), nil
+		}
+	case "true":
+		p.pos += 4
+		return TrueF{}, nil
+	case "false":
+		p.pos += 5
+		return FalseF{}, nil
+	case "", "U", "R":
+		return nil, fmt.Errorf("ltl: unexpected token at %d", p.pos)
+	}
+	p.pos += len(w)
+	return Prop{Name: w}, nil
+}

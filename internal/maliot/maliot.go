@@ -1,0 +1,210 @@
+// Package maliot is the MalIoT test corpus (paper §6, Appendix C): 17
+// hand-crafted flawed SmartThings apps with ground-truth property
+// violations, including single-app flaws, multi-app interaction
+// clusters, call-by-reflection traps, and two apps whose issues
+// (dynamic permissions, sensitive data leaks) are outside Soteria's
+// scope. Each app's ground truth is machine-readable so the suite can
+// score Soteria's precision exactly as the paper does: 20 ground-truth
+// violations, 17 detectable statically, one expected false positive.
+package maliot
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/soteria-analysis/soteria/internal/core"
+	"github.com/soteria-analysis/soteria/internal/ir"
+)
+
+// Outcome classifies the expected analysis result for an app.
+type Outcome int
+
+// Expected outcomes (Appendix C's result column).
+const (
+	// TruePositive: Soteria must report every Expected ID.
+	TruePositive Outcome = iota
+	// FalsePositive: the Expected IDs are reported although the flaw
+	// is not reachable at run time (App5's reflection trap).
+	FalsePositive
+	// DynamicRequired: the flaw exists but needs run-time analysis
+	// (App9); Soteria must stay silent.
+	DynamicRequired
+	// OutOfScope: the flaw is outside the threat model (App10 dynamic
+	// permissions, App11 data leaks); Soteria must stay silent.
+	OutOfScope
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case TruePositive:
+		return "true-positive"
+	case FalsePositive:
+		return "false-positive"
+	case DynamicRequired:
+		return "dynamic-analysis-required"
+	case OutOfScope:
+		return "out-of-scope"
+	}
+	return "unknown"
+}
+
+// App is one MalIoT test app.
+type App struct {
+	ID          string // "App1".."App17"
+	Name        string
+	Description string // Appendix C description
+	Source      string
+	// Cluster groups apps analyzed together (multi-app violations);
+	// empty means the app is analyzed alone.
+	Cluster string
+	// Expected lists the property IDs Soteria must report when the
+	// app (or its cluster) is analyzed. For DynamicRequired/OutOfScope
+	// apps it lists the *real* violations Soteria is expected to miss.
+	Expected []string
+	Outcome  Outcome
+	// GroundTruthViolations counts this app's contribution to the
+	// suite's 20 ground-truth violations.
+	GroundTruthViolations int
+	Details               string // program-analysis features exercised
+}
+
+// Suite returns the 17 apps in order.
+func Suite() []App { return suite }
+
+// AppByID returns the app with the given ID.
+func AppByID(id string) (App, bool) {
+	for _, a := range suite {
+		if a.ID == id {
+			return a, true
+		}
+	}
+	return App{}, false
+}
+
+// Clusters returns the cluster names with their member app IDs, in
+// deterministic order.
+func Clusters() map[string][]string {
+	out := map[string][]string{}
+	for _, a := range suite {
+		if a.Cluster != "" {
+			out[a.Cluster] = append(out[a.Cluster], a.ID)
+		}
+	}
+	return out
+}
+
+// AppResult is one row of a suite run.
+type AppResult struct {
+	App      App
+	Reported []string // property IDs Soteria reported for the app/cluster
+	// Detected counts expected IDs that were reported.
+	Detected int
+	// Correct is whether the outcome matches the ground truth:
+	// TruePositive/FalsePositive apps must have all Expected IDs
+	// reported; DynamicRequired/OutOfScope apps must have none of
+	// their real violations reported.
+	Correct bool
+}
+
+// SuiteResult aggregates a full run.
+type SuiteResult struct {
+	Apps []AppResult
+	// GroundTruth is the total ground-truth violation count (20).
+	GroundTruth int
+	// Identified is the number of ground-truth violations Soteria
+	// found (the paper's 17).
+	Identified int
+	// FalsePositives counts reported-but-unreal violations (the
+	// paper's one, App5).
+	FalsePositives int
+}
+
+// Run analyzes the whole suite: single apps alone, clustered apps as
+// environments, and scores the results against the ground truth.
+func Run() (*SuiteResult, error) {
+	opts := core.DefaultOptions()
+
+	// Pre-analyze clusters.
+	clusterViolations := map[string]map[string]bool{}
+	names := sortedKeys(Clusters())
+	for _, cname := range names {
+		var apps []*ir.App
+		for _, id := range Clusters()[cname] {
+			a, _ := AppByID(id)
+			app, err := ir.BuildSource(a.Name, a.Source)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", a.ID, err)
+			}
+			apps = append(apps, app)
+		}
+		an, err := core.AnalyzeApps(opts, apps...)
+		if err != nil {
+			return nil, fmt.Errorf("cluster %s: %w", cname, err)
+		}
+		set := map[string]bool{}
+		for _, id := range an.ViolatedIDs() {
+			set[id] = true
+		}
+		clusterViolations[cname] = set
+	}
+
+	res := &SuiteResult{}
+	for _, a := range suite {
+		var reported map[string]bool
+		if a.Cluster != "" {
+			reported = clusterViolations[a.Cluster]
+		} else {
+			app, err := ir.BuildSource(a.Name, a.Source)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", a.ID, err)
+			}
+			an, err := core.AnalyzeApps(opts, app)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", a.ID, err)
+			}
+			reported = map[string]bool{}
+			for _, id := range an.ViolatedIDs() {
+				reported[id] = true
+			}
+		}
+
+		row := AppResult{App: a, Reported: sortedKeys(reported)}
+		for _, want := range a.Expected {
+			if reported[want] {
+				row.Detected++
+			}
+		}
+		res.GroundTruth += a.GroundTruthViolations
+
+		switch a.Outcome {
+		case TruePositive:
+			row.Correct = row.Detected == len(a.Expected)
+			res.Identified += min(row.Detected, a.GroundTruthViolations)
+		case FalsePositive:
+			row.Correct = row.Detected == len(a.Expected)
+			if row.Correct {
+				res.FalsePositives += len(a.Expected)
+			}
+		case DynamicRequired, OutOfScope:
+			row.Correct = len(row.Reported) == 0
+		}
+		res.Apps = append(res.Apps, row)
+	}
+	return res, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

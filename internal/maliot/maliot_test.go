@@ -1,0 +1,127 @@
+package maliot
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/soteria-analysis/soteria/internal/ir"
+)
+
+func TestSuiteShape(t *testing.T) {
+	apps := Suite()
+	if len(apps) != 17 {
+		t.Fatalf("suite has %d apps, want 17", len(apps))
+	}
+	gt := 0
+	seen := map[string]bool{}
+	for i, a := range apps {
+		wantID := "App" + itoa(i+1)
+		if a.ID != wantID {
+			t.Errorf("app %d has ID %s, want %s", i, a.ID, wantID)
+		}
+		if seen[a.ID] {
+			t.Errorf("duplicate %s", a.ID)
+		}
+		seen[a.ID] = true
+		if a.Source == "" || a.Description == "" {
+			t.Errorf("%s: missing source or description", a.ID)
+		}
+		if !strings.Contains(a.Source, "Ground truth") {
+			t.Errorf("%s: source lacks ground-truth comment block", a.ID)
+		}
+		gt += a.GroundTruthViolations
+	}
+	// The paper's corpus: 20 unique violations across the 17 apps.
+	if gt != 20 {
+		t.Errorf("ground-truth violations = %d, want 20", gt)
+	}
+}
+
+func TestAllAppsParse(t *testing.T) {
+	for _, a := range Suite() {
+		app, err := ir.BuildSource(a.Name, a.Source)
+		if err != nil {
+			t.Errorf("%s: parse error: %v", a.ID, err)
+			continue
+		}
+		if app.Name != a.Name {
+			t.Errorf("%s: definition name = %q", a.ID, app.Name)
+		}
+	}
+}
+
+func TestClusters(t *testing.T) {
+	cl := Clusters()
+	want := map[string][]string{
+		"motion-lights": {"App1", "App15"},
+		"fire-lock":     {"App12", "App13", "App14"},
+		"sleep-mode":    {"App16", "App17"},
+	}
+	if len(cl) != len(want) {
+		t.Fatalf("clusters = %v", cl)
+	}
+	for name, members := range want {
+		got := cl[name]
+		if len(got) != len(members) {
+			t.Errorf("cluster %s = %v, want %v", name, got, members)
+			continue
+		}
+		for i := range members {
+			if got[i] != members[i] {
+				t.Errorf("cluster %s = %v, want %v", name, got, members)
+			}
+		}
+	}
+}
+
+// TestRunMatchesPaperHeadline reproduces §6.2: Soteria identifies 17
+// of the 20 unique property violations, produces one false positive
+// (App5, reflection), and stays silent on App9 (dynamic analysis
+// required), App10 and App11 (out of scope).
+func TestRunMatchesPaperHeadline(t *testing.T) {
+	res, err := Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GroundTruth != 20 {
+		t.Errorf("ground truth = %d, want 20", res.GroundTruth)
+	}
+	if res.Identified != 17 {
+		for _, r := range res.Apps {
+			t.Logf("%s expected=%v reported=%v detected=%d correct=%t",
+				r.App.ID, r.App.Expected, r.Reported, r.Detected, r.Correct)
+		}
+		t.Errorf("identified = %d, want 17", res.Identified)
+	}
+	if res.FalsePositives != 1 {
+		t.Errorf("false positives = %d, want 1", res.FalsePositives)
+	}
+	for _, r := range res.Apps {
+		if !r.Correct {
+			t.Errorf("%s: incorrect outcome; expected=%v (%s) reported=%v",
+				r.App.ID, r.App.Expected, r.App.Outcome, r.Reported)
+		}
+	}
+}
+
+func TestAppByID(t *testing.T) {
+	a, ok := AppByID("App5")
+	if !ok || a.Outcome != FalsePositive {
+		t.Errorf("App5 = %+v, ok=%t", a, ok)
+	}
+	if _, ok := AppByID("App99"); ok {
+		t.Error("App99 should not exist")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,780 @@
+package market
+
+import "fmt"
+
+// The remainder of the corpus is synthesised from behaviour templates,
+// mirroring how real market apps cluster around a handful of recipes
+// (presence lighting, leak protection, energy guards, ...). Each
+// instantiation varies the devices, handles, categories, and
+// thresholds so every app is a distinct program; all are written to be
+// property-clean, matching Table 3's finding that no official app (and
+// none of TP10+ except the group members) is individually flagged.
+
+type tmplParams struct {
+	name     string
+	category string
+	handleA  string
+	handleB  string
+	titleA   string
+	titleB   string
+	num      int
+}
+
+func header(p tmplParams, description string) string {
+	return fmt.Sprintf(`
+/**
+ * %s
+ *
+ * %s
+ *
+ * Part of the synthetic market corpus; behaviour mirrors the recipes
+ * common on the SmartThings market.
+ */
+definition(
+    name: %q,
+    namespace: "market",
+    author: "Corpus",
+    description: %q,
+    category: %q,
+    iconUrl: "https://example.com/icons/%s.png",
+    iconX2Url: "https://example.com/icons/%s@2x.png")
+`, p.name, description, p.name, description, p.category, p.handleA, p.handleA)
+}
+
+// notifyBoiler is the notification plumbing most market apps carry: a
+// preferences section for recipients and a send() helper. It performs
+// no device actions, so it does not affect the analysis verdicts.
+const notifyBoiler = `
+def send(msg) {
+    log.debug "notify: $msg"
+    if (location.contactBookEnabled) {
+        if (recipients) {
+            sendNotificationToContacts(msg, recipients)
+        }
+    } else {
+        sendPush(msg)
+        if (notifyPhone) {
+            sendSms(notifyPhone, msg)
+        }
+    }
+}
+
+def notificationPrefs() {
+    // Rendered on the settings page; collected at install time.
+    section("Notifications") {
+        input("recipients", "contact", title: "Send notifications to", required: false) {
+            input "notifyPhone", "phone", title: "Phone number (optional)", required: false
+        }
+    }
+}
+`
+
+func presenceLights(p tmplParams) string {
+	return header(p, "Turns the lights on when someone arrives and off when everyone leaves.") + fmt.Sprintf(`
+preferences {
+    section("Lights") {
+        input %q, "capability.switch", title: %q, required: true
+    }
+    section("Presence") {
+        input %q, "capability.presenceSensor", title: %q, required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(%s, "presence.present", arrivedHandler)
+    subscribe(%s, "presence.not present", departedHandler)
+}
+
+def arrivedHandler(evt) {
+    log.debug "arrived: $evt.value"
+    %s.on()
+}
+
+def departedHandler(evt) {
+    log.debug "departed: $evt.value"
+    %s.off()
+}
+`, p.handleA, p.titleA, p.handleB, p.titleB, p.handleB, p.handleB, p.handleA, p.handleA)
+}
+
+func leakValve(p tmplParams) string {
+	return header(p, "Shuts the main water valve when a leak is detected.") + fmt.Sprintf(`
+preferences {
+    section("Leak protection") {
+        input %q, "capability.valve", title: %q, required: true
+        input %q, "capability.waterSensor", title: %q, required: true
+    }
+    section("Notify") {
+        input "phone", "phone", title: "Phone number", required: false
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(%s, "water.wet", wetHandler)
+}
+
+def wetHandler(evt) {
+    log.warn "leak detected: $evt.value"
+    %s.close()
+    if (phone) {
+        sendSms(phone, "Leak detected — valve closed")
+    }
+}
+`, p.handleA, p.titleA, p.handleB, p.titleB, p.handleB, p.handleA)
+}
+
+func smokeSiren(p tmplParams) string {
+	return header(p, "Sounds the siren while smoke is detected.") + fmt.Sprintf(`
+preferences {
+    section("Safety") {
+        input %q, "capability.alarm", title: %q, required: true
+        input %q, "capability.smokeDetector", title: %q, required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(%s, "smoke", smokeHandler)
+}
+
+def smokeHandler(evt) {
+    log.debug "smoke: $evt.value"
+    if (evt.value == "detected") {
+        %s.siren()
+    }
+    if (evt.value == "clear") {
+        %s.off()
+    }
+}
+`, p.handleA, p.titleA, p.handleB, p.titleB, p.handleB, p.handleA, p.handleA)
+}
+
+func motionLights(p tmplParams) string {
+	return header(p, "Motion-controlled lighting.") + fmt.Sprintf(`
+preferences {
+    section("Devices") {
+        input %q, "capability.switch", title: %q, required: true
+        input %q, "capability.motionSensor", title: %q, required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(%s, "motion.active", activeHandler)
+    subscribe(%s, "motion.inactive", inactiveHandler)
+}
+
+def activeHandler(evt) {
+    %s.on()
+}
+
+def inactiveHandler(evt) {
+    %s.off()
+}
+`, p.handleA, p.titleA, p.handleB, p.titleB, p.handleB, p.handleB, p.handleA, p.handleA)
+}
+
+func nightLock(p tmplParams) string {
+	return header(p, "Locks the door every night at the configured time.") + fmt.Sprintf(`
+preferences {
+    section("Door") {
+        input %q, "capability.lock", title: %q, required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unschedule()
+    initialize()
+}
+def initialize() {
+    schedule("0 0 %d * * ?", lockHandler)
+}
+
+def lockHandler() {
+    log.debug "night lockup"
+    %s.lock()
+    sendPush("Door locked for the night")
+}
+`, p.handleA, p.titleA, p.num, p.handleA)
+}
+
+func modeByPresence(p tmplParams) string {
+	return header(p, "Keeps the location mode in sync with presence.") + fmt.Sprintf(`
+preferences {
+    section("Presence") {
+        input %q, "capability.presenceSensor", title: %q, required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(%s, "presence.present", arrivedHandler)
+    subscribe(%s, "presence.not present", departedHandler)
+}
+
+def arrivedHandler(evt) {
+    setLocationMode("home")
+}
+
+def departedHandler(evt) {
+    setLocationMode("away")
+}
+`, p.handleA, p.titleA, p.handleA, p.handleA)
+}
+
+func energyGuard(p tmplParams) string {
+	return header(p, "Switches a heavy load off above a power threshold and back on below a low-water mark.") + fmt.Sprintf(`
+preferences {
+    section("Devices") {
+        input %q, "capability.switch", title: %q, required: true
+        input %q, "capability.powerMeter", title: %q, required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(%s, "power", powerHandler)
+}
+
+def powerHandler(evt) {
+    def above = %d
+    def below = %d
+    def power_val = %s.currentValue("power")
+    if (power_val > above) {
+        %s.off()
+    }
+    if (power_val < below) {
+        %s.on()
+    }
+}
+`, p.handleA, p.titleA, p.handleB, p.titleB, p.handleB, p.num, p.num/10, p.handleB, p.handleA, p.handleA)
+}
+
+func humidityFan(p tmplParams) string {
+	return header(p, "Runs the bathroom fan while humidity is above the configured threshold.") + fmt.Sprintf(`
+preferences {
+    section("Devices") {
+        input %q, "capability.fanControl", title: %q, required: true
+        input %q, "capability.relativeHumidityMeasurement", title: %q, required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(%s, "humidity", humidityHandler)
+}
+
+def humidityHandler(evt) {
+    def threshold = %d
+    def level = %s.currentValue("humidity")
+    if (level > threshold) {
+        %s.fanOn()
+    } else {
+        %s.fanOff()
+    }
+}
+`, p.handleA, p.titleA, p.handleB, p.titleB, p.handleB, p.num, p.handleB, p.handleA, p.handleA)
+}
+
+func garageArrival(p tmplParams) string {
+	return header(p, "Opens the garage on arrival and closes it on departure.") + fmt.Sprintf(`
+preferences {
+    section("Garage") {
+        input %q, "capability.garageDoorControl", title: %q, required: true
+        input %q, "capability.presenceSensor", title: %q, required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(%s, "presence.present", arrivedHandler)
+    subscribe(%s, "presence.not present", departedHandler)
+}
+
+def arrivedHandler(evt) {
+    %s.open()
+}
+
+def departedHandler(evt) {
+    %s.close()
+}
+`, p.handleA, p.titleA, p.handleB, p.titleB, p.handleB, p.handleB, p.handleA, p.handleA)
+}
+
+func sleepLights(p tmplParams) string {
+	return header(p, "Turns the bedroom lights off when the sleep sensor detects sleep.") + fmt.Sprintf(`
+preferences {
+    section("Devices") {
+        input %q, "capability.switch", title: %q, required: true
+        input %q, "capability.sleepSensor", title: %q, required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(%s, "sleeping.sleeping", asleepHandler)
+}
+
+def asleepHandler(evt) {
+    log.debug "asleep"
+    %s.off()
+}
+`, p.handleA, p.titleA, p.handleB, p.titleB, p.handleB, p.handleA)
+}
+
+func coAlarm(p tmplParams) string {
+	return header(p, "Sounds the alarm on carbon monoxide detection.") + fmt.Sprintf(`
+preferences {
+    section("Safety") {
+        input %q, "capability.alarm", title: %q, required: true
+        input %q, "capability.carbonMonoxideDetector", title: %q, required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(%s, "carbonMonoxide.detected", coHandler)
+    subscribe(%s, "carbonMonoxide.clear", clearHandler)
+}
+
+def coHandler(evt) {
+    %s.both()
+}
+
+def clearHandler(evt) {
+    %s.off()
+}
+`, p.handleA, p.titleA, p.handleB, p.titleB, p.handleB, p.handleB, p.handleA, p.handleA)
+}
+
+func camContact(p tmplParams) string {
+	return header(p, "Takes a snapshot when motion is seen while the entry is armed.") + fmt.Sprintf(`
+preferences {
+    section("Security") {
+        input %q, "capability.imageCapture", title: %q, required: true
+        input %q, "capability.motionSensor", title: %q, required: true
+        input "entry", "capability.contactSensor", title: "Entry contact", required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(%s, "motion.active", motionHandler)
+}
+
+def motionHandler(evt) {
+    log.debug "motion — taking snapshot"
+    %s.take()
+}
+`, p.handleA, p.titleA, p.handleB, p.titleB, p.handleB, p.handleA)
+}
+
+func batteryWatch(p tmplParams) string {
+	return header(p, "Lights the warning lamp when a device battery runs low.") + fmt.Sprintf(`
+preferences {
+    section("Devices") {
+        input %q, "capability.switch", title: %q, required: true
+        input %q, "capability.battery", title: %q, required: true
+        input "thrshld", "number", title: "Low battery threshold", required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(%s, "battery", batteryHandler)
+}
+
+def batteryHandler(evt) {
+    def level = %s.currentValue("battery")
+    if (level < thrshld) {
+        %s.on()
+        sendPush("Battery low")
+    }
+}
+`, p.handleA, p.titleA, p.handleB, p.titleB, p.handleB, p.handleB, p.handleA)
+}
+
+func shadeSun(p tmplParams) string {
+	return header(p, "Closes the shades when it gets bright.") + fmt.Sprintf(`
+preferences {
+    section("Devices") {
+        input %q, "capability.windowShade", title: %q, required: true
+        input %q, "capability.illuminanceMeasurement", title: %q, required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(%s, "illuminance", lightHandler)
+}
+
+def lightHandler(evt) {
+    def lux = %s.currentValue("illuminance")
+    if (lux > %d) {
+        %s.close()
+    } else {
+        %s.open()
+    }
+}
+`, p.handleA, p.titleA, p.handleB, p.titleB, p.handleB, p.handleB, p.num, p.handleA, p.handleA)
+}
+
+func tempAlert(p tmplParams) string {
+	return header(p, "Strobes the alarm when the freezer warms past the threshold.") + fmt.Sprintf(`
+preferences {
+    section("Devices") {
+        input %q, "capability.alarm", title: %q, required: true
+        input %q, "capability.temperatureMeasurement", title: %q, required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(%s, "temperature", tempHandler)
+}
+
+def tempHandler(evt) {
+    def temp = %s.currentValue("temperature")
+    if (temp > %d) {
+        %s.strobe()
+    } else {
+        %s.off()
+    }
+}
+`, p.handleA, p.titleA, p.handleB, p.titleB, p.handleB, p.handleB, p.num, p.handleA, p.handleA)
+}
+
+func doorChime(p tmplParams) string {
+	return header(p, "Chimes when the door opens, silent once it closes.") + fmt.Sprintf(`
+preferences {
+    section("Devices") {
+        input %q, "capability.musicPlayer", title: %q, required: true
+        input %q, "capability.contactSensor", title: %q, required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(%s, "contact.open", openHandler)
+    subscribe(%s, "contact.closed", closedHandler)
+}
+
+def openHandler(evt) {
+    %s.play()
+}
+
+def closedHandler(evt) {
+    %s.stop()
+}
+`, p.handleA, p.titleA, p.handleB, p.titleB, p.handleB, p.handleB, p.handleA, p.handleA)
+}
+
+func irrigation(p tmplParams) string {
+	return header(p, "Opens the irrigation valve every morning and closes it in the evening.") + fmt.Sprintf(`
+preferences {
+    section("Irrigation") {
+        input %q, "capability.valve", title: %q, required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unschedule()
+    initialize()
+}
+def initialize() {
+    schedule("0 0 %d * * ?", morningHandler)
+    schedule("0 0 %d * * ?", eveningHandler)
+}
+
+def morningHandler() {
+    log.debug "watering"
+    %s.open()
+}
+
+def eveningHandler() {
+    log.debug "done watering"
+    %s.close()
+}
+`, p.handleA, p.titleA, p.num, p.num+12, p.handleA, p.handleA)
+}
+
+func washerDone(p tmplParams) string {
+	return header(p, "Announces the laundry when the washer's power draw drops.") + fmt.Sprintf(`
+preferences {
+    section("Devices") {
+        input %q, "capability.musicPlayer", title: %q, required: true
+        input %q, "capability.powerMeter", title: %q, required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(%s, "power", powerHandler)
+}
+
+def powerHandler(evt) {
+    def draw = %s.currentValue("power")
+    if (draw < %d) {
+        %s.play()
+    }
+}
+`, p.handleA, p.titleA, p.handleB, p.titleB, p.handleB, p.handleB, p.num, p.handleA)
+}
+
+func lightDimmer(p tmplParams) string {
+	return header(p, "Dims the hallway to the configured level on motion.") + fmt.Sprintf(`
+preferences {
+    section("Devices") {
+        input %q, "capability.switchLevel", title: %q, required: true
+        input %q, "capability.motionSensor", title: %q, required: true
+        input "userLevel", "number", title: "Brightness", required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(%s, "motion.active", motionHandler)
+}
+
+def motionHandler(evt) {
+    %s.setLevel(userLevel)
+}
+`, p.handleA, p.titleA, p.handleB, p.titleB, p.handleB, p.handleA)
+}
+
+func bigMonitor(p tmplParams, withSprinkler bool) string {
+	valveInput, valveOpen, valveClose := "", "", ""
+	if withSprinkler {
+		valveInput = `
+    section("Sprinkler") {
+        input "sprinkler_valve", "capability.valve", title: "Sprinkler valve", required: true
+    }`
+		valveOpen = `
+        sprinkler_valve.open()`
+		valveClose = `
+        sprinkler_valve.close()`
+	}
+	return header(p, "Whole-home monitor: smoke, entry, and motion alerts with sprinkler control.") + fmt.Sprintf(`
+preferences {
+    section("Alarm") {
+        input "home_alarm", "capability.alarm", title: "Home alarm", required: true
+    }
+    section("Sensors") {
+        input "smoke_det", "capability.smokeDetector", title: "Smoke detector", required: true
+        input "entry_contact", "capability.contactSensor", title: "Entry contact", required: true
+        input "hall_motion", "capability.motionSensor", title: "Hall motion", required: true
+    }%s
+    section("Lights") {
+        input "alert_light", "capability.switch", title: "Alert light", required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(smoke_det, "smoke", smokeHandler)
+    subscribe(entry_contact, "contact.open", entryHandler)
+    subscribe(hall_motion, "motion.active", motionHandler)
+}
+
+def smokeHandler(evt) {
+    if (evt.value == "detected") {
+        home_alarm.siren()
+        alert_light.on()%s
+    }
+    if (evt.value == "clear") {
+        home_alarm.off()%s
+    }
+}
+
+def entryHandler(evt) {
+    log.debug "entry opened"
+    alert_light.on()
+}
+
+def motionHandler(evt) {
+    alert_light.on()
+}
+`, valveInput, valveOpen, valveClose)
+}
+
+// generated instantiates the template apps for the rest of the corpus.
+func generated() []AppSpec {
+	mk := func(id string, official bool, category string, src string, name string) AppSpec {
+		// Every market app carries the standard notification plumbing.
+		return AppSpec{ID: id, Name: name, Category: category, Official: official, Source: src + notifyBoiler}
+	}
+	p := func(name, cat, ha, ta, hb, tb string, n int) tmplParams {
+		return tmplParams{name: name, category: cat, handleA: ha, titleA: ta, handleB: hb, titleB: tb, num: n}
+	}
+
+	var out []AppSpec
+	add := func(id string, official bool, pp tmplParams, src string) {
+		out = append(out, mk(id, official, pp.category, src, pp.name))
+	}
+
+	// Officials.
+	o1 := p("Whole-Home-Monitor", "Safety & Security", "", "", "", "", 0)
+	add("O1", true, o1, bigMonitor(o1, true))
+	o2 := p("Smoke-Siren", "Safety & Security", "main_alarm", "Main alarm", "kitchen_smoke", "Kitchen smoke", 0)
+	add("O2", true, o2, smokeSiren(o2))
+	o5 := p("Basement-Leak-Guard", "Safety & Security", "main_valve", "Main valve", "basement_sensor", "Basement sensor", 0)
+	add("O5", true, o5, leakValve(o5))
+	o6 := p("Welcome-Home-Lights", "Convenience", "entry_light", "Entry light", "family", "Family presence", 0)
+	add("O6", true, o6, presenceLights(o6))
+	o10 := p("Hallway-Motion-Light", "Convenience", "hall_light", "Hall light", "hall_motion", "Hall motion", 0)
+	add("O10", true, o10, motionLights(o10))
+	o11 := p("Night-Lockup", "Safety & Security", "front_lock", "Front lock", "", "", 23)
+	add("O11", true, o11, nightLock(o11))
+	o13 := p("Presence-Mode-Sync", "Home Automation", "family_presence", "Family", "", "", 0)
+	add("O13", true, o13, modeByPresence(o13))
+	o15 := p("Load-Shedder", "Green Living", "heater_outlet", "Heater outlet", "house_meter", "House meter", 1500)
+	add("O15", true, o15, energyGuard(o15))
+	o17 := p("Bath-Fan-Automation", "Convenience", "bath_fan", "Bath fan", "bath_humidity", "Bath humidity", 65)
+	add("O17", true, o17, humidityFan(o17))
+	o18 := p("Garage-Greeter", "Convenience", "garage_door", "Garage door", "driver", "Driver presence", 0)
+	add("O18", true, o18, garageArrival(o18))
+	o19 := p("Sleepy-Lights", "Personal Care", "bedroom_light", "Bedroom light", "bed_sensor", "Bed sensor", 0)
+	add("O19", true, o19, sleepLights(o19))
+	o20 := p("CO-Guardian", "Safety & Security", "co_siren", "CO siren", "co_detector", "CO detector", 0)
+	add("O20", true, o20, coAlarm(o20))
+	o21 := p("Entry-Snapshot", "Safety & Security", "front_cam", "Front camera", "porch_motion", "Porch motion", 0)
+	add("O21", true, o21, camContact(o21))
+	o22 := p("Battery-Sentinel", "Convenience", "warn_lamp", "Warning lamp", "sensor_battery", "Sensor battery", 0)
+	add("O22", true, o22, batteryWatch(o22))
+	o23 := p("Sun-Shade", "Green Living", "living_shade", "Living room shade", "sun_sensor", "Sun sensor", 800)
+	add("O23", true, o23, shadeSun(o23))
+	o24 := p("Freezer-Watchdog", "Safety & Security", "kitchen_alarm", "Kitchen alarm", "freezer_temp", "Freezer temp", 20)
+	add("O24", true, o24, tempAlert(o24))
+	o25 := p("Front-Door-Chime", "Convenience", "chime_player", "Chime", "front_contact", "Front door", 0)
+	add("O25", true, o25, doorChime(o25))
+	o26 := p("Lawn-Irrigation", "Green Living", "lawn_valve", "Lawn valve", "", "", 6)
+	add("O26", true, o26, irrigation(o26))
+	o27 := p("Laundry-Announcer", "Convenience", "kitchen_speaker", "Kitchen speaker", "washer_meter", "Washer meter", 5)
+	add("O27", true, o27, washerDone(o27))
+	o28 := p("Hall-Dimmer", "Convenience", "hall_dimmer", "Hall dimmer", "entry_motion", "Entry motion", 0)
+	add("O28", true, o28, lightDimmer(o28))
+	o29 := p("Guest-Arrival-Lights", "Convenience", "porch_light", "Porch light", "guests", "Guest presence", 0)
+	add("O29", true, o29, presenceLights(o29))
+	o32 := p("Closet-Motion-Light", "Convenience", "closet_light", "Closet light", "closet_motion", "Closet motion", 0)
+	add("O32", true, o32, motionLights(o32))
+	o33 := p("Laundry-Leak-Guard", "Safety & Security", "laundry_valve", "Laundry valve", "laundry_sensor", "Laundry sensor", 0)
+	add("O33", true, o33, leakValve(o33))
+	o34 := p("Garage-Smoke-Siren", "Safety & Security", "garage_alarm", "Garage alarm", "garage_smoke", "Garage smoke", 0)
+	add("O34", true, o34, smokeSiren(o34))
+	o35 := p("Household-Mode-Sync", "Home Automation", "household", "Household presence", "", "", 0)
+	add("O35", true, o35, modeByPresence(o35))
+
+	// Third-party.
+	tp10 := p("DIY-Home-Monitor", "Safety & Security", "", "", "", "", 0)
+	add("TP10", false, tp10, bigMonitor(tp10, false))
+	tp11 := p("Porch-Presence-Lights", "Convenience", "stoop_light", "Stoop light", "owner", "Owner presence", 0)
+	add("TP11", false, tp11, presenceLights(tp11))
+	tp13 := p("Stairs-Motion-Light", "Convenience", "stairs_light", "Stairs light", "stairs_motion", "Stairs motion", 0)
+	add("TP13", false, tp13, motionLights(tp13))
+	tp14 := p("Aquarium-Leak-Stop", "Safety & Security", "aq_valve", "Aquarium valve", "aq_sensor", "Aquarium sensor", 0)
+	add("TP14", false, tp14, leakValve(tp14))
+	tp15 := p("Space-Heater-Guard", "Green Living", "space_heater", "Space heater", "bedroom_meter", "Bedroom meter", 900)
+	add("TP15", false, tp15, energyGuard(tp15))
+	tp16 := p("Greenhouse-Fan", "Green Living", "gh_fan", "Greenhouse fan", "gh_humidity", "Greenhouse humidity", 80)
+	add("TP16", false, tp16, humidityFan(tp16))
+	tp17 := p("Nursery-Sleep-Lights", "Personal Care", "nursery_light", "Nursery light", "crib_sensor", "Crib sensor", 0)
+	add("TP17", false, tp17, sleepLights(tp17))
+	tp18 := p("Carport-Opener", "Convenience", "carport_door", "Carport door", "commuter", "Commuter presence", 0)
+	add("TP18", false, tp18, garageArrival(tp18))
+	tp20 := p("Shop-Door-Bell", "Convenience", "shop_speaker", "Shop speaker", "shop_contact", "Shop door", 0)
+	add("TP20", false, tp20, doorChime(tp20))
+	tp23 := p("Remote-Battery-Lamp", "Convenience", "status_lamp", "Status lamp", "remote_battery", "Remote battery", 0)
+	add("TP23", false, tp23, batteryWatch(tp23))
+	tp24 := p("Shed-Camera-Trap", "Safety & Security", "shed_cam", "Shed camera", "shed_motion", "Shed motion", 0)
+	add("TP24", false, tp24, camContact(tp24))
+	tp25 := p("Evening-Deadbolt", "Safety & Security", "back_lock", "Back lock", "", "", 22)
+	add("TP25", false, tp25, nightLock(tp25))
+	tp26 := p("Greenhouse-Drip", "Green Living", "drip_valve", "Drip valve", "", "", 5)
+	add("TP26", false, tp26, irrigation(tp26))
+	tp27 := p("Cabin-CO-Siren", "Safety & Security", "cabin_alarm", "Cabin alarm", "cabin_co", "Cabin CO", 0)
+	add("TP27", false, tp27, coAlarm(tp27))
+	tp28 := p("Dryer-Done-Jingle", "Convenience", "hall_speaker", "Hall speaker", "dryer_meter", "Dryer meter", 8)
+	add("TP28", false, tp28, washerDone(tp28))
+	tp29 := p("Pantry-Dimmer", "Convenience", "pantry_dimmer", "Pantry dimmer", "pantry_motion", "Pantry motion", 0)
+	add("TP29", false, tp29, lightDimmer(tp29))
+	tp30 := p("Sunroom-Shade", "Green Living", "sunroom_shade", "Sunroom shade", "sunroom_lux", "Sunroom lux", 1000)
+	add("TP30", false, tp30, shadeSun(tp30))
+
+	return out
+}

@@ -1,0 +1,747 @@
+package market
+
+// Hand-written corpus apps: the third-party apps with the Table 3
+// individual violations (TP1–TP9) and the members of the Table 4
+// groups (G.1–G.3). Officials among them are written to be
+// individually clean — the violations only emerge in app groups.
+
+var handwritten = []AppSpec{
+	// ----------------------------------------------------------------- TP1
+	{ID: "TP1", Name: "Away-Music-Greeter", Category: "Convenience", Source: `
+definition(
+    name: "Away-Music-Greeter",
+    namespace: "tp",
+    author: "Community",
+    description: "Plays a welcome playlist; mistakenly starts playback when everyone has left.",
+    category: "Convenience")
+
+preferences {
+    section("Media") {
+        input "player", "capability.musicPlayer", title: "Speaker", required: true
+    }
+    section("Who") {
+        input "everyone", "capability.presenceSensor", title: "Presence", required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(everyone, "presence.not present", departedHandler)
+}
+
+def departedHandler(evt) {
+    log.debug "presence: $evt.value"
+    // Bug: starts the playlist on departure instead of stopping it.
+    player.play()
+    sendPush("Playback started")
+}
+`},
+	// ----------------------------------------------------------------- TP2
+	{ID: "TP2", Name: "Vacation-Light-Blinker", Category: "Safety & Security", Source: `
+definition(
+    name: "Vacation-Light-Blinker",
+    namespace: "tp",
+    author: "Community",
+    description: "Turns lights on when nobody is present (simulated occupancy) and on app touch.",
+    category: "Safety & Security")
+
+preferences {
+    section("Lights") {
+        input "the_switch", "capability.switch", title: "Lights", required: true
+    }
+    section("Presence") {
+        input "anyone", "capability.presenceSensor", title: "Who?", required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(anyone, "presence.not present", awayHandler)
+    subscribe(app, touchHandler)
+}
+
+def awayHandler(evt) {
+    log.debug "away: $evt.value"
+    the_switch.on()
+}
+
+def touchHandler(evt) {
+    the_switch.on()
+}
+`},
+	// ----------------------------------------------------------------- TP3
+	{ID: "TP3", Name: "Mode-Motion-Switcher", Category: "Home Automation", Source: `
+definition(
+    name: "Mode-Motion-Switcher",
+    namespace: "tp",
+    author: "Community",
+    description: "Changes the location mode on switch-off and motion-inactive, and lights on motion.",
+    category: "Home Automation")
+
+preferences {
+    section("Devices") {
+        input "the_switch", "capability.switch", title: "Switch", required: true
+        input "the_motion", "capability.motionSensor", title: "Motion", required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(the_motion, "motion.active", activeHandler)
+    subscribe(the_motion, "motion.inactive", inactiveHandler)
+    subscribe(the_switch, "switch.off", offHandler)
+}
+
+def activeHandler(evt) {
+    the_switch.on()
+}
+
+def inactiveHandler(evt) {
+    log.debug "no motion; assuming away"
+    setLocationMode("away")
+}
+
+def offHandler(evt) {
+    log.debug "switch off; assuming night"
+    setLocationMode("night")
+}
+`},
+	// ----------------------------------------------------------------- TP4
+	{ID: "TP4", Name: "Dry-Spell-Alert", Category: "Safety & Security", Source: `
+definition(
+    name: "Dry-Spell-Alert",
+    namespace: "tp",
+    author: "Community",
+    description: "Sounds the alarm when the flood sensor is dry (used to water Christmas trees).",
+    category: "Safety & Security")
+
+preferences {
+    section("Sensors") {
+        input "flood", "capability.waterSensor", title: "Flood sensor", required: true
+    }
+    section("Alarm") {
+        input "siren", "capability.alarm", title: "Siren", required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(flood, "water.dry", dryHandler)
+}
+
+def dryHandler(evt) {
+    log.warn "no water detected: $evt.value"
+    siren.siren()
+    sendPush("Water the tree!")
+}
+`},
+	// ----------------------------------------------------------------- TP5
+	{ID: "TP5", Name: "Lullaby-Player", Category: "Personal Care", Source: `
+definition(
+    name: "Lullaby-Player",
+    namespace: "tp",
+    author: "Community",
+    description: "Starts music when the sleep sensor detects sleep.",
+    category: "Personal Care")
+
+preferences {
+    section("Media") {
+        input "player", "capability.musicPlayer", title: "Speaker", required: true
+    }
+    section("Sleep") {
+        input "sleeper", "capability.sleepSensor", title: "Sleep sensor", required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(sleeper, "sleeping.sleeping", asleepHandler)
+}
+
+def asleepHandler(evt) {
+    log.debug "asleep: $evt.value"
+    player.play()
+}
+`},
+	// ----------------------------------------------------------------- TP6
+	{ID: "TP6", Name: "Occupancy-Simulator", Category: "Safety & Security", Source: `
+definition(
+    name: "Occupancy-Simulator",
+    namespace: "tp",
+    author: "Community",
+    description: "Randomly toggles lights while nobody is home to simulate occupancy.",
+    category: "Safety & Security")
+
+preferences {
+    section("Lights") {
+        input "the_light", "capability.switch", title: "Lights", required: true
+    }
+    section("Presence") {
+        input "anyone", "capability.presenceSensor", title: "Who?", required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    unschedule()
+    initialize()
+}
+def initialize() {
+    subscribe(anyone, "presence.not present", awayHandler)
+}
+
+def awayHandler(evt) {
+    runIn(600, toggleHandler)
+}
+
+def toggleHandler() {
+    // Toggles the light off then on in one handler run.
+    the_light.off()
+    the_light.on()
+    runIn(600, toggleHandler)
+}
+`},
+	// ----------------------------------------------------------------- TP7
+	{ID: "TP7", Name: "Tap-Blink", Category: "Convenience", Source: `
+definition(
+    name: "Tap-Blink",
+    namespace: "tp",
+    author: "Community",
+    description: "Blinks the lights when the app icon is tapped.",
+    category: "Convenience")
+
+preferences {
+    section("Lights") {
+        input "the_light", "capability.switch", title: "Lights", required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(app, touchHandler)
+}
+
+def touchHandler(evt) {
+    log.debug "blinking"
+    the_light.on()
+    the_light.off()
+}
+`},
+	// ----------------------------------------------------------------- TP8
+	{ID: "TP8", Name: "Sun-Door-Scheduler", Category: "Home Automation", Source: `
+definition(
+    name: "Sun-Door-Scheduler",
+    namespace: "tp",
+    author: "Community",
+    description: "Unlocks the door on sunrise and locks it on sunset.",
+    category: "Home Automation")
+
+preferences {
+    section("Door") {
+        input "front_door", "capability.lock", title: "Door", required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unschedule()
+    initialize()
+}
+def initialize() {
+    schedule("0 0 6 * * ?", sunriseHandler)
+    schedule("0 0 18 * * ?", sunsetHandler)
+}
+
+def sunriseHandler() {
+    log.debug "sunrise"
+    front_door.unlock()
+}
+
+def sunsetHandler() {
+    log.debug "sunset"
+    front_door.lock()
+}
+`},
+	// ----------------------------------------------------------------- TP9
+	{ID: "TP9", Name: "Double-Tap-Locker", Category: "Safety & Security", Source: `
+definition(
+    name: "Double-Tap-Locker",
+    namespace: "tp",
+    author: "Community",
+    description: "Locks the door after it is closed — twice, to be sure.",
+    category: "Safety & Security")
+
+preferences {
+    section("Door") {
+        input "front_door", "capability.lock", title: "Lock", required: true
+        input "door_contact", "capability.contactSensor", title: "Contact", required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(door_contact, "contact.closed", closedHandler)
+}
+
+def closedHandler(evt) {
+    log.debug "closed: $evt.value"
+    front_door.lock()
+    front_door.lock()
+    sendPush("Door locked")
+}
+`},
+	// ---------------------------------------------------------------- TP12
+	{ID: "TP12", Name: "Contact-Light-Saver", Category: "Green Living", Source: `
+definition(
+    name: "Contact-Light-Saver",
+    namespace: "tp",
+    author: "Community",
+    description: "Turns the light off when the door closes.",
+    category: "Green Living")
+
+preferences {
+    section("Devices") {
+        input "the_light", "capability.switch", title: "Light", required: true
+        input "the_contact", "capability.contactSensor", title: "Contact", required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(the_contact, "contact.closed", closedHandler)
+}
+
+def closedHandler(evt) {
+    the_light.off()
+}
+`},
+	// ---------------------------------------------------------------- TP19
+	{ID: "TP19", Name: "Mode-Thermostat-Setter", Category: "Green Living", Source: `
+definition(
+    name: "Mode-Thermostat-Setter",
+    namespace: "tp",
+    author: "Community",
+    description: "Applies the user's heating and cooling setpoints whenever the mode changes.",
+    category: "Green Living")
+
+preferences {
+    section("Thermostat") {
+        input "ther", "capability.thermostat", title: "Thermostat", required: true
+        input "heatPoint", "number", title: "Heating setpoint", required: true
+        input "coolPoint", "number", title: "Cooling setpoint", required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(location, "mode", modeHandler)
+}
+
+def modeHandler(evt) {
+    log.debug "mode: $evt.value"
+    ther.setHeatingSetpoint(heatPoint)
+    ther.setCoolingSetpoint(coolPoint)
+}
+`},
+	// ---------------------------------------------------------------- TP21
+	{ID: "TP21", Name: "Mode-Outlet-Shutdown", Category: "Green Living", Source: `
+definition(
+    name: "Mode-Outlet-Shutdown",
+    namespace: "tp",
+    author: "Community",
+    description: "Cuts power to a set of outlets (security system, smoke detector, heater) on any mode change.",
+    category: "Green Living")
+
+preferences {
+    section("Outlets") {
+        input "outlets", "capability.switch", title: "Outlets", required: true, multiple: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(location, "mode", modeHandler)
+}
+
+def modeHandler(evt) {
+    log.debug "mode: $evt.value — shutting outlets"
+    outlets.off()
+}
+`},
+	// ---------------------------------------------------------------- TP22
+	{ID: "TP22", Name: "Mode-Comfort-Starter", Category: "Convenience", Source: `
+definition(
+    name: "Mode-Comfort-Starter",
+    namespace: "tp",
+    author: "Community",
+    description: "Starts the AC fan and the sound system on any mode change.",
+    category: "Convenience")
+
+preferences {
+    section("Comfort") {
+        input "ac_fan", "capability.fanControl", title: "AC fan", required: true
+        input "sound", "capability.musicPlayer", title: "Sound system", required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(location, "mode", modeHandler)
+}
+
+def modeHandler(evt) {
+    log.debug "mode: $evt.value — comfort on"
+    ac_fan.fanOn()
+    sound.play()
+}
+`},
+	// ------------------------------------------------------------------ O3
+	{ID: "O3", Name: "Open-Door-Light", Category: "Convenience", Official: true, Source: `
+definition(
+    name: "Open-Door-Light",
+    namespace: "official",
+    author: "SmartThings",
+    description: "Turns the hallway light on when the door opens.",
+    category: "Convenience")
+
+preferences {
+    section("Devices") {
+        input "hall_light", "capability.switch", title: "Light", required: true
+        input "door_contact", "capability.contactSensor", title: "Door", required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(door_contact, "contact.open", openHandler)
+}
+
+def openHandler(evt) {
+    log.debug "door open"
+    hall_light.on()
+}
+`},
+	// ------------------------------------------------------------------ O4
+	{ID: "O4", Name: "Door-Light-Inverter", Category: "Green Living", Official: true, Source: `
+definition(
+    name: "Door-Light-Inverter",
+    namespace: "official",
+    author: "SmartThings",
+    description: "Saves energy: light off while the door stands open, back on once it closes.",
+    category: "Green Living")
+
+preferences {
+    section("Devices") {
+        input "porch_light", "capability.switch", title: "Light", required: true
+        input "door_contact", "capability.contactSensor", title: "Door", required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(door_contact, "contact.open", openHandler)
+    subscribe(door_contact, "contact.closed", closedHandler)
+}
+
+def openHandler(evt) {
+    porch_light.off()
+}
+
+def closedHandler(evt) {
+    porch_light.on()
+}
+`},
+	// ------------------------------------------------------------------ O7
+	{ID: "O7", Name: "Goodnight-Mode", Category: "Home Automation", Official: true, Source: `
+definition(
+    name: "Goodnight-Mode",
+    namespace: "official",
+    author: "SmartThings",
+    description: "Sets the away mode when the main switch is turned off or motion stops.",
+    category: "Home Automation")
+
+preferences {
+    section("Signals") {
+        input "main_switch", "capability.switch", title: "Main switch", required: true
+        input "hall_motion", "capability.motionSensor", title: "Hall motion", required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(main_switch, "switch.off", offHandler)
+    subscribe(hall_motion, "motion.inactive", idleHandler)
+}
+
+def offHandler(evt) {
+    setLocationMode("away")
+}
+
+def idleHandler(evt) {
+    setLocationMode("away")
+}
+`},
+	// ------------------------------------------------------------------ O8
+	{ID: "O8", Name: "Closed-Door-Energy-Saver", Category: "Green Living", Official: true, Source: `
+definition(
+    name: "Closed-Door-Energy-Saver",
+    namespace: "official",
+    author: "SmartThings",
+    description: "Turns the fan outlet off once the door is closed.",
+    category: "Green Living")
+
+preferences {
+    section("Devices") {
+        input "fan_outlet", "capability.switch", title: "Outlet", required: true
+        input "door_contact", "capability.contactSensor", title: "Door", required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(door_contact, "contact.closed", closedHandler)
+}
+
+def closedHandler(evt) {
+    log.debug "door closed"
+    fan_outlet.off()
+}
+`},
+	// ------------------------------------------------------------------ O9
+	{ID: "O9", Name: "Motion-Night-Light", Category: "Convenience", Official: true, Source: `
+definition(
+    name: "Motion-Night-Light",
+    namespace: "official",
+    author: "SmartThings",
+    description: "Turns the night light on when motion is detected.",
+    category: "Convenience")
+
+preferences {
+    section("Devices") {
+        input "night_light", "capability.switch", title: "Night light", required: true
+        input "the_motion", "capability.motionSensor", title: "Motion", required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(the_motion, "motion.active", activeHandler)
+}
+
+def activeHandler(evt) {
+    night_light.on()
+}
+`},
+	// ----------------------------------------------------------------- O12
+	{ID: "O12", Name: "Mode-Climate-Control", Category: "Green Living", Official: true, Source: `
+definition(
+    name: "Mode-Climate-Control",
+    namespace: "official",
+    author: "SmartThings",
+    description: "Applies the configured heating setpoint on every mode change.",
+    category: "Green Living")
+
+preferences {
+    section("Thermostat") {
+        input "ther", "capability.thermostat", title: "Thermostat", required: true
+        input "comfortTemp", "number", title: "Comfort setpoint", required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(location, "mode", modeHandler)
+}
+
+def modeHandler(evt) {
+    log.debug "mode change: $evt.value"
+    ther.setHeatingSetpoint(comfortTemp)
+}
+`},
+	// ----------------------------------------------------------------- O14
+	{ID: "O14", Name: "Open-Window-Heater-Guard", Category: "Green Living", Official: true, Source: `
+definition(
+    name: "Open-Window-Heater-Guard",
+    namespace: "official",
+    author: "SmartThings",
+    description: "Turns the heater outlet off while a window is open.",
+    category: "Green Living")
+
+preferences {
+    section("Devices") {
+        input "heater_outlet", "capability.switch", title: "Heater outlet", required: true
+        input "window_contact", "capability.contactSensor", title: "Window", required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(window_contact, "contact.open", openHandler)
+}
+
+def openHandler(evt) {
+    log.debug "window open — heater off"
+    heater_outlet.off()
+}
+`},
+	// ----------------------------------------------------------------- O16
+	{ID: "O16", Name: "Walkway-Light", Category: "Safety & Security", Official: true, Source: `
+definition(
+    name: "Walkway-Light",
+    namespace: "official",
+    author: "SmartThings",
+    description: "Brightens the walkway when motion is detected.",
+    category: "Safety & Security")
+
+preferences {
+    section("Devices") {
+        input "walk_light", "capability.switch", title: "Walkway light", required: true
+        input "walk_motion", "capability.motionSensor", title: "Walkway motion", required: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(walk_motion, "motion.active", activeHandler)
+}
+
+def activeHandler(evt) {
+    walk_light.on()
+}
+`},
+	// ----------------------------------------------------------------- O30
+	{ID: "O30", Name: "Mode-Power-Saver", Category: "Green Living", Official: true, Source: `
+definition(
+    name: "Mode-Power-Saver",
+    namespace: "official",
+    author: "SmartThings",
+    description: "Cuts standby power on any mode change.",
+    category: "Green Living")
+
+preferences {
+    section("Outlets") {
+        input "standby_outlets", "capability.switch", title: "Outlets", required: true, multiple: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(location, "mode", modeHandler)
+}
+
+def modeHandler(evt) {
+    log.debug "mode: $evt.value — cutting standby power"
+    standby_outlets.off()
+}
+`},
+	// ----------------------------------------------------------------- O31
+	{ID: "O31", Name: "Mode-Appliance-Starter", Category: "Convenience", Official: true, Source: `
+definition(
+    name: "Mode-Appliance-Starter",
+    namespace: "official",
+    author: "SmartThings",
+    description: "Powers the TV, coffee machine and heater outlets on any mode change.",
+    category: "Convenience")
+
+preferences {
+    section("Appliances") {
+        input "appliances", "capability.switch", title: "Appliance outlets", required: true, multiple: true
+    }
+}
+
+def installed() { initialize() }
+def updated() {
+    unsubscribe()
+    initialize()
+}
+def initialize() {
+    subscribe(location, "mode", modeHandler)
+}
+
+def modeHandler(evt) {
+    log.debug "mode: $evt.value — powering appliances"
+    appliances.on()
+}
+`},
+}

@@ -1,0 +1,219 @@
+package market
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/soteria-analysis/soteria/internal/core"
+	"github.com/soteria-analysis/soteria/internal/ir"
+)
+
+func TestCorpusShape(t *testing.T) {
+	all := All()
+	if len(all) != 65 {
+		t.Fatalf("corpus has %d apps, want 65", len(all))
+	}
+	off, tp := Officials(), ThirdParty()
+	if len(off) != 35 {
+		t.Errorf("officials = %d, want 35", len(off))
+	}
+	if len(tp) != 30 {
+		t.Errorf("third-party = %d, want 30", len(tp))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if seen[a.ID] {
+			t.Errorf("duplicate ID %s", a.ID)
+		}
+		seen[a.ID] = true
+		if a.Name == "" || a.Category == "" || a.Source == "" {
+			t.Errorf("%s: incomplete spec", a.ID)
+		}
+	}
+	for i := 1; i <= 35; i++ {
+		if !seen["O"+itoa(i)] {
+			t.Errorf("missing O%d", i)
+		}
+	}
+	for i := 1; i <= 30; i++ {
+		if !seen["TP"+itoa(i)] {
+			t.Errorf("missing TP%d", i)
+		}
+	}
+}
+
+func TestAllAppsParse(t *testing.T) {
+	for _, a := range All() {
+		if _, err := a.Parse(); err != nil {
+			t.Errorf("%s: %v", a.ID, err)
+		}
+	}
+}
+
+func analyze(t *testing.T, ids ...string) map[string]bool {
+	t.Helper()
+	var apps []*ir.App
+	for _, id := range ids {
+		spec, ok := ByID(id)
+		if !ok {
+			t.Fatalf("app %s missing", id)
+		}
+		app, err := spec.Parse()
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		apps = append(apps, app)
+	}
+	an, err := core.AnalyzeApps(core.DefaultOptions(), apps...)
+	if err != nil {
+		t.Fatalf("analyze %v: %v", ids, err)
+	}
+	set := map[string]bool{}
+	for _, v := range an.ViolatedIDs() {
+		set[v] = true
+	}
+	return set
+}
+
+// TestTable3Individual reproduces Table 3: TP1–TP9 violate exactly the
+// listed properties individually.
+func TestTable3Individual(t *testing.T) {
+	for id, want := range Table3Expected {
+		got := analyze(t, id)
+		for _, w := range want {
+			if !got[w] {
+				t.Errorf("%s: expected %s, reported %v", id, w, keys(got))
+			}
+		}
+	}
+}
+
+// TestOfficialAppsClean reproduces Table 3's headline: no official app
+// is flagged individually.
+func TestOfficialAppsClean(t *testing.T) {
+	for _, a := range Officials() {
+		got := analyze(t, a.ID)
+		if len(got) != 0 {
+			t.Errorf("%s (%s): unexpectedly flagged: %v", a.ID, a.Name, keys(got))
+		}
+	}
+}
+
+// TestNonListedThirdPartyClean: third-party apps outside Table 3 are
+// individually clean (their problems, if any, only appear in groups).
+func TestNonListedThirdPartyClean(t *testing.T) {
+	for _, a := range ThirdParty() {
+		if _, listed := Table3Expected[a.ID]; listed {
+			continue
+		}
+		got := analyze(t, a.ID)
+		if len(got) != 0 {
+			t.Errorf("%s (%s): unexpectedly flagged: %v", a.ID, a.Name, keys(got))
+		}
+	}
+}
+
+// TestTable4Groups reproduces Table 4: each group exhibits (at least)
+// the listed property violations when its members run in concert.
+func TestTable4Groups(t *testing.T) {
+	for _, g := range Groups() {
+		got := analyze(t, g.Members...)
+		for _, w := range g.Expected {
+			if !got[w] {
+				t.Errorf("%s: expected %s, reported %v", g.ID, w, keys(got))
+			}
+		}
+	}
+}
+
+// TestTable2Stats checks the dataset-description shape: device
+// diversity and state-model sizes in the same bands as Table 2.
+func TestTable2Stats(t *testing.T) {
+	check := func(apps []AppSpec, label string, wantMinAvgStates, wantMaxStatesMin, wantMaxStatesMax int) {
+		devSet := map[string]bool{}
+		total, maxStates := 0, 0
+		for _, a := range apps {
+			app, err := a.Parse()
+			if err != nil {
+				t.Fatalf("%s: %v", a.ID, err)
+			}
+			for _, c := range app.Capabilities() {
+				devSet[c] = true
+			}
+			an, err := core.AnalyzeApps(core.Options{}, app)
+			if err != nil {
+				t.Fatalf("%s: %v", a.ID, err)
+			}
+			n := len(an.Model.States)
+			total += n
+			if n > maxStates {
+				maxStates = n
+			}
+		}
+		avg := total / len(apps)
+		if len(devSet) < 10 {
+			t.Errorf("%s: only %d unique devices", label, len(devSet))
+		}
+		if avg < wantMinAvgStates {
+			t.Errorf("%s: avg states = %d, want >= %d", label, avg, wantMinAvgStates)
+		}
+		if maxStates < wantMaxStatesMin || maxStates > wantMaxStatesMax {
+			t.Errorf("%s: max states = %d, want in [%d, %d]", label, maxStates, wantMaxStatesMin, wantMaxStatesMax)
+		}
+	}
+	// Paper Table 2: officials avg/max 36/180; third-party 32/96.
+	check(Officials(), "official", 8, 96, 250)
+	check(ThirdParty(), "third-party", 8, 48, 130)
+}
+
+func TestLOC(t *testing.T) {
+	for _, a := range All() {
+		if a.LOC() < 15 {
+			t.Errorf("%s: implausibly short source (%d lines)", a.ID, a.LOC())
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// TestCandidateGroups reproduces §6.1's group study: 28 groups
+// examined, exactly the three Table 4 groups violating.
+func TestCandidateGroups(t *testing.T) {
+	groups := CandidateGroups()
+	if len(groups) != 28 {
+		t.Fatalf("groups = %d, want 28", len(groups))
+	}
+	violating := 0
+	for _, g := range groups {
+		got := analyze(t, g.Members...)
+		if len(g.Expected) > 0 {
+			violating++
+			continue // correctness of G.1-G.3 asserted in TestTable4Groups
+		}
+		if len(got) != 0 {
+			t.Errorf("clean group %s (%v) flagged: %v", g.ID, g.Members, keys(got))
+		}
+	}
+	if violating != 3 {
+		t.Errorf("violating groups = %d, want 3", violating)
+	}
+}

@@ -1,0 +1,87 @@
+package modelcheck
+
+import (
+	"github.com/soteria-analysis/soteria/internal/ctl"
+	"github.com/soteria-analysis/soteria/internal/kripke"
+)
+
+// Witness produces a path demonstrating that an existential formula
+// holds at state s:
+//
+//	EX f       — s plus a successor satisfying f,
+//	EF f       — a shortest path from s to an f-state,
+//	E[a U b]   — a path through a-states ending in a b-state,
+//	EG f       — a lasso staying in f-states (loop gives the lasso
+//	             re-entry index).
+//
+// ok=false when the formula has another shape or does not hold at s.
+func Witness(k *kripke.Structure, f ctl.Formula, s int) (path []int, loop int, ok bool) {
+	c := &checker{k: k, cache: map[string][]bool{}}
+	switch x := f.(type) {
+	case ctl.EX:
+		sat := c.eval(x.X)
+		for _, t := range k.Succs[s] {
+			if sat[t] {
+				return []int{s, t}, -1, true
+			}
+		}
+		return nil, -1, false
+	case ctl.EF:
+		sat := c.eval(x.X)
+		if !c.eval(f)[s] {
+			return nil, -1, false
+		}
+		return c.shortestPathTo(s, sat), -1, true
+	case ctl.EU:
+		if !c.eval(f)[s] {
+			return nil, -1, false
+		}
+		return c.euWitness(c.eval(x.A), c.eval(x.B), s), -1, true
+	case ctl.EG:
+		set := c.eval(f)
+		if !set[s] {
+			return nil, -1, false
+		}
+		p, l := c.egWitness(c.eval(x.X), s)
+		return p, l, true
+	}
+	return nil, -1, false
+}
+
+// euWitness builds a path from s through a-states to the first b-state
+// (BFS restricted to the E[a U b] satisfaction set so it cannot stray).
+func (c *checker) euWitness(a, b []bool, s int) []int {
+	if b[s] {
+		return []int{s}
+	}
+	eu := c.eu(a, b)
+	prev := make([]int, c.k.N)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[s] = s
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range c.k.Succs[u] {
+			if prev[v] != -1 || !eu[v] {
+				continue
+			}
+			prev[v] = u
+			if b[v] {
+				var rev []int
+				for x := v; x != s; x = prev[x] {
+					rev = append(rev, x)
+				}
+				rev = append(rev, s)
+				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+					rev[i], rev[j] = rev[j], rev[i]
+				}
+				return rev
+			}
+			queue = append(queue, v)
+		}
+	}
+	return []int{s}
+}

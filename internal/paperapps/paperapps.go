@@ -1,0 +1,271 @@
+// Package paperapps holds the three running-example SmartThings apps
+// from the paper's Appendix A (Smoke-Alarm, Water-Leak-Detector, and
+// Thermostat-Energy-Control), verbatim modulo trimmed metadata URLs.
+// They are used by tests, examples, and the benchmark harness.
+package paperapps
+
+// SmokeAlarm is Appendix A.1 (Listing 1): sounds the alarm and opens
+// the water valve when smoke is detected, turns both off when smoke is
+// clear, and turns on a switch when the detector battery is low.
+const SmokeAlarm = `
+definition(
+    name: "Smoke-Alarm",
+    namespace: "soteria",
+    author: "Soteria",
+    description: "Smoke-Detector App introduced in Section 3.",
+    category: "Safety & Security")
+
+preferences {
+    section("Select smoke detector: "){
+        input "smoke_detector", "capability.smokeDetector", title: "Which detector?", required: true
+    }
+    section("Select switch for low battery notification: "){
+        input "the_switch", "capability.switch", title: "Which switch?", required: true
+    }
+    section("Select alarm device: ") {
+        input "the_alarm", "capability.alarm", title: "Which alarm?", required: true
+    }
+    section("Select water valve: "){
+        input "the_valve", "capability.valve", title: "Which valve?", required: true
+    }
+    section("Select battery settings: "){
+        input "the_battery", "capability.battery", title: "Which battery?", required: true
+    }
+    section( "Low battery warning: "){
+        input "thrshld", "number", title: "Low Battery Threshold", required: true
+    }
+}
+
+def installed()
+{
+    initialize()
+}
+
+def updated()
+{
+    unsubscribe()
+    initialize()
+}
+
+private initialize() {
+    subscribe(smoke_detector, "smoke", smokeHandler)
+    subscribe(the_battery, "battery", batteryHandler)
+}
+
+def smokeHandler(evt) {
+    log.trace "$evt.value: $evt, $settings"
+    String theMessage
+    log.debug "event created at: ${evt.date}"
+
+    if (evt.value == "tested") {
+        theMessage = "${evt.displayName} tested for smoke."
+    } else if (evt.value == "clear") {
+        theMessage = "${evt.displayName} is clear for smoke."
+        the_alarm.off()
+        the_valve.close()
+        log.debug "evt clear"
+    } else if (evt.value == "detected") {
+        theMessage = "${evt.displayName} detected smoke!"
+        the_alarm.siren()
+        the_valve.open()
+    } else {
+        theMessage = ("Unknown event received ${evt.name}")
+    }
+    log.warn "$theMessage"
+}
+
+def batteryHandler(evt) {
+    log.trace "$evt.value: $evt, $settings"
+    def String theMessage
+    def check = thrshld
+    def battLevel = findBatteryLevel()
+
+    if (battLevel < check) {
+        the_switch.on()
+        theMessage = "${evt.displayName} has battery ${battLevel}"
+    }
+}
+
+def findBatteryLevel(){
+    return the_battery.currentValue("battery").integerValue
+}
+`
+
+// BuggySmokeAlarm is the §3 motivating variant whose actual behaviour
+// (Fig. 2(1b)) halts the alarm moments after it sounds: a bug turns
+// the alarm off on the same smoke-detected event.
+const BuggySmokeAlarm = `
+definition(
+    name: "Buggy-Smoke-Alarm",
+    namespace: "soteria",
+    author: "Soteria",
+    description: "Smoke alarm with the Fig. 2(1b) bug.",
+    category: "Safety & Security")
+
+preferences {
+    section("Select smoke detector: "){
+        input "smoke_detector", "capability.smokeDetector", required: true
+    }
+    section("Select alarm device: ") {
+        input "the_alarm", "capability.alarm", required: true
+    }
+}
+
+def installed() {
+    subscribe(smoke_detector, "smoke", smokeHandler)
+}
+
+def smokeHandler(evt) {
+    if (evt.value == "detected") {
+        the_alarm.siren()
+        the_alarm.off()
+    }
+    if (evt.value == "clear") {
+        the_alarm.off()
+    }
+}
+`
+
+// WaterLeakDetector is Appendix A.2 (Listing 3): closes the main water
+// valve when the moisture sensor reports wet.
+const WaterLeakDetector = `
+definition(
+    name: "Water-Leak-Detector",
+    namespace: "soteria",
+    author: "Soteria",
+    description: "Water-Leak-Detector app introduced in Section 3.",
+    category: "Safety & Security")
+
+preferences {
+    section("When there's water detected...") {
+        input "water_sensor", "capability.waterSensor", title: "Where?"
+        input "valve_device", "capability.valve", title: "Valve device"
+    }
+    section("Send a notification to...") {
+        input("recipients", "contact", title: "Recipients", description: "Send notifications to") {
+            input "phone", "phone", title: "Phone number?", required: false
+        }
+    }
+}
+
+def installed(){
+    subscribe(water_sensor, "water.wet", waterWetHandler)
+}
+
+def updated(){
+    unsubscribe()
+    subscribe(water_sensor, "water.wet", waterWetHandler)
+}
+
+def waterWetHandler(evt){
+    def deltaSeconds = 60
+
+    def timeAgo = new Date(now() - (1000 * deltaSeconds))
+    def recentEvents = water_sensor.eventsSince(timeAgo)
+    log.debug "Found ${recentEvents?.size() ?: 0} events in the last $deltaSeconds seconds"
+    valve_device.close()
+    def alreadySentSms = recentEvents.count {it.value && it.value == "wet"} > 1
+    if (alreadySentSms){
+        log.debug "SMS already sent within the last $deltaSeconds seconds"
+    }else{
+        def msg = "${water_sensor.displayName} is wet!"
+        if (location.contactBookEnabled){
+            sendNotificationToContacts(msg, recipients)
+        }
+        else{
+            sendPush(msg)
+            if (phone) {
+                sendSms(phone, msg)
+            }
+        }
+    }
+}
+`
+
+// ThermostatEnergyControl is Appendix A.3 (Listing 5): locks the door
+// and sets the thermostat on mode changes; switches the heater outlet
+// off above an energy threshold and on below another.
+const ThermostatEnergyControl = `
+definition(
+    name: "Thermostat-Energy-Control",
+    namespace: "soteria",
+    author: "Soteria",
+    description: "Thermostat-Energy-Control app introduced in Section 3.",
+    category: "Green Living")
+
+preferences {
+    section("Control") {
+        input "ther", "capability.thermostat", title: "Thermostat", required:true
+    }
+    section("Select the door lock:") {
+        input "the_lock", "capability.lock", required: true
+    }
+    section("Select the thermostat energy meter to monitor:") {
+        input "power_meter", "capability.powerMeter", title: "Energy Meters", required: true
+        input "price_kwh", "number", title: "threshold value for energy usage", required: true
+    }
+    section("Select the heater outlet switch:"){
+        input "the_switch", "capability.switch", title: "Outlets", required: true
+    }
+}
+
+def installed(){
+    initialize()
+}
+
+def updated(){
+    unsubscribe()
+    unschedule()
+    initialize()
+}
+
+def initialize(){
+    subscribe(location, "mode", modeChangeHandler)
+    subscribe(power_meter, "power", powerHandler)
+}
+
+def modeChangeHandler(evt) {
+    def temp = 68
+    setTemp(temp)
+    the_lock.lock()
+}
+
+def setTemp(t){
+    ther.setHeatingSetpoint(t)
+    def msg = "heating and cooling point set, door is locked!"
+    send(msg)
+}
+
+def powerHandler(evt){
+    def above_thrshld_val = 50
+    def below_thrshld_val = 5
+    def dUnit = evt.unit ?: "Watts"
+
+    power_val = get_power()
+
+    if (power_val > above_thrshld_val ){
+        the_switch.off()
+        send("above threshold")
+    }
+    if (power_val < below_thrshld_val ){
+        the_switch.on()
+        send("below threshold")
+    }
+}
+
+def get_power(){
+    latest_power = power_meter.currentValue("power")
+    return latest_power
+}
+
+def send(msg){
+    if(location.contactBookEnabled) {
+        if (recipients) {
+            sendNotificationToContacts(msg, recipients)
+        }
+    }
+    if (phoneNumber) {
+        sendSms( phoneNumber, msg)
+    }
+}
+`

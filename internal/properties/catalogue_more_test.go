@@ -1,0 +1,265 @@
+package properties
+
+import "testing"
+
+// Each case checks a catalogue property in both directions: a
+// conforming app passes and a violating app is flagged.
+
+func TestP2MotionLights(t *testing.T) {
+	good := [2]string{"good", `
+preferences {
+    section("s") {
+        input "sw", "capability.switch"
+        input "motion", "capability.motionSensor"
+    }
+}
+def installed() { subscribe(motion, "motion.active", h) }
+def h(evt) { sw.on() }
+`}
+	if vs := checkApp(t, good); hasViolation(vs, "P.2") {
+		t.Errorf("good: %v", ids(vs))
+	}
+	bad := [2]string{"bad", `
+preferences {
+    section("s") {
+        input "sw", "capability.switch"
+        input "motion", "capability.motionSensor"
+    }
+}
+def installed() { subscribe(motion, "motion.active", h) }
+def h(evt) { sw.off() }
+`}
+	if vs := checkApp(t, bad); !hasViolation(vs, "P.2") {
+		t.Errorf("bad: %v", ids(vs))
+	}
+}
+
+func TestP4ArrivalLight(t *testing.T) {
+	bad := [2]string{"bad", `
+preferences {
+    section("s") {
+        input "sw", "capability.switch"
+        input "who", "capability.presenceSensor"
+    }
+}
+def installed() { subscribe(who, "presence.present", h) }
+def h(evt) { sw.off() }
+`}
+	if vs := checkApp(t, bad); !hasViolation(vs, "P.4") {
+		t.Errorf("bad: %v", ids(vs))
+	}
+}
+
+func TestP6GarageDoor(t *testing.T) {
+	good := [2]string{"good", `
+preferences {
+    section("s") {
+        input "garage", "capability.garageDoorControl"
+        input "who", "capability.presenceSensor"
+    }
+}
+def installed() {
+    subscribe(who, "presence.present", hIn)
+    subscribe(who, "presence.not present", hOut)
+}
+def hIn(evt) { garage.open() }
+def hOut(evt) { garage.close() }
+`}
+	if vs := checkApp(t, good); hasViolation(vs, "P.6") {
+		t.Errorf("good: %v", ids(vs))
+	}
+	bad := [2]string{"bad", `
+preferences {
+    section("s") {
+        input "garage", "capability.garageDoorControl"
+        input "who", "capability.presenceSensor"
+    }
+}
+def installed() { subscribe(who, "presence.not present", h) }
+def h(evt) { garage.open() }
+`}
+	if vs := checkApp(t, bad); !hasViolation(vs, "P.6") {
+		t.Errorf("bad: %v", ids(vs))
+	}
+}
+
+func TestP8SleepLights(t *testing.T) {
+	bad := [2]string{"bad", `
+preferences {
+    section("s") {
+        input "sw", "capability.switch"
+        input "bed", "capability.sleepSensor"
+    }
+}
+def installed() { subscribe(bed, "sleeping.sleeping", h) }
+def h(evt) { sw.on() }
+`}
+	if vs := checkApp(t, bad); !hasViolation(vs, "P.8") {
+		t.Errorf("bad: %v", ids(vs))
+	}
+}
+
+func TestP9SecurityDisarm(t *testing.T) {
+	bad := [2]string{"bad", `
+preferences {
+    section("s") {
+        input "siren", "capability.alarm"
+        input "who", "capability.presenceSensor"
+    }
+}
+def installed() { subscribe(who, "presence.not present", h) }
+def h(evt) { siren.off() }
+`}
+	if vs := checkApp(t, bad); !hasViolation(vs, "P.9") {
+		t.Errorf("bad: %v", ids(vs))
+	}
+}
+
+func TestP17HeaterAndAC(t *testing.T) {
+	bad := [2]string{"bad", `
+preferences {
+    section("s") {
+        input "heater", "capability.switch"
+        input "ac", "capability.fanControl"
+    }
+}
+def installed() { subscribe(location, "mode", h) }
+def h(evt) {
+    heater.on()
+    ac.fanOn()
+}
+`}
+	if vs := checkApp(t, bad); !hasViolation(vs, "P.17") {
+		t.Errorf("bad: %v", ids(vs))
+	}
+	good := [2]string{"good", `
+preferences {
+    section("s") {
+        input "heater", "capability.switch"
+        input "ac", "capability.fanControl"
+    }
+}
+def installed() { subscribe(location, "mode", h) }
+def h(evt) {
+    heater.off()
+    ac.fanOn()
+}
+`}
+	if vs := checkApp(t, good); hasViolation(vs, "P.17") {
+		t.Errorf("good: %v", ids(vs))
+	}
+}
+
+func TestP20CameraTrap(t *testing.T) {
+	good := [2]string{"good", `
+preferences {
+    section("s") {
+        input "cam", "capability.imageCapture"
+        input "motion", "capability.motionSensor"
+        input "entry", "capability.contactSensor"
+    }
+}
+def installed() { subscribe(motion, "motion.active", h) }
+def h(evt) { cam.take() }
+`}
+	if vs := checkApp(t, good); hasViolation(vs, "P.20") {
+		t.Errorf("good: %v", ids(vs))
+	}
+	bad := [2]string{"bad", `
+preferences {
+    section("s") {
+        input "cam", "capability.imageCapture"
+        input "motion", "capability.motionSensor"
+        input "entry", "capability.contactSensor"
+    }
+}
+def installed() { subscribe(motion, "motion.active", h) }
+def h(evt) { log.debug "motion but no snapshot" }
+`}
+	if vs := checkApp(t, bad); !hasViolation(vs, "P.20") {
+		t.Errorf("bad: %v", ids(vs))
+	}
+}
+
+func TestP24WindowHeater(t *testing.T) {
+	bad := [2]string{"bad", `
+preferences {
+    section("s") {
+        input "shade", "capability.windowShade"
+        input "heater", "capability.switch"
+    }
+}
+def installed() { subscribe(location, "mode", h) }
+def h(evt) {
+    shade.open()
+    heater.on()
+}
+`}
+	if vs := checkApp(t, bad); !hasViolation(vs, "P.24") {
+		t.Errorf("bad: %v", ids(vs))
+	}
+}
+
+func TestP26DoorOpenTooLong(t *testing.T) {
+	good := [2]string{"good", `
+preferences {
+    section("s") {
+        input "siren", "capability.alarm"
+        input "door", "capability.contactSensor"
+    }
+}
+def installed() { subscribe(door, "contact.open", h) }
+def h(evt) { runIn(120, checkHandler) }
+def checkHandler() {
+    if (door.currentValue("contact") == "open") {
+        siren.siren()
+    }
+}
+`}
+	if vs := checkApp(t, good); hasViolation(vs, "P.26") {
+		t.Errorf("good: %v", ids(vs))
+	}
+	bad := [2]string{"bad", `
+preferences {
+    section("s") {
+        input "siren", "capability.alarm"
+        input "door", "capability.contactSensor"
+    }
+}
+def installed() { subscribe(door, "contact.open", h) }
+def h(evt) { runIn(120, checkHandler) }
+def checkHandler() {
+    log.debug "forgot to sound the alarm"
+}
+`}
+	if vs := checkApp(t, bad); !hasViolation(vs, "P.26") {
+		t.Errorf("bad: %v", ids(vs))
+	}
+}
+
+func TestP27ModeSync(t *testing.T) {
+	good := [2]string{"good", `
+preferences { section("s") { input "who", "capability.presenceSensor" } }
+def installed() {
+    subscribe(who, "presence.present", hIn)
+    subscribe(who, "presence.not present", hOut)
+}
+def hIn(evt) { setLocationMode("home") }
+def hOut(evt) { setLocationMode("away") }
+`}
+	if vs := checkApp(t, good); hasViolation(vs, "P.27") {
+		t.Errorf("good: %v", ids(vs))
+	}
+	bad := [2]string{"bad", `
+preferences { section("s") { input "who", "capability.presenceSensor" } }
+def installed() {
+    subscribe(who, "presence.present", hIn)
+    subscribe(who, "presence.not present", hOut)
+}
+def hIn(evt) { setLocationMode("away") }
+def hOut(evt) { setLocationMode("home") }
+`}
+	if vs := checkApp(t, bad); !hasViolation(vs, "P.27") {
+		t.Errorf("bad: %v", ids(vs))
+	}
+}

@@ -1,0 +1,124 @@
+// Package report renders the text tables and series the benchmark
+// harness prints, so each regenerated experiment mirrors the paper's
+// presentation.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, stringifying the cells.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note records a footnote printed under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+		sb.WriteString(strings.Repeat("=", len(t.Title)) + "\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(c, widths[i]))
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("  * " + n + "\n")
+	}
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is an (x, y) data series for the figure-style outputs.
+type Series struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Points [][2]float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, [2]float64{x, y}) }
+
+// String renders the series as aligned columns with a coarse ASCII
+// bar to convey the shape.
+func (s *Series) String() string {
+	var sb strings.Builder
+	if s.Title != "" {
+		sb.WriteString(s.Title + "\n")
+		sb.WriteString(strings.Repeat("=", len(s.Title)) + "\n")
+	}
+	fmt.Fprintf(&sb, "%-14s %-14s\n", s.XLabel, s.YLabel)
+	maxY := 0.0
+	for _, p := range s.Points {
+		if p[1] > maxY {
+			maxY = p[1]
+		}
+	}
+	for _, p := range s.Points {
+		bar := ""
+		if maxY > 0 {
+			n := int(p[1] / maxY * 40)
+			bar = strings.Repeat("#", n)
+		}
+		fmt.Fprintf(&sb, "%-14.6g %-14.6g %s\n", p[0], p[1], bar)
+	}
+	return sb.String()
+}

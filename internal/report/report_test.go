@@ -1,0 +1,68 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:   "Demo",
+		Headers: []string{"Name", "Count"},
+	}
+	tbl.AddRow("alpha", 1)
+	tbl.AddRow("beta-longer", 42)
+	tbl.Note("a note with %d", 7)
+	out := tbl.String()
+	for _, want := range []string{"Demo", "====", "Name", "alpha", "beta-longer", "42", "* a note with 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Columns aligned: header and row share the column start.
+	lines := strings.Split(out, "\n")
+	var header, row string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "Name") {
+			header = l
+		}
+		if strings.HasPrefix(l, "alpha") {
+			row = l
+		}
+	}
+	if strings.Index(header, "Count") != strings.Index(row, "1") {
+		t.Errorf("misaligned:\n%q\n%q", header, row)
+	}
+}
+
+func TestAddRowFloats(t *testing.T) {
+	tbl := &Table{Headers: []string{"x"}}
+	tbl.AddRow(3.14159)
+	if tbl.Rows[0][0] != "3.14" {
+		t.Errorf("float cell = %q", tbl.Rows[0][0])
+	}
+}
+
+func TestSeriesRendering(t *testing.T) {
+	s := &Series{Title: "T", XLabel: "x", YLabel: "y"}
+	s.Add(1, 10)
+	s.Add(2, 40)
+	out := s.String()
+	if !strings.Contains(out, "x") || !strings.Contains(out, "40") {
+		t.Errorf("series output:\n%s", out)
+	}
+	// The larger y gets the longer bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	prev := lines[len(lines)-2]
+	if strings.Count(last, "#") <= strings.Count(prev, "#") {
+		t.Errorf("bars not proportional:\n%s", out)
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	s := &Series{XLabel: "x", YLabel: "y"}
+	if out := s.String(); !strings.Contains(out, "x") {
+		t.Errorf("empty series output = %q", out)
+	}
+}

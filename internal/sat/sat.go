@@ -1,0 +1,203 @@
+// Package sat implements a DPLL propositional satisfiability solver
+// over CNF: the second half of the NuSMV-replacement substrate
+// (paper §5 combines BDD-based with SAT-based model checking [8]).
+// The solver uses unit propagation, a simple activity-free branching
+// heuristic, and chronological backtracking — ample for the bounded
+// model checking instances Soteria's app models generate.
+package sat
+
+import "fmt"
+
+// Lit is a literal: positive value v means variable v, negative -v
+// means ¬v. Variables are numbered from 1.
+type Lit int
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// Formula is a CNF formula.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// NewFormula creates an empty CNF over n variables.
+func NewFormula(n int) *Formula { return &Formula{NumVars: n} }
+
+// Add appends a clause; it panics on out-of-range literals to catch
+// encoding bugs early.
+func (f *Formula) Add(lits ...Lit) {
+	for _, l := range lits {
+		v := l
+		if v < 0 {
+			v = -v
+		}
+		if v == 0 || int(v) > f.NumVars {
+			panic(fmt.Sprintf("sat: literal %d out of range (1..%d)", l, f.NumVars))
+		}
+	}
+	c := make(Clause, len(lits))
+	copy(c, lits)
+	f.Clauses = append(f.Clauses, c)
+}
+
+// Assignment maps variable -> value; index 0 unused.
+type Assignment []bool
+
+// Value returns the literal's value under the assignment.
+func (a Assignment) Value(l Lit) bool {
+	if l > 0 {
+		return a[l]
+	}
+	return !a[-l]
+}
+
+// Solve decides satisfiability; when satisfiable it returns a model.
+func Solve(f *Formula) (Assignment, bool) {
+	s := &solver{
+		f:      f,
+		assign: make([]int8, f.NumVars+1), // 0 unset, 1 true, -1 false
+	}
+	// Build watch lists: variable -> clauses containing it.
+	s.occur = make([][]int, f.NumVars+1)
+	for ci, c := range f.Clauses {
+		for _, l := range c {
+			v := l
+			if v < 0 {
+				v = -v
+			}
+			s.occur[v] = append(s.occur[v], ci)
+		}
+	}
+	if !s.dpll() {
+		return nil, false
+	}
+	model := make(Assignment, f.NumVars+1)
+	for v := 1; v <= f.NumVars; v++ {
+		model[v] = s.assign[v] == 1
+	}
+	return model, true
+}
+
+type solver struct {
+	f      *Formula
+	assign []int8
+	trail  []int // assigned variables in order
+	occur  [][]int
+}
+
+func (s *solver) litVal(l Lit) int8 {
+	v := l
+	if v < 0 {
+		v = -v
+	}
+	a := s.assign[v]
+	if l < 0 {
+		return -a
+	}
+	return a
+}
+
+// set assigns variable of l so l is true; returns trail length before.
+func (s *solver) set(l Lit) {
+	v := l
+	val := int8(1)
+	if v < 0 {
+		v = -v
+		val = -1
+	}
+	s.assign[v] = val
+	s.trail = append(s.trail, int(v))
+}
+
+func (s *solver) undoTo(mark int) {
+	for len(s.trail) > mark {
+		v := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		s.assign[v] = 0
+	}
+}
+
+// propagate runs unit propagation; returns false on conflict.
+func (s *solver) propagate() bool {
+	for {
+		progress := false
+		for _, c := range s.f.Clauses {
+			sat := false
+			unassigned := 0
+			var unit Lit
+			for _, l := range c {
+				switch s.litVal(l) {
+				case 1:
+					sat = true
+				case 0:
+					unassigned++
+					unit = l
+				}
+				if sat {
+					break
+				}
+			}
+			if sat {
+				continue
+			}
+			if unassigned == 0 {
+				return false // conflict
+			}
+			if unassigned == 1 {
+				s.set(unit)
+				progress = true
+			}
+		}
+		if !progress {
+			return true
+		}
+	}
+}
+
+func (s *solver) pickBranch() Lit {
+	// First unassigned variable, preferring the polarity that appears
+	// in more clauses of its occurrence list.
+	for v := 1; v <= s.f.NumVars; v++ {
+		if s.assign[v] != 0 {
+			continue
+		}
+		pos, neg := 0, 0
+		for _, ci := range s.occur[v] {
+			for _, l := range s.f.Clauses[ci] {
+				if int(l) == v {
+					pos++
+				} else if int(l) == -v {
+					neg++
+				}
+			}
+		}
+		if neg > pos {
+			return Lit(-v)
+		}
+		return Lit(v)
+	}
+	return 0
+}
+
+func (s *solver) dpll() bool {
+	if !s.propagate() {
+		return false
+	}
+	l := s.pickBranch()
+	if l == 0 {
+		return true // all assigned, no conflict
+	}
+	mark := len(s.trail)
+	s.set(l)
+	if s.dpll() {
+		return true
+	}
+	s.undoTo(mark)
+	s.set(-l)
+	if s.dpll() {
+		return true
+	}
+	s.undoTo(mark)
+	return false
+}

@@ -1,0 +1,169 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivial(t *testing.T) {
+	f := NewFormula(1)
+	if _, ok := Solve(f); !ok {
+		t.Error("empty CNF is satisfiable")
+	}
+	f.Add(1)
+	m, ok := Solve(f)
+	if !ok || !m.Value(1) {
+		t.Error("unit clause")
+	}
+}
+
+func TestContradiction(t *testing.T) {
+	f := NewFormula(1)
+	f.Add(1)
+	f.Add(-1)
+	if _, ok := Solve(f); ok {
+		t.Error("x ∧ ¬x should be unsat")
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	f := NewFormula(1)
+	f.Add() // empty clause
+	if _, ok := Solve(f); ok {
+		t.Error("empty clause should be unsat")
+	}
+}
+
+func TestSimpleImplicationChain(t *testing.T) {
+	// x1 ∧ (¬x1 ∨ x2) ∧ (¬x2 ∨ x3): forces all true.
+	f := NewFormula(3)
+	f.Add(1)
+	f.Add(-1, 2)
+	f.Add(-2, 3)
+	m, ok := Solve(f)
+	if !ok || !m.Value(1) || !m.Value(2) || !m.Value(3) {
+		t.Errorf("model = %v ok=%t", m, ok)
+	}
+}
+
+func TestPigeonhole3x2(t *testing.T) {
+	// 3 pigeons, 2 holes: unsat. Var p*2+h+1 = pigeon p in hole h.
+	v := func(p, h int) Lit { return Lit(p*2 + h + 1) }
+	f := NewFormula(6)
+	for p := 0; p < 3; p++ {
+		f.Add(v(p, 0), v(p, 1))
+	}
+	for h := 0; h < 2; h++ {
+		for p1 := 0; p1 < 3; p1++ {
+			for p2 := p1 + 1; p2 < 3; p2++ {
+				f.Add(-v(p1, h), -v(p2, h))
+			}
+		}
+	}
+	if _, ok := Solve(f); ok {
+		t.Error("PHP(3,2) should be unsat")
+	}
+}
+
+func TestModelSatisfiesAllClauses(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + rng.Intn(10)
+		f := NewFormula(n)
+		// Random 3-SAT at low clause density (likely satisfiable).
+		for c := 0; c < n*2; c++ {
+			var lits []Lit
+			for j := 0; j < 3; j++ {
+				v := Lit(1 + rng.Intn(n))
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				lits = append(lits, v)
+			}
+			f.Add(lits...)
+		}
+		m, ok := Solve(f)
+		if !ok {
+			continue // may genuinely be unsat
+		}
+		for _, c := range f.Clauses {
+			sat := false
+			for _, l := range c {
+				if m.Value(l) {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				t.Fatalf("model does not satisfy clause %v", c)
+			}
+		}
+	}
+}
+
+// Exhaustive cross-check against brute force on small formulas.
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(4) // up to 5 vars
+		f := NewFormula(n)
+		nc := 1 + rng.Intn(8)
+		for c := 0; c < nc; c++ {
+			width := 1 + rng.Intn(3)
+			var lits []Lit
+			for j := 0; j < width; j++ {
+				v := Lit(1 + rng.Intn(n))
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				lits = append(lits, v)
+			}
+			f.Add(lits...)
+		}
+		_, got := Solve(f)
+		want := bruteForce(f)
+		if got != want {
+			t.Fatalf("trial %d: Solve=%t brute=%t clauses=%v", trial, got, want, f.Clauses)
+		}
+	}
+}
+
+func bruteForce(f *Formula) bool {
+	n := f.NumVars
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		for _, c := range f.Clauses {
+			sat := false
+			for _, l := range c {
+				v := int(l)
+				neg := v < 0
+				if neg {
+					v = -v
+				}
+				val := mask&(1<<(v-1)) != 0
+				if val != neg {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLiteralOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f := NewFormula(2)
+	f.Add(3)
+}

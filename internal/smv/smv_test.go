@@ -1,0 +1,95 @@
+package smv
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/soteria-analysis/soteria/internal/ctl"
+	"github.com/soteria-analysis/soteria/internal/ir"
+	"github.com/soteria-analysis/soteria/internal/paperapps"
+	"github.com/soteria-analysis/soteria/internal/statemodel"
+)
+
+func modelOf(t *testing.T, name, src string) *statemodel.Model {
+	t.Helper()
+	app, err := ir.BuildSource(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := statemodel.Build(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestEmitWaterLeak(t *testing.T) {
+	m := modelOf(t, "water-leak", paperapps.WaterLeakDetector)
+	out := Emit(m, []ctl.Formula{
+		ctl.MustParse(`AG ("ev:waterSensor.water.wet" -> "valve.valve=closed")`),
+	})
+	for _, want := range []string{
+		"MODULE main",
+		"VAR",
+		"valve_valve : {valve_valve_closed, valve_valve_open}",
+		"waterSensor_water : {waterSensor_water_dry, waterSensor_water_wet}",
+		"_event :",
+		"TRANS",
+		"next(valve_valve) = valve_valve_closed",
+		"SPEC AG ((_event = ev_waterSensor_water_wet -> valve_valve = valve_valve_closed))",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SMV output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSymbolSanitisation(t *testing.T) {
+	cases := map[string]string{
+		"valve.valve":        "valve_valve",
+		"battery<thrshld":    "battery_lt_thrshld",
+		"==68":               "_eq__eq_68",
+		"a b":                "a_b",
+		"power>50&power<100": "power_gt_50_and_power_lt_100",
+	}
+	for in, want := range cases {
+		if got := symbol(in); got != want {
+			t.Errorf("symbol(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEmitDeterministic(t *testing.T) {
+	m := modelOf(t, "smoke-alarm", paperapps.SmokeAlarm)
+	a := Emit(m, nil)
+	b := Emit(m, nil)
+	if a != b {
+		t.Error("SMV emission must be deterministic")
+	}
+}
+
+func TestFormulaRendering(t *testing.T) {
+	cases := map[string]string{
+		`AG "a=b"`:           `AG (a = a_b)`,
+		`EF ("x=1" & "y=2")`: `EF ((x = x_1 & y = y_2))`,
+		`A["p=q" U "r=s"]`:   `A [p = p_q U r = r_s]`,
+		`!"ev:timer"`:        `!(_event = ev_timer)`,
+		`true`:               `TRUE`,
+	}
+	for src, want := range cases {
+		if got := formula(ctl.MustParse(src)); got != want {
+			t.Errorf("formula(%s) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestEmptyModelStutters(t *testing.T) {
+	m := modelOf(t, "empty", `
+preferences { section("s") { input "sw", "capability.switch" } }
+def installed() { }
+`)
+	out := Emit(m, nil)
+	if !strings.Contains(out, "next(switch_switch) = switch_switch") {
+		t.Errorf("no-transition model should stutter:\n%s", out)
+	}
+}

@@ -1,0 +1,616 @@
+package statemodel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/soteria-analysis/soteria/internal/capability"
+	"github.com/soteria-analysis/soteria/internal/ir"
+	"github.com/soteria-analysis/soteria/internal/pathcond"
+	"github.com/soteria-analysis/soteria/internal/symexec"
+)
+
+// Options tune model extraction; the zero value is the paper's full
+// algorithm.
+type Options struct {
+	// EventOnlyLabels reproduces the paper's earlier, imprecise
+	// design (§4.2): transition labels carry only events, dropping the
+	// predicates that guard state changes. Used by the ablation
+	// benchmark to measure the spurious nondeterminism and false
+	// positives predicate labels eliminate.
+	EventOnlyLabels bool
+}
+
+// Build extracts the state model of one or more apps. For a single
+// app this is §4.2's per-app extraction; for several it produces the
+// union model of the multi-app environment directly over the merged
+// variable set (equivalent to Algorithm 2's union of the individual
+// models; see Union for the structural algorithm itself).
+func Build(apps ...*ir.App) (*Model, error) {
+	return BuildOpt(Options{}, apps...)
+}
+
+// BuildOpt is Build with explicit options.
+func BuildOpt(opt Options, apps ...*ir.App) (*Model, error) {
+	m := &Model{
+		varIdx:  map[string]int{},
+		stateID: map[string]int{},
+		opt:     opt,
+	}
+	for _, app := range apps {
+		am := &AppModel{App: app, HandleCap: map[string]string{}}
+		for _, p := range app.Devices() {
+			if p.Cap != nil {
+				am.HandleCap[p.Handle] = p.Cap.Name
+			}
+		}
+		am.Results = symexec.ExecuteAll(app)
+		m.Apps = append(m.Apps, am)
+	}
+
+	m.collectVars()
+	if err := m.enumerateStates(); err != nil {
+		return m, err
+	}
+	m.deriveTransitions()
+	m.detectNondeterminism()
+	return m, nil
+}
+
+// ---------------------------------------------------------------------------
+// Variable collection and property abstraction
+
+// varSpec accumulates information about a prospective model variable.
+type varSpec struct {
+	cap        *capability.Capability
+	attr       *capability.Attribute
+	handles    map[string]bool
+	extraVals  map[string]bool          // enum values written beyond the capability domain
+	predAtoms  []pathcond.Atom          // abstraction predicates (canonical var names)
+	writtenEqs map[string]pathcond.Atom // equality atoms for written numeric values
+}
+
+func (m *Model) collectVars() {
+	specs := map[string]*varSpec{}
+	spec := func(capName, attrName string) *varSpec {
+		key := varKeyFor(capName, attrName)
+		if s, ok := specs[key]; ok {
+			return s
+		}
+		c, ok := capability.Lookup(capName)
+		if !ok {
+			return nil
+		}
+		a, ok := c.Attribute(attrName)
+		if !ok {
+			return nil
+		}
+		s := &varSpec{
+			cap: c, attr: a,
+			handles:    map[string]bool{},
+			extraVals:  map[string]bool{},
+			writtenEqs: map[string]pathcond.Atom{},
+		}
+		specs[key] = s
+		return s
+	}
+
+	for _, am := range m.Apps {
+		app := am.App
+		// Every attribute of every granted device is part of the state
+		// (the paper's state space is the product of the devices'
+		// attributes).
+		for _, p := range app.Devices() {
+			if p.Cap == nil {
+				continue
+			}
+			for _, a := range p.Cap.Attributes {
+				if a.Kind == capability.Text {
+					continue
+				}
+				if s := spec(p.Cap.Name, a.Name); s != nil {
+					s.handles[p.Handle] = true
+				}
+			}
+		}
+		// The abstract location mode becomes a variable when the app
+		// subscribes to mode events or changes the mode.
+		usesMode := app.SubscribesToMode()
+		for _, r := range am.Results {
+			for _, path := range r.Paths {
+				for _, act := range path.Actions {
+					if act.Cap == "location" {
+						usesMode = true
+					}
+				}
+			}
+		}
+		if usesMode {
+			spec("location", "mode")
+		}
+
+		// Collect abstraction predicates and written values.
+		for _, r := range am.Results {
+			trigKey := m.triggerKey(app, r.Entry.Sub)
+			for _, path := range r.Paths {
+				for _, atom := range path.Guard.Atoms {
+					key, ok := canonicalAtomVar(app, atom.Var)
+					if !ok {
+						// evt.value atoms constrain the triggering
+						// attribute.
+						if atom.Var == "evt.value" && trigKey != "" {
+							key = trigKey
+						} else {
+							continue
+						}
+					}
+					s := specs[key]
+					if s == nil || s.attr.Kind != capability.Numeric {
+						continue
+					}
+					na := atom
+					na.Var = key
+					s.predAtoms = append(s.predAtoms, na)
+				}
+				for _, act := range path.Actions {
+					key := varKeyFor(act.Cap, act.Attr)
+					s := specs[key]
+					if s == nil {
+						s = spec(act.Cap, act.Attr)
+						if s == nil {
+							continue
+						}
+					}
+					if act.Handle != "location" {
+						s.handles[act.Handle] = true
+					}
+					if s.attr.Kind == capability.Numeric {
+						eq := pathcond.Atom{Var: key, Op: pathcond.EQ}
+						if n, err := strconv.ParseFloat(act.Value, 64); err == nil {
+							eq.IsNum = true
+							eq.Num = n
+						} else {
+							eq.RHSVar = act.Value
+						}
+						s.writtenEqs[eq.String()] = eq
+					} else if !s.attr.HasValue(act.Value) && !act.Symbolic {
+						s.extraVals[act.Value] = true
+					}
+				}
+			}
+			// Subscription values ("mode.away") extend enum domains.
+			if sub := r.Entry.Sub; sub.Value != "" && trigKey != "" {
+				if s := specs[trigKey]; s != nil && s.attr.Kind == capability.Enum && !s.attr.HasValue(sub.Value) {
+					s.extraVals[sub.Value] = true
+				}
+			}
+		}
+	}
+
+	// Materialise variables in deterministic order.
+	before := 1
+	for _, key := range sortedKeys(specs) {
+		s := specs[key]
+		v := &Var{
+			Key: key, Cap: s.cap.Name, Attr: s.attr.Name,
+			Handles: sortedKeys(s.handles),
+		}
+		switch s.attr.Kind {
+		case capability.Enum:
+			v.Values = append(v.Values, s.attr.Values...)
+			for _, ev := range sortedKeys(s.extraVals) {
+				v.Values = append(v.Values, ev)
+			}
+			before *= len(v.Values)
+		case capability.Numeric:
+			v.Numeric = true
+			atoms := append([]pathcond.Atom{}, s.predAtoms...)
+			for _, k := range sortedKeys(s.writtenEqs) {
+				atoms = append(atoms, s.writtenEqs[k])
+			}
+			v.Values, v.ValueConds = abstractDomain(key, atoms)
+			if before < maxStates {
+				before *= numericLevels
+			}
+		}
+		m.varIdx[v.Key] = len(m.Vars)
+		m.Vars = append(m.Vars, v)
+	}
+	m.StatesBeforeReduction = before
+}
+
+// triggerKey returns the model variable key of a subscription's
+// triggering attribute ("" for label-only events).
+func (m *Model) triggerKey(app *ir.App, sub ir.Subscription) string {
+	switch sub.Kind {
+	case ir.ModeEvent:
+		return "location.mode"
+	case ir.AppTouchEvent, ir.TimerEvent:
+		return ""
+	}
+	p, ok := app.PermissionByHandle(sub.Handle)
+	if !ok || p.Cap == nil {
+		return ""
+	}
+	attr := sub.Attr
+	if attr == "" || func() bool { _, has := p.Cap.Attribute(attr); return !has }() {
+		if pa := p.Cap.PrimaryAttribute(); pa != nil {
+			attr = pa.Name
+		}
+	}
+	return varKeyFor(p.Cap.Name, attr)
+}
+
+// ---------------------------------------------------------------------------
+// State enumeration
+
+func (m *Model) enumerateStates() error {
+	total := 1
+	for _, v := range m.Vars {
+		total *= len(v.Values)
+		if total > maxStates {
+			return fmt.Errorf("state space exceeds %d states", maxStates)
+		}
+	}
+	idx := make([]int, len(m.Vars))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(m.Vars) {
+			m.internState(idx)
+			return
+		}
+		for j := range m.Vars[i].Values {
+			idx[i] = j
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Transition derivation
+
+func (m *Model) deriveTransitions() {
+	seen := map[edgeKey]bool{}
+	for ai, am := range m.Apps {
+		for _, r := range am.Results {
+			trigKey := m.triggerKey(am.App, r.Entry.Sub)
+			for _, path := range r.Paths {
+				m.derivePathTransitions(ai, am, r.Entry, trigKey, path, seen)
+			}
+		}
+	}
+}
+
+type edgeKey struct {
+	from, to int
+	label    string
+	app      int
+}
+
+func (m *Model) derivePathTransitions(ai int, am *AppModel, ep *ir.EntryPoint, trigKey string, path symexec.Path, seen map[edgeKey]bool) {
+	sub := ep.Sub
+	// Determine the event values this path can fire on.
+	var events []Event
+	switch sub.Kind {
+	case ir.AppTouchEvent:
+		// Touch events are per-app: tapping one app's icon does not
+		// trigger another app.
+		events = []Event{{VarKey: "app.touch", Value: am.App.Name, Kind: sub.Kind}}
+	case ir.TimerEvent:
+		// Timer events are per-schedule (the subscription's Value is
+		// the scheduled handler).
+		v := sub.Value
+		if v == "" {
+			v = "fired"
+		}
+		events = []Event{{VarKey: "timer.time", Value: v, Kind: sub.Kind}}
+	default:
+		v, vi, ok := m.VarByKey(trigKey)
+		if !ok {
+			return
+		}
+		_ = vi
+		for i, val := range v.Values {
+			if sub.Value != "" && val != sub.Value {
+				continue
+			}
+			if !m.eventConsistent(v, i, path.Guard) {
+				continue
+			}
+			events = append(events, Event{VarKey: trigKey, Value: val, Kind: sub.Kind})
+		}
+	}
+
+	for _, ev := range events {
+		for s := range m.States {
+			m.applyPath(ai, am, ep, path, ev, s, seen)
+		}
+	}
+}
+
+// eventConsistent checks the path's evt.value atoms against a
+// candidate event value of the trigger variable.
+func (m *Model) eventConsistent(v *Var, valIdx int, guard pathcond.Cond) bool {
+	for _, atom := range guard.Atoms {
+		if atom.Var != "evt.value" {
+			continue
+		}
+		if v.Numeric {
+			na := atom
+			na.Var = v.Key
+			vc := v.ValueConds[valIdx]
+			if pathcond.Implies(vc, na.Negated()) {
+				return false
+			}
+			continue
+		}
+		val := v.Values[valIdx]
+		switch atom.Op {
+		case pathcond.EQ:
+			if !atom.IsNum && !atom.IsSym() && atom.Str != val {
+				return false
+			}
+		case pathcond.NE:
+			if !atom.IsNum && !atom.IsSym() && atom.Str == val {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// applyPath derives the transition(s) of one path from state s on
+// event ev.
+func (m *Model) applyPath(ai int, am *AppModel, ep *ir.EntryPoint, path symexec.Path, ev Event, s int, seen map[edgeKey]bool) {
+	// Post-event state: the trigger variable takes the event value.
+	idx := make([]int, len(m.Vars))
+	copy(idx, m.States[s].Idx)
+	if ev.VarKey != "app.touch" && ev.VarKey != "timer.time" {
+		v, vi, ok := m.VarByKey(ev.VarKey)
+		if !ok {
+			return
+		}
+		evi, ok := v.ValueIndex(ev.Value)
+		if !ok {
+			return
+		}
+		idx[vi] = evi
+	}
+
+	residual, ok := pathcond.True(), true
+	if !m.opt.EventOnlyLabels {
+		residual, ok = m.resolveGuard(am.App, path.Guard, ev, idx)
+	}
+	if !ok {
+		return
+	}
+
+	// Apply actions in order; unknown writes fork.
+	states := [][]int{idx}
+	for _, act := range path.Actions {
+		states = m.applyAction(states, act)
+	}
+	for _, target := range states {
+		to := m.internState(target)
+		t := Transition{
+			From: s, To: to, Event: ev, Guard: residual,
+			App: ai, Handler: ep.Sub.Handler, ActionsSig: path.ActionsSignature(),
+		}
+		k := edgeKey{from: s, to: to, label: t.Label(), app: ai}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		m.Transitions = append(m.Transitions, t)
+	}
+}
+
+// resolveGuard evaluates the path guard against the post-event state,
+// returning the residual condition (atoms it cannot decide) and
+// whether the guard is satisfiable in this state.
+func (m *Model) resolveGuard(app *ir.App, guard pathcond.Cond, ev Event, idx []int) (pathcond.Cond, bool) {
+	residual := pathcond.Cond{Opaque: guard.Opaque}
+	for _, atom := range guard.Atoms {
+		key, ok := canonicalAtomVar(app, atom.Var)
+		if !ok {
+			if atom.Var == "evt.value" {
+				// Resolve against the event value.
+				dec, decided := m.decideEvtAtom(atom, ev)
+				if decided {
+					if !dec {
+						return residual, false
+					}
+					continue
+				}
+				residual = residual.WithAtom(atom)
+				continue
+			}
+			residual = residual.WithAtom(atom)
+			continue
+		}
+		v, vi, found := m.VarByKey(key)
+		if !found {
+			residual = residual.WithAtom(atom)
+			continue
+		}
+		if v.Numeric {
+			na := atom
+			na.Var = key
+			vc := v.ValueConds[idx[vi]]
+			if pathcond.Implies(vc, na) {
+				continue
+			}
+			if pathcond.Implies(vc, na.Negated()) {
+				return residual, false
+			}
+			residual = residual.WithAtom(na)
+			continue
+		}
+		val := v.Values[idx[vi]]
+		if atom.IsNum || atom.IsSym() {
+			residual = residual.WithAtom(atom)
+			continue
+		}
+		switch atom.Op {
+		case pathcond.EQ:
+			if val != atom.Str {
+				return residual, false
+			}
+		case pathcond.NE:
+			if val == atom.Str {
+				return residual, false
+			}
+		default:
+			residual = residual.WithAtom(atom)
+		}
+	}
+	return residual, true
+}
+
+// decideEvtAtom decides an evt.value atom against a concrete event.
+func (m *Model) decideEvtAtom(atom pathcond.Atom, ev Event) (holds, decided bool) {
+	if atom.IsNum || atom.IsSym() {
+		// Numeric event values are resolved through the trigger
+		// variable's abstract value in eventConsistent.
+		v, _, ok := m.VarByKey(ev.VarKey)
+		if ok && v.Numeric {
+			if i, found := v.ValueIndex(ev.Value); found {
+				na := atom
+				na.Var = v.Key
+				vc := v.ValueConds[i]
+				if pathcond.Implies(vc, na) {
+					return true, true
+				}
+				if pathcond.Implies(vc, na.Negated()) {
+					return false, true
+				}
+			}
+		}
+		return false, false
+	}
+	switch atom.Op {
+	case pathcond.EQ:
+		return ev.Value == atom.Str, true
+	case pathcond.NE:
+		return ev.Value != atom.Str, true
+	}
+	return false, false
+}
+
+// applyAction applies one device action to each candidate state
+// vector, possibly forking on unknown writes.
+func (m *Model) applyAction(states [][]int, act symexec.Action) [][]int {
+	key := varKeyFor(act.Cap, act.Attr)
+	v, vi, ok := m.VarByKey(key)
+	if !ok {
+		return states
+	}
+	var targets []int
+	if v.Numeric {
+		eq := pathcond.Atom{Var: key, Op: pathcond.EQ}
+		if n, err := strconv.ParseFloat(act.Value, 64); err == nil {
+			eq.IsNum = true
+			eq.Num = n
+		} else {
+			eq.RHSVar = act.Value
+		}
+		for i, vc := range v.ValueConds {
+			if pathcond.Feasible(vc.WithAtom(eq)) {
+				targets = append(targets, i)
+			}
+		}
+	} else {
+		if i, found := v.ValueIndex(act.Value); found {
+			targets = []int{i}
+		} else if act.Symbolic {
+			// Unknown written value: fork to every domain value.
+			for i := range v.Values {
+				targets = append(targets, i)
+			}
+		}
+	}
+	if len(targets) == 0 {
+		return states
+	}
+	var out [][]int
+	for _, st := range states {
+		for _, tv := range targets {
+			ns := make([]int, len(st))
+			copy(ns, st)
+			ns[vi] = tv
+			out = append(out, ns)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Nondeterminism
+
+// detectNondeterminism flags states with two feasible same-event
+// transitions to different successors (§4.2: "SOTERIA reports
+// nondeterministic state models as a safety violation").
+func (m *Model) detectNondeterminism() {
+	group := map[string][]int{}
+	for i, t := range m.Transitions {
+		k := fmt.Sprintf("%d|%s", t.From, t.Event.String())
+		group[k] = append(group[k], i)
+	}
+	const maxReports = 64
+	for _, k := range sortedKeys(group) {
+		ts := group[k]
+		for i := 0; i < len(ts) && len(m.Nondet) < maxReports; i++ {
+			for j := i + 1; j < len(ts); j++ {
+				a, b := m.Transitions[ts[i]], m.Transitions[ts[j]]
+				if a.To == b.To {
+					continue
+				}
+				if pathcond.Feasible(a.Guard.And(b.Guard)) {
+					m.Nondet = append(m.Nondet, NondetReport{
+						State: a.From, Event: a.Event,
+						ToA: a.To, ToB: b.To,
+						GuardA: a.Guard, GuardB: b.Guard,
+						AppA: a.App, AppB: b.App,
+					})
+					break
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Graphviz output
+
+// Dot renders the model in Graphviz format, in the paper's Fig. 9
+// style: states labeled with their attribute values, edges with
+// event and residual predicate.
+func (m *Model) Dot() string {
+	var sb strings.Builder
+	name := "model"
+	if len(m.Apps) == 1 {
+		name = m.Apps[0].App.Name
+	}
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=LR;\n  node [shape=box];\n", name)
+	// Only states that participate in transitions are drawn, keeping
+	// the output readable for large products.
+	used := map[int]bool{}
+	for _, t := range m.Transitions {
+		used[t.From] = true
+		used[t.To] = true
+	}
+	for s := range m.States {
+		if !used[s] && len(m.Transitions) > 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "  s%d [label=%q];\n", s, m.StateLabel(s))
+	}
+	for _, t := range m.Transitions {
+		fmt.Fprintf(&sb, "  s%d -> s%d [label=%q];\n", t.From, t.To, t.Label())
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

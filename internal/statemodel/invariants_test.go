@@ -1,0 +1,161 @@
+package statemodel
+
+import (
+	"testing"
+
+	"github.com/soteria-analysis/soteria/internal/ir"
+	"github.com/soteria-analysis/soteria/internal/market"
+	"github.com/soteria-analysis/soteria/internal/paperapps"
+	"github.com/soteria-analysis/soteria/internal/pathcond"
+)
+
+// checkInvariants asserts the structural invariants every extracted
+// model must satisfy.
+func checkInvariants(t *testing.T, label string, m *Model) {
+	t.Helper()
+	// Variables: unique keys, non-empty deterministic domains,
+	// ValueConds parallel for numeric vars.
+	seen := map[string]bool{}
+	for _, v := range m.Vars {
+		if seen[v.Key] {
+			t.Errorf("%s: duplicate variable %s", label, v.Key)
+		}
+		seen[v.Key] = true
+		if len(v.Values) == 0 {
+			t.Errorf("%s: %s has empty domain", label, v.Key)
+		}
+		if v.Numeric && len(v.ValueConds) != len(v.Values) {
+			t.Errorf("%s: %s conds/values mismatch", label, v.Key)
+		}
+		vseen := map[string]bool{}
+		for _, val := range v.Values {
+			if vseen[val] {
+				t.Errorf("%s: %s duplicate value %q", label, v.Key, val)
+			}
+			vseen[val] = true
+		}
+		if v.Numeric {
+			for i, c := range v.ValueConds {
+				if !pathcond.Feasible(c) {
+					t.Errorf("%s: %s value %d has infeasible defining condition", label, v.Key, i)
+				}
+			}
+		}
+	}
+	// States: the full product, each index in range.
+	want := 1
+	for _, v := range m.Vars {
+		want *= len(v.Values)
+	}
+	if len(m.States) != want {
+		t.Errorf("%s: states = %d, want product %d", label, len(m.States), want)
+	}
+	for si, s := range m.States {
+		if len(s.Idx) != len(m.Vars) {
+			t.Fatalf("%s: state %d has %d indices", label, si, len(s.Idx))
+		}
+		for vi, idx := range s.Idx {
+			if idx < 0 || idx >= len(m.Vars[vi].Values) {
+				t.Fatalf("%s: state %d index %d out of range", label, si, vi)
+			}
+		}
+	}
+	// Transitions: endpoints valid, residual guards feasible, app
+	// index valid, device-event transitions set the trigger variable
+	// to the event value.
+	for ti, tr := range m.Transitions {
+		if tr.From < 0 || tr.From >= len(m.States) || tr.To < 0 || tr.To >= len(m.States) {
+			t.Fatalf("%s: transition %d endpoints out of range", label, ti)
+		}
+		if tr.App < 0 || tr.App >= len(m.Apps) {
+			t.Fatalf("%s: transition %d app index %d", label, ti, tr.App)
+		}
+		if !pathcond.Feasible(tr.Guard) {
+			t.Errorf("%s: transition %d has infeasible residual guard %s", label, ti, tr.Guard)
+		}
+		if v, vi, ok := m.VarByKey(tr.Event.VarKey); ok {
+			got := v.Values[m.States[tr.To].Idx[vi]]
+			if got != tr.Event.Value {
+				t.Errorf("%s: transition %d event %s but target has %s=%s",
+					label, ti, tr.Event, tr.Event.VarKey, got)
+			}
+		}
+	}
+}
+
+func TestModelInvariantsPaperApps(t *testing.T) {
+	for _, s := range [][2]string{
+		{"smoke-alarm", paperapps.SmokeAlarm},
+		{"buggy", paperapps.BuggySmokeAlarm},
+		{"water-leak", paperapps.WaterLeakDetector},
+		{"thermostat", paperapps.ThermostatEnergyControl},
+	} {
+		app, err := ir.BuildSource(s[0], s[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Build(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkInvariants(t, s[0], m)
+	}
+}
+
+func TestModelInvariantsMarketCorpus(t *testing.T) {
+	for _, spec := range market.All() {
+		app, err := spec.Parse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Build(app)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.ID, err)
+		}
+		checkInvariants(t, spec.ID, m)
+	}
+}
+
+func TestModelInvariantsGroups(t *testing.T) {
+	for _, g := range market.Groups() {
+		var apps []*ir.App
+		for _, id := range g.Members {
+			spec, _ := market.ByID(id)
+			app, err := spec.Parse()
+			if err != nil {
+				t.Fatal(err)
+			}
+			apps = append(apps, app)
+		}
+		m, err := Build(apps...)
+		if err != nil {
+			t.Fatalf("%s: %v", g.ID, err)
+		}
+		checkInvariants(t, g.ID, m)
+	}
+}
+
+// TestBuildDeterministic: two builds of the same app produce identical
+// models (variable order, state order, transition set) — required for
+// reproducible reports.
+func TestBuildDeterministic(t *testing.T) {
+	app1, err := ir.BuildSource("smoke-alarm", paperapps.SmokeAlarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app2, err := ir.BuildSource("smoke-alarm", paperapps.SmokeAlarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := Build(app1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Build(app2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Dot() != m2.Dot() {
+		t.Error("builds differ")
+	}
+}

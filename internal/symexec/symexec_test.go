@@ -1,0 +1,659 @@
+package symexec
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/soteria-analysis/soteria/internal/ir"
+	"github.com/soteria-analysis/soteria/internal/paperapps"
+	"github.com/soteria-analysis/soteria/internal/pathcond"
+)
+
+func execEntry(t *testing.T, src, handler string) *Result {
+	t.Helper()
+	app, err := ir.BuildSource("t", src)
+	if err != nil {
+		t.Fatalf("BuildSource: %v", err)
+	}
+	for _, ep := range app.EntryPoints {
+		if ep.Sub.Handler == handler {
+			return Execute(app, ep)
+		}
+	}
+	t.Fatalf("entry point %s not found", handler)
+	return nil
+}
+
+// pathWithAction returns the paths containing an action a with the
+// given rendering (handle.attr:=value).
+func pathsWithAction(r *Result, action string) []Path {
+	var out []Path
+	for _, p := range r.Paths {
+		for _, a := range p.Actions {
+			if a.String() == action {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func TestSmokeAlarmPaths(t *testing.T) {
+	app, err := ir.BuildSource("smoke-alarm", paperapps.SmokeAlarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var smoke *ir.EntryPoint
+	for _, ep := range app.EntryPoints {
+		if ep.Sub.Handler == "smokeHandler" {
+			smoke = ep
+		}
+	}
+	r := Execute(app, smoke)
+	// Expected paths: tested (no actions), clear (alarm off + valve
+	// close), detected (alarm siren + valve open), else (no actions).
+	// The two no-action paths may merge.
+	sirenPaths := pathsWithAction(r, "the_alarm.alarm:=siren")
+	if len(sirenPaths) != 1 {
+		t.Fatalf("siren paths = %d; paths: %+v", len(sirenPaths), r.Paths)
+	}
+	g := sirenPaths[0].Guard
+	// Guard must include evt.value == "detected".
+	found := false
+	for _, a := range g.Atoms {
+		if a.Var == "evt.value" && a.Op == pathcond.EQ && a.Str == "detected" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("guard = %s", g)
+	}
+	// The same path also opens the valve.
+	hasValve := false
+	for _, a := range sirenPaths[0].Actions {
+		if a.String() == "the_valve.valve:=open" {
+			hasValve = true
+		}
+	}
+	if !hasValve {
+		t.Errorf("detected path actions = %+v", sirenPaths[0].Actions)
+	}
+	// Clear path closes the valve and turns the alarm off.
+	offPaths := pathsWithAction(r, "the_alarm.alarm:=off")
+	if len(offPaths) != 1 {
+		t.Fatalf("off paths = %d", len(offPaths))
+	}
+}
+
+func TestBatteryHandlerSymbolicThreshold(t *testing.T) {
+	app, err := ir.BuildSource("smoke-alarm", paperapps.SmokeAlarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var battery *ir.EntryPoint
+	for _, ep := range app.EntryPoints {
+		if ep.Sub.Handler == "batteryHandler" {
+			battery = ep
+		}
+	}
+	r := Execute(app, battery)
+	onPaths := pathsWithAction(r, "the_switch.switch:=on")
+	if len(onPaths) != 1 {
+		t.Fatalf("switch-on paths = %d; %+v", len(onPaths), r.Paths)
+	}
+	// Guard: the_battery.battery < thrshld — a symbolic atom with a
+	// user-defined right-hand side.
+	g := onPaths[0].Guard
+	var atom *pathcond.Atom
+	for i := range g.Atoms {
+		if g.Atoms[i].Var == "the_battery.battery" {
+			atom = &g.Atoms[i]
+		}
+	}
+	if atom == nil {
+		t.Fatalf("no battery atom in guard %s", g)
+	}
+	if atom.Op != pathcond.LT || atom.RHSVar != "thrshld" {
+		t.Errorf("atom = %+v", atom)
+	}
+	if atom.CmpKind != pathcond.UserDefined {
+		t.Errorf("threshold should be labeled user-defined, got %s", atom.CmpKind)
+	}
+}
+
+// TestThermostatPredicateLabels reproduces §4.2.2: with initial state
+// switch-on, the path turning the switch off is guarded by
+// currentValue("power")>50 and the path turning it on by <5.
+func TestThermostatPredicateLabels(t *testing.T) {
+	app, err := ir.BuildSource("thermostat", paperapps.ThermostatEnergyControl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var power *ir.EntryPoint
+	for _, ep := range app.EntryPoints {
+		if ep.Sub.Handler == "powerHandler" {
+			power = ep
+		}
+	}
+	r := Execute(app, power)
+	offPaths := pathsWithAction(r, "the_switch.switch:=off")
+	if len(offPaths) == 0 {
+		t.Fatalf("no switch-off path; paths = %+v", r.Paths)
+	}
+	g := offPaths[0].Guard
+	ok := false
+	for _, a := range g.Atoms {
+		if a.Var == "power_meter.power" && a.Op == pathcond.GT && a.Num == 50 {
+			ok = true
+			if a.CmpKind != pathcond.DeveloperDefined {
+				t.Errorf("50 should be developer-defined, got %s", a.CmpKind)
+			}
+		}
+	}
+	if !ok {
+		t.Errorf("off guard = %s", g)
+	}
+	onPaths := pathsWithAction(r, "the_switch.switch:=on")
+	if len(onPaths) == 0 {
+		t.Fatal("no switch-on path")
+	}
+	ok = false
+	for _, a := range onPaths[0].Guard.Atoms {
+		if a.Var == "power_meter.power" && a.Op == pathcond.LT && a.Num == 5 {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("on guard = %s", onPaths[0].Guard)
+	}
+	// The >50 and <5 branches cannot both be taken: no path has both
+	// actions.
+	for _, p := range r.Paths {
+		has := map[string]bool{}
+		for _, a := range p.Actions {
+			has[a.String()] = true
+		}
+		if has["the_switch.switch:=off"] && has["the_switch.switch:=on"] {
+			if pathcond.Feasible(p.Guard) {
+				t.Errorf("feasible path with both on and off: %s", p.Guard)
+			}
+		}
+	}
+}
+
+func TestModeHandlerInterproceduralAction(t *testing.T) {
+	app, err := ir.BuildSource("thermostat", paperapps.ThermostatEnergyControl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mode *ir.EntryPoint
+	for _, ep := range app.EntryPoints {
+		if ep.Sub.Handler == "modeChangeHandler" {
+			mode = ep
+		}
+	}
+	r := Execute(app, mode)
+	if len(r.Paths) == 0 {
+		t.Fatal("no paths")
+	}
+	// Every path locks the door and sets the heating setpoint to 68
+	// (through the setTemp(temp) call).
+	for _, p := range r.Paths {
+		has := map[string]bool{}
+		for _, a := range p.Actions {
+			has[a.String()] = true
+		}
+		if !has["the_lock.lock:=locked"] {
+			t.Errorf("path without lock action: %+v", p.Actions)
+		}
+		if !has["ther.heatingSetpoint:=68"] {
+			t.Errorf("path without setpoint action: %+v", p.Actions)
+		}
+	}
+}
+
+func TestSubscriptionValueSeedsGuard(t *testing.T) {
+	app, err := ir.BuildSource("water-leak", paperapps.WaterLeakDetector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Execute(app, app.EntryPoints[0])
+	if len(r.Paths) == 0 {
+		t.Fatal("no paths")
+	}
+	for _, p := range r.Paths {
+		found := false
+		for _, a := range p.Guard.Atoms {
+			if a.Var == "evt.value" && a.Str == "wet" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("path guard missing evt.value==wet: %s", p.Guard)
+		}
+		// Every path closes the valve.
+		closed := false
+		for _, a := range p.Actions {
+			if a.String() == "valve_device.valve:=closed" {
+				closed = true
+			}
+		}
+		if !closed {
+			t.Errorf("path without valve close: %+v", p.Actions)
+		}
+	}
+}
+
+func TestESPMergingCollapsesIrrelevantBranches(t *testing.T) {
+	r := execEntry(t, `
+preferences { section("s") { input "sw", "capability.switch" } }
+def installed() { subscribe(sw, "switch", h) }
+def h(evt) {
+    if (location.contactBookEnabled) {
+        sendPush("a")
+    } else {
+        sendSms("123", "a")
+    }
+    sw.on()
+}
+`, "h")
+	// Both branches end in the same action list, so ESP merging should
+	// produce a single unconditional path.
+	if len(r.Paths) != 1 {
+		t.Fatalf("paths = %d, want 1 (merged); %+v", len(r.Paths), r.Paths)
+	}
+	if !r.Paths[0].Guard.IsTrue() {
+		t.Errorf("merged guard = %s, want true", r.Paths[0].Guard)
+	}
+	if r.Merged == 0 {
+		t.Error("expected Merged > 0")
+	}
+}
+
+func TestConflictingActionsSamePath(t *testing.T) {
+	// App4-style S.1 bug: the handler both turns the switch on and
+	// off on one control-flow path.
+	r := execEntry(t, `
+preferences { section("s") { input "sw", "capability.switch" } }
+def installed() { subscribe(sw, "switch", h) }
+def h(evt) {
+    sw.on()
+    sw.off()
+}
+`, "h")
+	if len(r.Paths) != 1 {
+		t.Fatalf("paths = %d", len(r.Paths))
+	}
+	sig := r.Paths[0].ActionsSignature()
+	if sig != "sw.switch:=on;sw.switch:=off" {
+		t.Errorf("signature = %s", sig)
+	}
+}
+
+func TestReflectionForksAllMethods(t *testing.T) {
+	r := execEntry(t, `
+preferences {
+    section("s") { input "the_alarm", "capability.alarm" }
+    section("d") { input "smoke_detector", "capability.smokeDetector" }
+}
+def installed() { subscribe(smoke_detector, "smoke", handler) }
+def handler(evt) {
+    "$name"()
+}
+def foo() { the_alarm.siren() }
+def bar() { the_alarm.off() }
+`, "handler")
+	sirens := pathsWithAction(r, "the_alarm.alarm:=siren")
+	offs := pathsWithAction(r, "the_alarm.alarm:=off")
+	if len(sirens) == 0 || len(offs) == 0 {
+		t.Errorf("reflection should fork to both methods; paths = %+v", r.Paths)
+	}
+}
+
+func TestStaticStringReflectionDoesNotFork(t *testing.T) {
+	r := execEntry(t, `
+preferences { section("s") { input "the_alarm", "capability.alarm" } }
+def installed() { subscribe(app, h) }
+def h(evt) {
+    def name = "foo"
+    "$name"()
+}
+def foo() { the_alarm.siren() }
+def bar() { the_alarm.off() }
+`, "h")
+	if len(pathsWithAction(r, "the_alarm.alarm:=off")) != 0 {
+		t.Errorf("static reflection must not reach bar(); paths = %+v", r.Paths)
+	}
+	if len(pathsWithAction(r, "the_alarm.alarm:=siren")) != 1 {
+		t.Errorf("static reflection should reach foo(); paths = %+v", r.Paths)
+	}
+}
+
+func TestStateVariableGuard(t *testing.T) {
+	r := execEntry(t, `
+preferences { section("s") { input "sw", "capability.switch" } }
+def installed() { subscribe(sw, "switch.on", h) }
+def h(evt) {
+    if (state.counter > 10) {
+        sw.off()
+    }
+}
+`, "h")
+	offs := pathsWithAction(r, "sw.switch:=off")
+	if len(offs) != 1 {
+		t.Fatalf("off paths = %d", len(offs))
+	}
+	var atom *pathcond.Atom
+	for i := range offs[0].Guard.Atoms {
+		if offs[0].Guard.Atoms[i].Var == "state.counter" {
+			atom = &offs[0].Guard.Atoms[i]
+		}
+	}
+	if atom == nil {
+		t.Fatalf("guard = %s", offs[0].Guard)
+	}
+	if atom.VarKind != pathcond.StateVariable {
+		t.Errorf("state.counter should be labeled state-variable, got %s", atom.VarKind)
+	}
+}
+
+func TestStateWriteVisibleToLaterRead(t *testing.T) {
+	r := execEntry(t, `
+preferences { section("s") { input "sw", "capability.switch" } }
+def installed() { subscribe(sw, "switch.on", h) }
+def h(evt) {
+    state.mode = "manual"
+    if (state.mode == "manual") {
+        sw.off()
+    }
+}
+`, "h")
+	// The read observes the concrete write: the branch is decided and
+	// only the off path exists.
+	if len(r.Paths) != 1 {
+		t.Fatalf("paths = %+v", r.Paths)
+	}
+	if len(pathsWithAction(r, "sw.switch:=off")) != 1 {
+		t.Errorf("off path missing")
+	}
+}
+
+func TestSetLocationModeAction(t *testing.T) {
+	r := execEntry(t, `
+preferences { section("s") { input "sw", "capability.switch" } }
+def installed() { subscribe(sw, "switch.off", h) }
+def h(evt) {
+    setLocationMode("home")
+}
+`, "h")
+	if len(pathsWithAction(r, "location.mode:=home")) != 1 {
+		t.Errorf("paths = %+v", r.Paths)
+	}
+}
+
+func TestArgAttrSymbolicValue(t *testing.T) {
+	r := execEntry(t, `
+preferences {
+    section("s") {
+        input "ther", "capability.thermostat"
+        input "userTemp", "number"
+    }
+}
+def installed() { subscribe(location, "mode", h) }
+def h(evt) {
+    ther.setHeatingSetpoint(userTemp)
+}
+`, "h")
+	if len(r.Paths) != 1 {
+		t.Fatalf("paths = %d", len(r.Paths))
+	}
+	a := r.Paths[0].Actions[0]
+	if a.Value != "userTemp" || !a.Symbolic || a.ValueKind != pathcond.UserDefined {
+		t.Errorf("action = %+v", a)
+	}
+}
+
+func TestInfeasibleBranchDropped(t *testing.T) {
+	r := execEntry(t, `
+preferences { section("s") { input "sw", "capability.switch" } }
+def installed() { subscribe(sw, "switch", h) }
+def h(evt) {
+    def x = 5
+    if (x > 10) {
+        sw.off()
+    }
+}
+`, "h")
+	if len(pathsWithAction(r, "sw.switch:=off")) != 0 {
+		t.Errorf("constant-false branch should be pruned; paths = %+v", r.Paths)
+	}
+}
+
+func TestNestedBranchPathConditions(t *testing.T) {
+	r := execEntry(t, `
+preferences { section("s") { input "sw", "capability.switch" } }
+def installed() { subscribe(sw, "power", h) }
+def h(evt) {
+    def p = sw.currentValue("power")
+    if (p > 10) {
+        if (p > 100) {
+            sw.off()
+        } else {
+            sw.on()
+        }
+    }
+}
+`, "h")
+	ons := pathsWithAction(r, "sw.switch:=on")
+	if len(ons) != 1 {
+		t.Fatalf("on paths = %d", len(ons))
+	}
+	// Guard: p > 10 && p <= 100.
+	if !pathcond.Feasible(ons[0].Guard) {
+		t.Error("on guard should be feasible")
+	}
+	hasUpper := false
+	for _, a := range ons[0].Guard.Atoms {
+		if a.Op == pathcond.LE && a.Num == 100 {
+			hasUpper = true
+		}
+	}
+	if !hasUpper {
+		t.Errorf("on guard = %s", ons[0].Guard)
+	}
+}
+
+func TestSwitchStatementPaths(t *testing.T) {
+	r := execEntry(t, `
+preferences { section("s") { input "sw", "capability.switch" } }
+def installed() { subscribe(sw, "contact", h) }
+def h(evt) {
+    switch (evt.value) {
+        case "open":
+            sw.on()
+            break
+        case "closed":
+            sw.off()
+            break
+    }
+}
+`, "h")
+	if len(pathsWithAction(r, "sw.switch:=on")) != 1 {
+		t.Errorf("on paths missing; %+v", r.Paths)
+	}
+	if len(pathsWithAction(r, "sw.switch:=off")) != 1 {
+		t.Errorf("off paths missing; %+v", r.Paths)
+	}
+	ons := pathsWithAction(r, "sw.switch:=on")
+	found := false
+	for _, a := range ons[0].Guard.Atoms {
+		if a.Var == "evt.value" && a.Str == "open" && a.Op == pathcond.EQ {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("case guard = %s", ons[0].Guard)
+	}
+}
+
+func TestClosureBodyEffects(t *testing.T) {
+	// Actions inside platform-call closures (e.g. httpGet) are real.
+	r := execEntry(t, `
+preferences { section("s") { input "sw", "capability.switch" } }
+def installed() { subscribe(sw, "switch", h) }
+def h(evt) {
+    httpGet("http://x") { resp ->
+        sw.off()
+    }
+}
+`, "h")
+	if len(pathsWithAction(r, "sw.switch:=off")) == 0 {
+		t.Errorf("closure action missing; %+v", r.Paths)
+	}
+}
+
+func TestTimerEntryNoParams(t *testing.T) {
+	r := execEntry(t, `
+preferences { section("s") { input "sw", "capability.switch" } }
+def installed() { runIn(60, offHandler) }
+def offHandler() { sw.off() }
+`, "offHandler")
+	if len(pathsWithAction(r, "sw.switch:=off")) != 1 {
+		t.Errorf("paths = %+v", r.Paths)
+	}
+}
+
+func TestWarningsOnPathExplosionAbsentForSmallApps(t *testing.T) {
+	app, err := ir.BuildSource("smoke-alarm", paperapps.SmokeAlarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range app.EntryPoints {
+		r := Execute(app, ep)
+		for _, w := range r.Warnings {
+			if strings.Contains(w, "explosion") {
+				t.Errorf("unexpected warning: %s", w)
+			}
+		}
+	}
+}
+
+func TestRecursionGuard(t *testing.T) {
+	r := execEntry(t, `
+preferences { section("s") { input "sw", "capability.switch" } }
+def installed() { subscribe(sw, "switch", h) }
+def h(evt) {
+    helper()
+}
+def helper() {
+    helper()
+    sw.on()
+}
+`, "h")
+	// Must terminate and still record the action.
+	if len(pathsWithAction(r, "sw.switch:=on")) == 0 {
+		t.Errorf("paths = %+v", r.Paths)
+	}
+}
+
+func TestTernaryForksPaths(t *testing.T) {
+	r := execEntry(t, `
+preferences {
+    section("s") {
+        input "ther", "capability.thermostat"
+        input "meter", "capability.powerMeter"
+    }
+}
+def installed() { subscribe(meter, "power", h) }
+def h(evt) {
+    def p = meter.currentValue("power")
+    ther.setHeatingSetpoint(p > 100 ? 60 : 72)
+}
+`, "h")
+	vals := map[string]bool{}
+	for _, p := range r.Paths {
+		for _, a := range p.Actions {
+			vals[a.Value] = true
+		}
+	}
+	if !vals["60"] || !vals["72"] {
+		t.Errorf("ternary should fork both setpoints; paths = %+v", r.Paths)
+	}
+}
+
+func TestElvisPrefersValueSide(t *testing.T) {
+	// thrshld ?: 10 — the user input is set at install time, so the
+	// symbolic value side wins (the paper's IR shows this pattern in
+	// Fig. 5).
+	r := execEntry(t, `
+preferences {
+    section("s") {
+        input "ther", "capability.thermostat"
+        input "thrshld", "number"
+    }
+}
+def installed() { subscribe(location, "mode", h) }
+def h(evt) {
+    ther.setHeatingSetpoint(thrshld ?: 10)
+}
+`, "h")
+	if len(r.Paths) != 1 {
+		t.Fatalf("paths = %d", len(r.Paths))
+	}
+	a := r.Paths[0].Actions[0]
+	if a.Value != "thrshld" || !a.Symbolic {
+		t.Errorf("action = %+v", a)
+	}
+}
+
+func TestConcreteNullElvisTakesDefault(t *testing.T) {
+	r := execEntry(t, `
+preferences { section("s") { input "ther", "capability.thermostat" } }
+def installed() { subscribe(location, "mode", h) }
+def h(evt) {
+    def x = null
+    ther.setHeatingSetpoint(x ?: 65)
+}
+`, "h")
+	a := r.Paths[0].Actions[0]
+	if a.Value != "65" {
+		t.Errorf("action = %+v", a)
+	}
+}
+
+func TestGuardProvenanceLabels(t *testing.T) {
+	// §4.2.2: predicate components are labeled by source — the
+	// comparison of a device read against a developer constant carries
+	// device-state / developer-defined provenance.
+	r := execEntry(t, `
+preferences {
+    section("s") {
+        input "sw", "capability.switch"
+        input "meter", "capability.powerMeter"
+    }
+}
+def installed() { subscribe(meter, "power", h) }
+def h(evt) {
+    if (meter.currentValue("power") > 50) {
+        sw.off()
+    }
+}
+`, "h")
+	offs := pathsWithAction(r, "sw.switch:=off")
+	if len(offs) != 1 {
+		t.Fatalf("paths = %+v", r.Paths)
+	}
+	var atom *pathcond.Atom
+	for i := range offs[0].Guard.Atoms {
+		if offs[0].Guard.Atoms[i].Var == "meter.power" {
+			atom = &offs[0].Guard.Atoms[i]
+		}
+	}
+	if atom == nil {
+		t.Fatalf("guard = %s", offs[0].Guard)
+	}
+	if atom.VarKind != pathcond.DeviceState || atom.CmpKind != pathcond.DeveloperDefined {
+		t.Errorf("provenance = %s / %s", atom.VarKind, atom.CmpKind)
+	}
+}

@@ -1,0 +1,269 @@
+// Package soteria is the public API of the Soteria IoT safety and
+// security analyzer, a from-scratch reproduction of "Soteria:
+// Automated IoT Safety and Security Analysis" (Celik, McDaniel, Tan —
+// USENIX ATC 2018).
+//
+// Soteria statically validates whether a SmartThings IoT app — or an
+// environment of several apps installed together — adheres to a set of
+// safety, security, and functional properties. It parses the app's
+// Groovy source into an intermediate representation, extracts a finite
+// state model (device attributes × values, event/predicate-labeled
+// transitions, with property abstraction collapsing numeric
+// attributes), and model-checks the model against five general
+// properties (S.1–S.5), thirty application-specific properties
+// (P.1–P.30), and any user-supplied CTL formula.
+//
+// Quick start:
+//
+//	app, err := soteria.ParseApp("my-app", source)
+//	res, err := soteria.Analyze(app)
+//	for _, v := range res.Violations {
+//	    fmt.Println(v)
+//	}
+//
+// Multi-app environments (paper §4.4) are analyzed with
+// AnalyzeEnvironment, which builds the union of the apps' state models
+// and reveals interactions invisible in isolation.
+package soteria
+
+import (
+	"fmt"
+
+	"github.com/soteria-analysis/soteria/internal/core"
+	"github.com/soteria-analysis/soteria/internal/ir"
+	"github.com/soteria-analysis/soteria/internal/properties"
+)
+
+// App is a parsed SmartThings app.
+type App struct {
+	// Name is the app's name (from its definition block, or the name
+	// passed to ParseApp).
+	Name string
+	ir   *ir.App
+}
+
+// ParseApp parses SmartThings Groovy source and extracts the app's
+// intermediate representation. Parse errors are returned, but a
+// best-effort App is still usable for diagnostics when err != nil and
+// app != nil.
+func ParseApp(name, source string) (*App, error) {
+	app, err := ir.BuildSource(name, source)
+	if app == nil {
+		return nil, err
+	}
+	return &App{Name: app.Name, ir: app}, err
+}
+
+// IR renders the app's intermediate representation in the paper's
+// textual format (permissions block, events/actions block, entry
+// points).
+func (a *App) IR() string { return ir.Print(a.ir) }
+
+// Devices returns the capability names of the devices the app is
+// granted.
+func (a *App) Devices() []string { return a.ir.Capabilities() }
+
+// Warnings returns non-fatal extraction diagnostics.
+func (a *App) Warnings() []string { return append([]string{}, a.ir.Warnings...) }
+
+// UsesReflection reports whether the app performs call by reflection
+// (which Soteria over-approximates and may yield false positives,
+// paper §7).
+func (a *App) UsesReflection() bool { return a.ir.UsesReflection }
+
+// ViolationKind classifies a violation.
+type ViolationKind string
+
+// Violation kinds.
+const (
+	// GeneralViolation is an S.1–S.5 violation.
+	GeneralViolation ViolationKind = "general"
+	// AppSpecificViolation is a P.1–P.30 violation.
+	AppSpecificViolation ViolationKind = "app-specific"
+	// NondeterminismViolation flags a nondeterministic state model.
+	NondeterminismViolation ViolationKind = "nondeterminism"
+)
+
+// Violation is one property violation found by the analysis.
+type Violation struct {
+	// ID is the property identifier: "S.1".."S.5", "P.1".."P.30", or
+	// "ND" for nondeterminism.
+	ID          string
+	Kind        ViolationKind
+	Description string
+	Detail      string
+	// Apps names the apps contributing to the violation.
+	Apps []string
+	// Counterexample is a rendered model trace demonstrating the
+	// violation, when one exists.
+	Counterexample string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s — %s", v.ID, v.Description, v.Detail)
+}
+
+// Result is a completed analysis.
+type Result struct {
+	// Apps names the analyzed apps.
+	Apps []string
+	// States is the number of states of the (reduced) model; Before is
+	// the would-be count without property abstraction.
+	States                int
+	StatesBeforeReduction int
+	// Transitions is the number of labeled transitions.
+	Transitions int
+	// Violations lists every property violation found.
+	Violations []Violation
+
+	analysis *core.Analysis
+}
+
+// Option configures an analysis.
+type Option func(*core.Options)
+
+// WithGeneralOnly restricts checking to the general properties
+// S.1–S.5 (plus nondeterminism).
+func WithGeneralOnly() Option {
+	return func(o *core.Options) { o.AppSpecific = false }
+}
+
+// WithAppSpecificOnly restricts checking to the P.1–P.30 catalogue.
+func WithAppSpecificOnly() Option {
+	return func(o *core.Options) { o.General = false }
+}
+
+// WithProperties restricts the app-specific catalogue to the given IDs
+// (e.g. "P.10", "P.30").
+func WithProperties(ids ...string) Option {
+	return func(o *core.Options) { o.PropertyIDs = ids }
+}
+
+// Analyze checks a single app against all properties.
+func Analyze(app *App, opts ...Option) (*Result, error) {
+	return AnalyzeEnvironment([]*App{app}, opts...)
+}
+
+// AnalyzeEnvironment checks a collection of apps working in concert:
+// it builds the union state model (Algorithm 2) and verifies the
+// properties on the joint behaviour.
+func AnalyzeEnvironment(apps []*App, opts ...Option) (*Result, error) {
+	o := core.DefaultOptions()
+	for _, fn := range opts {
+		fn(&o)
+	}
+	irs := make([]*ir.App, len(apps))
+	for i, a := range apps {
+		irs[i] = a.ir
+	}
+	an, err := core.AnalyzeApps(o, irs...)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		States:                len(an.Model.States),
+		StatesBeforeReduction: an.Model.StatesBeforeReduction,
+		Transitions:           len(an.Model.Transitions),
+		analysis:              an,
+	}
+	for _, a := range apps {
+		res.Apps = append(res.Apps, a.Name)
+	}
+	for _, v := range an.Violations {
+		res.Violations = append(res.Violations, Violation{
+			ID:             v.ID,
+			Kind:           kindOf(v.Kind),
+			Description:    v.Description,
+			Detail:         v.Detail,
+			Apps:           v.Apps,
+			Counterexample: v.Counterexample,
+		})
+	}
+	return res, nil
+}
+
+func kindOf(k properties.Kind) ViolationKind {
+	switch k {
+	case properties.General:
+		return GeneralViolation
+	case properties.AppSpecific:
+		return AppSpecificViolation
+	case properties.Nondeterminism:
+		return NondeterminismViolation
+	}
+	return ViolationKind("unknown")
+}
+
+// DOT renders the extracted state model as a Graphviz digraph (the
+// paper's Fig. 9 visualisation).
+func (r *Result) DOT() string { return r.analysis.DOT() }
+
+// SMV renders the model in NuSMV input format with the applicable
+// property formulas as SPEC lines.
+func (r *Result) SMV() string { return r.analysis.SMV() }
+
+// CheckFormula verifies a custom CTL property against the model.
+// Atomic propositions are "capability.attribute=value" state facts
+// (e.g. "valve.valve=closed") and "ev:<event>" markers for states
+// entered via an event (e.g. "ev:waterSensor.water.wet"). It returns
+// whether the property holds and, when it does not, a counterexample
+// trace.
+func (r *Result) CheckFormula(formula string) (holds bool, counterexample string, err error) {
+	return r.analysis.CheckFormula(formula)
+}
+
+// Engine selects the model-checking backend for CheckFormulaEngine.
+type Engine = core.Engine
+
+// Available engines: the explicit-state fixpoint checker (default,
+// produces counterexamples), the BDD-based symbolic engine, and
+// SAT-based bounded model checking — the reproduction's analogue of
+// NuSMV's combined BDD/SAT configuration (paper §5).
+const (
+	Explicit = core.Explicit
+	BDD      = core.BDD
+	BMC      = core.BMC
+)
+
+// CheckFormulaEngine verifies a custom CTL property with a specific
+// backend. The BMC engine handles only AG formulas with propositional
+// bodies (it returns an error otherwise).
+func (r *Result) CheckFormulaEngine(formula string, engine Engine) (holds bool, counterexample string, err error) {
+	return r.analysis.CheckFormulaEngine(formula, engine)
+}
+
+// CheckLTL verifies a linear temporal logic property over all paths of
+// the model (syntax: G, F, X, U, R, !, &, |, ->; propositions as in
+// CheckFormula). A failing property yields a lasso counterexample —
+// a stem followed by an infinitely repeating loop.
+func (r *Result) CheckLTL(formula string) (holds bool, counterexample string, err error) {
+	return r.analysis.CheckLTL(formula)
+}
+
+// WitnessFormula produces a trace demonstrating an existential CTL
+// formula (EX/EF/EU/EG) — evidence for questions like "can the door
+// ever be unlocked while nobody is home?". ok=false when the formula
+// is unsatisfiable on the model or is not existential.
+func (r *Result) WitnessFormula(formula string) (trace string, ok bool, err error) {
+	return r.analysis.WitnessFormula(formula)
+}
+
+// Violated reports whether the given property ID was violated.
+func (r *Result) Violated(id string) bool {
+	for _, v := range r.Violations {
+		if v.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// PropertyIDs returns the full app-specific catalogue IDs with
+// descriptions, for discovery and documentation tooling.
+func PropertyIDs() map[string]string {
+	out := map[string]string{}
+	for _, p := range properties.Catalogue() {
+		out[p.ID] = p.Description
+	}
+	return out
+}

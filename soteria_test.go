@@ -1,0 +1,288 @@
+package soteria
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/soteria-analysis/soteria/internal/paperapps"
+)
+
+func parse(t *testing.T, name, src string) *App {
+	t.Helper()
+	app, err := ParseApp(name, src)
+	if err != nil {
+		t.Fatalf("ParseApp(%s): %v", name, err)
+	}
+	return app
+}
+
+func TestAnalyzeCorrectSmokeAlarm(t *testing.T) {
+	app := parse(t, "smoke-alarm", paperapps.SmokeAlarm)
+	res, err := Analyze(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Errorf("violations = %v", res.Violations)
+	}
+	if res.States != 96 {
+		t.Errorf("states = %d, want 96", res.States)
+	}
+	if res.StatesBeforeReduction <= res.States {
+		t.Errorf("before=%d after=%d", res.StatesBeforeReduction, res.States)
+	}
+	if res.Transitions == 0 {
+		t.Error("no transitions")
+	}
+}
+
+func TestAnalyzeBuggySmokeAlarm(t *testing.T) {
+	app := parse(t, "buggy", paperapps.BuggySmokeAlarm)
+	res, err := Analyze(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violated("P.10") {
+		t.Errorf("P.10 not flagged; violations = %v", res.Violations)
+	}
+	if !res.Violated("S.1") {
+		t.Errorf("S.1 not flagged; violations = %v", res.Violations)
+	}
+	// Counterexample present on the P.10 violation.
+	for _, v := range res.Violations {
+		if v.ID == "P.10" && v.Counterexample == "" {
+			t.Error("P.10 violation lacks a counterexample")
+		}
+	}
+}
+
+func TestAnalyzeEnvironmentSprinkler(t *testing.T) {
+	smoke := parse(t, "smoke-alarm", paperapps.SmokeAlarm)
+	leak := parse(t, "water-leak", paperapps.WaterLeakDetector)
+	res, err := AnalyzeEnvironment([]*App{smoke, leak})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The §3 interaction: verify the sprinkler property via a custom
+	// formula.
+	holds, cex, err := res.CheckFormula(
+		`AG (("ev:smokeDetector.smoke.detected" & "smokeDetector.smoke=detected") -> AX ("smokeDetector.smoke=detected" -> "valve.valve=open"))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holds {
+		t.Error("sprinkler property should fail in the joint environment")
+	}
+	if cex == "" {
+		t.Error("expected counterexample")
+	}
+}
+
+func TestOptionsFiltering(t *testing.T) {
+	app := parse(t, "buggy", paperapps.BuggySmokeAlarm)
+	res, err := Analyze(app, WithGeneralOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		if v.Kind == AppSpecificViolation {
+			t.Errorf("app-specific violation with WithGeneralOnly: %v", v)
+		}
+	}
+	res, err = Analyze(app, WithAppSpecificOnly(), WithProperties("P.10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		if v.ID != "P.10" {
+			t.Errorf("unexpected violation %v", v)
+		}
+	}
+	if !res.Violated("P.10") {
+		t.Error("P.10 should be flagged")
+	}
+}
+
+func TestIRAndDevices(t *testing.T) {
+	app := parse(t, "water-leak", paperapps.WaterLeakDetector)
+	irText := app.IR()
+	if !strings.Contains(irText, "input (water_sensor, waterSensor, type:device)") {
+		t.Errorf("IR output:\n%s", irText)
+	}
+	devs := app.Devices()
+	if len(devs) != 2 || devs[0] != "valve" || devs[1] != "waterSensor" {
+		t.Errorf("devices = %v", devs)
+	}
+}
+
+func TestDOTAndSMVOutputs(t *testing.T) {
+	app := parse(t, "water-leak", paperapps.WaterLeakDetector)
+	res, err := Analyze(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.DOT(), "digraph") {
+		t.Error("DOT output malformed")
+	}
+	if !strings.Contains(res.SMV(), "MODULE main") {
+		t.Error("SMV output malformed")
+	}
+}
+
+func TestCheckFormulaParseError(t *testing.T) {
+	app := parse(t, "water-leak", paperapps.WaterLeakDetector)
+	res, err := Analyze(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := res.CheckFormula("(("); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestPropertyIDs(t *testing.T) {
+	ids := PropertyIDs()
+	if len(ids) != 30 {
+		t.Errorf("catalogue size = %d", len(ids))
+	}
+	if ids["P.30"] == "" {
+		t.Error("P.30 missing")
+	}
+}
+
+func TestParseErrorStillReturnsApp(t *testing.T) {
+	app, err := ParseApp("bad", "def h() { if ( }")
+	if err == nil {
+		t.Error("expected error")
+	}
+	if app == nil {
+		t.Error("best-effort app expected")
+	}
+}
+
+func TestReflectionFlag(t *testing.T) {
+	app := parse(t, "reflect", `
+preferences { section("s") { input "the_alarm", "capability.alarm" } }
+def installed() { subscribe(app, h) }
+def h(evt) { "$name"() }
+def foo() { the_alarm.siren() }
+`)
+	if !app.UsesReflection() {
+		t.Error("UsesReflection should be true")
+	}
+}
+
+func TestCheckFormulaEngines(t *testing.T) {
+	app := parse(t, "buggy", paperapps.BuggySmokeAlarm)
+	res, err := Analyze(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := `AG ("ev:smokeDetector.smoke.detected" -> "alarm.alarm=siren")`
+	for _, eng := range []Engine{Explicit, BDD, BMC} {
+		holds, _, err := res.CheckFormulaEngine(prop, eng)
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if holds {
+			t.Errorf("%s: property should fail on the buggy app", eng)
+		}
+	}
+	// BMC rejects nested temporal bodies.
+	if _, _, err := res.CheckFormulaEngine(`AG (EF "alarm.alarm=off")`, BMC); err == nil {
+		t.Error("BMC should reject nested temporal formulas")
+	}
+	// Unknown engine.
+	if _, _, err := res.CheckFormulaEngine(prop, Engine("quantum")); err == nil {
+		t.Error("unknown engine should error")
+	}
+}
+
+func TestEnginesAgreeOnCatalogue(t *testing.T) {
+	app := parse(t, "smoke-alarm", paperapps.SmokeAlarm)
+	res, err := Analyze(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	formulas := []string{
+		`AG ("ev:smokeDetector.smoke.detected" -> "alarm.alarm=siren")`,
+		`AG ("ev:smokeDetector.smoke.clear" -> "alarm.alarm=off")`,
+		`AG ("ev:smokeDetector.smoke.detected" -> "valve.valve=open")`,
+	}
+	for _, f := range formulas {
+		e1, _, err1 := res.CheckFormulaEngine(f, Explicit)
+		e2, _, err2 := res.CheckFormulaEngine(f, BDD)
+		e3, _, err3 := res.CheckFormulaEngine(f, BMC)
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("%s: %v %v %v", f, err1, err2, err3)
+		}
+		if e1 != e2 || e1 != e3 {
+			t.Errorf("%s: engines disagree explicit=%t bdd=%t bmc=%t", f, e1, e2, e3)
+		}
+	}
+}
+
+func TestWitnessFormula(t *testing.T) {
+	smoke := parse(t, "smoke-alarm", paperapps.SmokeAlarm)
+	leak := parse(t, "water-leak", paperapps.WaterLeakDetector)
+	res, err := AnalyzeEnvironment([]*App{smoke, leak})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Can the valve end up closed while smoke is detected? (The §3
+	// interaction says yes.)
+	trace, ok, err := res.WitnessFormula(
+		`EF ("smokeDetector.smoke=detected" & "valve.valve=closed")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || trace == "" {
+		t.Errorf("expected a witness trace; ok=%t", ok)
+	}
+	// An unsatisfiable query yields no witness.
+	_, ok, err = res.WitnessFormula(`EF ("valve.valve=open" & "valve.valve=closed")`)
+	if err != nil || ok {
+		t.Errorf("impossible state should have no witness (ok=%t err=%v)", ok, err)
+	}
+	// Universal formulas are rejected as non-existential.
+	_, ok, err = res.WitnessFormula(`AG "valve.valve=open"`)
+	if err != nil || ok {
+		t.Errorf("AG should produce no witness (ok=%t err=%v)", ok, err)
+	}
+	if _, _, err := res.WitnessFormula("(("); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestCheckLTL(t *testing.T) {
+	app := parse(t, "buggy", paperapps.BuggySmokeAlarm)
+	res, err := Analyze(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The LTL phrasing of P.10: whenever a detected event is handled,
+	// the alarm is sounding.
+	holds, cex, err := res.CheckLTL(`G ("ev:smokeDetector.smoke.detected" -> "alarm.alarm=siren")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holds {
+		t.Error("LTL P.10 should fail on the buggy app")
+	}
+	if !strings.Contains(cex, "loops back") {
+		t.Errorf("lasso rendering missing loop annotation:\n%s", cex)
+	}
+
+	good := parse(t, "smoke-alarm", paperapps.SmokeAlarm)
+	gres, err := Analyze(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holds, _, err = gres.CheckLTL(`G ("ev:smokeDetector.smoke.detected" -> "alarm.alarm=siren")`)
+	if err != nil || !holds {
+		t.Errorf("LTL P.10 should hold on the correct app (err=%v)", err)
+	}
+	if _, _, err := gres.CheckLTL("(("); err == nil {
+		t.Error("expected parse error")
+	}
+}
