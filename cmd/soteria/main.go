@@ -17,8 +17,14 @@
 //	-witness F produce a trace demonstrating an existential formula
 //	-general   check only the general properties (S.1–S.5)
 //	-specific  check only the app-specific properties (P.1–P.30)
+//	-timeout D abort the analysis after the wall-clock duration D
+//	-max-states N cap state-model enumeration at N states
 //	-json      emit the analysis result as JSON
 //	-list      list the property catalogue and exit
+//
+// Exit codes: 0 — analysis complete, no violations; 1 — violations
+// found; 2 — usage or input errors; 3 — analysis incomplete (resource
+// budget exhausted or an internal fault was contained).
 package main
 
 import (
@@ -34,17 +40,19 @@ import (
 
 func main() {
 	var (
-		showIR   = flag.Bool("ir", false, "print each app's intermediate representation")
-		showDot  = flag.Bool("dot", false, "print the state model in Graphviz format")
-		showSMV  = flag.Bool("smv", false, "print the model in NuSMV format")
-		formula  = flag.String("formula", "", "additionally check this CTL formula")
-		engine   = flag.String("engine", "explicit", "model-checking engine: explicit, bdd, or bmc")
-		witness  = flag.String("witness", "", "produce a trace demonstrating this existential CTL formula (EX/EF/EU/EG)")
-		ltlProp  = flag.String("ltl", "", "additionally check this LTL formula (G/F/X/U/R) over all paths")
-		general  = flag.Bool("general", false, "check only general properties (S.1-S.5)")
-		specific = flag.Bool("specific", false, "check only app-specific properties (P.1-P.30)")
-		list     = flag.Bool("list", false, "list the property catalogue and exit")
-		jsonOut  = flag.Bool("json", false, "emit the analysis result as JSON")
+		showIR    = flag.Bool("ir", false, "print each app's intermediate representation")
+		showDot   = flag.Bool("dot", false, "print the state model in Graphviz format")
+		showSMV   = flag.Bool("smv", false, "print the model in NuSMV format")
+		formula   = flag.String("formula", "", "additionally check this CTL formula")
+		engine    = flag.String("engine", "explicit", "model-checking engine: explicit, bdd, or bmc")
+		witness   = flag.String("witness", "", "produce a trace demonstrating this existential CTL formula (EX/EF/EU/EG)")
+		ltlProp   = flag.String("ltl", "", "additionally check this LTL formula (G/F/X/U/R) over all paths")
+		general   = flag.Bool("general", false, "check only general properties (S.1-S.5)")
+		specific  = flag.Bool("specific", false, "check only app-specific properties (P.1-P.30)")
+		list      = flag.Bool("list", false, "list the property catalogue and exit")
+		jsonOut   = flag.Bool("json", false, "emit the analysis result as JSON")
+		timeout   = flag.Duration("timeout", 0, "abort the analysis after this wall-clock duration (0 = no limit)")
+		maxStates = flag.Int("max-states", 0, "cap state-model enumeration at this many states (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -96,6 +104,12 @@ func main() {
 	if *specific && !*general {
 		opts = append(opts, soteria.WithAppSpecificOnly())
 	}
+	if *timeout > 0 || *maxStates > 0 {
+		opts = append(opts, soteria.WithLimits(soteria.Limits{
+			Timeout:   *timeout,
+			MaxStates: *maxStates,
+		}))
+	}
 
 	res, err := soteria.AnalyzeEnvironment(apps, opts...)
 	if err != nil {
@@ -111,13 +125,13 @@ func main() {
 			StatesBeforeReduction int
 			Transitions           int
 			Violations            []soteria.Violation
-		}{res.Apps, res.States, res.StatesBeforeReduction, res.Transitions, res.Violations}); err != nil {
+			Incomplete            bool
+			Diagnostics           []soteria.Diagnostic `json:",omitempty"`
+		}{res.Apps, res.States, res.StatesBeforeReduction, res.Transitions, res.Violations,
+			res.Incomplete, res.Diagnostics}); err != nil {
 			fail("json: %v", err)
 		}
-		if len(res.Violations) > 0 {
-			os.Exit(1)
-		}
-		return
+		os.Exit(exitCode(res))
 	}
 
 	fmt.Printf("model: %d states (%d before reduction), %d transitions\n",
@@ -182,9 +196,27 @@ func main() {
 		}
 	}
 
-	if len(res.Violations) > 0 {
-		os.Exit(1)
+	if res.Incomplete {
+		fmt.Println("ANALYSIS INCOMPLETE:")
+		for _, d := range res.Diagnostics {
+			fmt.Printf("  %s\n", d)
+		}
 	}
+
+	os.Exit(exitCode(res))
+}
+
+// exitCode maps a result to the documented exit codes: incomplete
+// analyses take precedence over violations — a partial verdict must
+// not be mistaken for a clean or fully-checked run.
+func exitCode(res *soteria.Result) int {
+	switch {
+	case res.Incomplete:
+		return 3
+	case len(res.Violations) > 0:
+		return 1
+	}
+	return 0
 }
 
 func num(id string) int {
@@ -199,5 +231,5 @@ func num(id string) int {
 
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "soteria: "+format+"\n", args...)
-	os.Exit(1)
+	os.Exit(2)
 }

@@ -5,7 +5,11 @@
 // unique-table + ITE-cache design (Brace/Rudell/Bryant).
 package bdd
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/soteria-analysis/soteria/internal/guard"
+)
 
 // Ref is a BDD node reference. False and True are the terminals.
 type Ref int
@@ -36,7 +40,13 @@ type Manager struct {
 	unique   map[triple]Ref
 	iteCache map[iteKey]Ref
 	nvars    int
+	budget   *guard.Budget
 }
+
+// SetBudget attaches a resource budget: node allocation is charged
+// against MaxBDDNodes and Ite cooperatively checks the wall-clock
+// deadline. A nil budget (the default) disables all checks.
+func (m *Manager) SetBudget(b *guard.Budget) { m.budget = b }
 
 // New creates a manager with the given number of variables.
 func New(nvars int) *Manager {
@@ -67,6 +77,7 @@ func (m *Manager) mk(level int, lo, hi Ref) Ref {
 	if r, ok := m.unique[k]; ok {
 		return r
 	}
+	m.budget.BDDNodes(1, "bdd")
 	r := Ref(len(m.nodes))
 	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
 	m.unique[k] = r
@@ -105,6 +116,7 @@ func (m *Manager) Ite(f, g, h Ref) Ref {
 	if r, ok := m.iteCache[k]; ok {
 		return r
 	}
+	m.budget.Tick("bdd")
 	// Split on the top variable.
 	top := m.level(f)
 	if l := m.level(g); l < top {

@@ -12,6 +12,7 @@ package bmc
 
 import (
 	"github.com/soteria-analysis/soteria/internal/ctl"
+	"github.com/soteria-analysis/soteria/internal/guard"
 	"github.com/soteria-analysis/soteria/internal/kripke"
 	"github.com/soteria-analysis/soteria/internal/sat"
 )
@@ -32,8 +33,17 @@ type Result struct {
 // satisfying the property: it searches for a path of length ≤ bound
 // from an initial state to a ¬p state.
 func CheckAGProp(k *kripke.Structure, good func(s int) bool, bound int) *Result {
+	return CheckAGPropBudget(k, good, bound, nil)
+}
+
+// CheckAGPropBudget is CheckAGProp under a resource budget: the
+// deadline is checked before each unrolling depth and the underlying
+// SAT solver charges conflicts against the budget. A nil budget
+// disables all checks.
+func CheckAGPropBudget(k *kripke.Structure, good func(s int) bool, bound int, b *guard.Budget) *Result {
 	for depth := 0; depth <= bound; depth++ {
-		if path, found := pathToBad(k, good, depth); found {
+		b.Check("bmc")
+		if path, found := pathToBad(k, good, depth, b); found {
 			return &Result{Violated: true, Path: path, Depth: depth}
 		}
 	}
@@ -47,6 +57,11 @@ func CheckAGProp(k *kripke.Structure, good func(s int) bool, bound int) *Result 
 // engines for that. A bound of k.N-1 is complete for reachability but
 // costly on large models.
 func CheckAG(k *kripke.Structure, f ctl.Formula, bound int) (*Result, bool) {
+	return CheckAGBudget(k, f, bound, nil)
+}
+
+// CheckAGBudget is CheckAG under a resource budget.
+func CheckAGBudget(k *kripke.Structure, f ctl.Formula, bound int, b *guard.Budget) (*Result, bool) {
 	ag, ok := f.(ctl.AG)
 	if !ok {
 		return nil, false
@@ -55,7 +70,7 @@ func CheckAG(k *kripke.Structure, f ctl.Formula, bound int) (*Result, bool) {
 	if !ok {
 		return nil, false
 	}
-	return CheckAGProp(k, func(s int) bool { return eval(k, s) }, bound), true
+	return CheckAGPropBudget(k, func(s int) bool { return eval(k, s) }, bound, b), true
 }
 
 // boolEval compiles a propositional (non-temporal) formula into a
@@ -101,7 +116,7 @@ func boolEval(f ctl.Formula) (func(*kripke.Structure, int) bool, bool) {
 
 // pathToBad encodes "∃ path s_0..s_depth with s_0 initial, each step a
 // transition, s_depth bad" into CNF and solves it.
-func pathToBad(k *kripke.Structure, good func(int) bool, depth int) ([]int, bool) {
+func pathToBad(k *kripke.Structure, good func(int) bool, depth int, b *guard.Budget) ([]int, bool) {
 	n := k.N
 	// Variable x(i,s) = i*n + s + 1.
 	v := func(i, s int) sat.Lit { return sat.Lit(i*n + s + 1) }
@@ -116,6 +131,7 @@ func pathToBad(k *kripke.Structure, good func(int) bool, depth int) ([]int, bool
 		f.Add(all...)
 		// At most one state per step.
 		for s1 := 0; s1 < n; s1++ {
+			b.Tick("bmc")
 			for s2 := s1 + 1; s2 < n; s2++ {
 				f.Add(-v(i, s1), -v(i, s2))
 			}
@@ -149,7 +165,7 @@ func pathToBad(k *kripke.Structure, good func(int) bool, depth int) ([]int, bool
 	}
 	f.Add(bad...)
 
-	model, ok := sat.Solve(f)
+	model, ok := sat.SolveBudget(f, b)
 	if !ok {
 		return nil, false
 	}

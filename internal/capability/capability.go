@@ -169,11 +169,26 @@ var inputAliases = map[string]string{
 	"coDetector":  "carbonMonoxideDetector",
 }
 
-func register(c *Capability) {
+// Register adds a capability to the registry. It returns an error —
+// not a panic — on invalid or duplicate registrations, so callers
+// extending the reference at runtime get a recoverable failure.
+func Register(c *Capability) error {
+	if c == nil || c.Name == "" {
+		return fmt.Errorf("capability: registration requires a named capability")
+	}
 	if _, dup := registry[c.Name]; dup {
-		panic("capability: duplicate registration of " + c.Name)
+		return fmt.Errorf("capability: duplicate registration of %s", c.Name)
 	}
 	registry[c.Name] = c
+	return nil
+}
+
+// register is the static-init helper for the built-in catalogue,
+// where a duplicate is a programming error caught at package load.
+func register(c *Capability) {
+	if err := Register(c); err != nil {
+		panic(err)
+	}
 }
 
 // Lookup returns the capability with the given canonical name or

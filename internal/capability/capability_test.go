@@ -238,3 +238,20 @@ func TestAbstractCapabilities(t *testing.T) {
 		t.Error("switch should not be abstract")
 	}
 }
+
+func TestRegisterDuplicateReturnsError(t *testing.T) {
+	c := &Capability{Name: "testOnlyRegisterProbe"}
+	if err := Register(c); err != nil {
+		t.Fatalf("first Register: %v", err)
+	}
+	defer delete(registry, c.Name)
+	if err := Register(c); err == nil {
+		t.Fatal("duplicate Register should return an error")
+	}
+	if err := Register(nil); err == nil {
+		t.Fatal("nil Register should return an error")
+	}
+	if err := Register(&Capability{}); err == nil {
+		t.Fatal("unnamed Register should return an error")
+	}
+}

@@ -6,11 +6,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/soteria-analysis/soteria/internal/bmc"
 	"github.com/soteria-analysis/soteria/internal/ctl"
+	"github.com/soteria-analysis/soteria/internal/guard"
+	"github.com/soteria-analysis/soteria/internal/guard/faultinject"
 	"github.com/soteria-analysis/soteria/internal/ir"
 	"github.com/soteria-analysis/soteria/internal/kripke"
 	"github.com/soteria-analysis/soteria/internal/ltl"
@@ -30,6 +33,8 @@ type Options struct {
 	// PropertyIDs restricts the app-specific catalogue to the listed
 	// IDs (empty = all).
 	PropertyIDs []string
+	// Limits bounds the run's resources; the zero value is unlimited.
+	Limits guard.Limits
 }
 
 // DefaultOptions checks everything.
@@ -51,6 +56,30 @@ type Analysis struct {
 	Kripke     *kripke.Structure
 	Violations []properties.Violation
 	Timings    Timings
+	// Incomplete is true when part of the analysis was skipped —
+	// resource budget exhausted, cancellation, or a contained internal
+	// fault. The populated fields are still valid.
+	Incomplete bool
+	// Diagnostics describe each contained failure.
+	Diagnostics []guard.Diagnostic
+	// Checked lists the app-specific property IDs that were fully
+	// decided, in catalogue order.
+	Checked []string
+	// lim reproduces per-resource limits for post-hoc formula checks.
+	lim guard.Limits
+}
+
+// markIncomplete records a contained failure.
+func (a *Analysis) markIncomplete(d guard.Diagnostic) {
+	a.Incomplete = true
+	a.Diagnostics = append(a.Diagnostics, d)
+}
+
+// recoverable reports whether a stage error should degrade to a
+// partial result (budget exhaustion, cancellation, contained panic)
+// rather than abort the analysis.
+func recoverable(err error) bool {
+	return guard.IsBudget(err) || guard.IsPanic(err)
 }
 
 // NamedSource pairs an app name with its Groovy source.
@@ -62,6 +91,13 @@ type NamedSource struct {
 // AnalyzeSources parses, models, and checks a set of apps as one
 // environment (a single app is the one-element case).
 func AnalyzeSources(opts Options, sources ...NamedSource) (*Analysis, error) {
+	return AnalyzeSourcesContext(context.Background(), opts, sources...)
+}
+
+// AnalyzeSourcesContext is AnalyzeSources under a context: the run is
+// aborted cooperatively when ctx is canceled or its deadline passes,
+// yielding a partial result with Incomplete set.
+func AnalyzeSourcesContext(ctx context.Context, opts Options, sources ...NamedSource) (*Analysis, error) {
 	var apps []*ir.App
 	t0 := time.Now()
 	for _, s := range sources {
@@ -71,7 +107,7 @@ func AnalyzeSources(opts Options, sources ...NamedSource) (*Analysis, error) {
 		}
 		apps = append(apps, app)
 	}
-	a, err := AnalyzeApps(opts, apps...)
+	a, err := AnalyzeAppsContext(ctx, opts, apps...)
 	if err != nil {
 		return nil, err
 	}
@@ -81,42 +117,100 @@ func AnalyzeSources(opts Options, sources ...NamedSource) (*Analysis, error) {
 
 // AnalyzeApps models and checks already-extracted apps.
 func AnalyzeApps(opts Options, apps ...*ir.App) (*Analysis, error) {
+	return AnalyzeAppsContext(context.Background(), opts, apps...)
+}
+
+// AnalyzeAppsContext is AnalyzeApps under a context and the resource
+// limits of opts. Each pipeline stage runs inside a recovery boundary:
+// budget exhaustion, cancellation, and internal panics degrade to a
+// partial Analysis with Incomplete set and a Diagnostic per contained
+// failure — err is reserved for hard input errors (unparseable apps,
+// infeasible models).
+func AnalyzeAppsContext(ctx context.Context, opts Options, apps ...*ir.App) (*Analysis, error) {
 	if len(apps) == 0 {
 		return nil, fmt.Errorf("core: no apps to analyze")
 	}
-	a := &Analysis{Apps: apps}
+	a := &Analysis{Apps: apps, lim: opts.Limits}
+	b := guard.New(ctx, opts.Limits)
 
-	t0 := time.Now()
-	m, err := statemodel.Build(apps...)
-	if err != nil {
-		return nil, fmt.Errorf("state model: %w", err)
-	}
-	a.Model = m
-	a.Kripke = kripke.FromModel(m)
-	a.Timings.Model = time.Since(t0)
+	err := guard.Run("core.analyze", func() error {
+		faultinject.Hit(faultinject.SiteAnalyze)
 
-	t1 := time.Now()
-	if opts.General {
-		a.Violations = append(a.Violations, properties.CheckGeneral(m)...)
-	}
-	if opts.AppSpecific {
-		vs := properties.CheckAppSpecific(m, a.Kripke)
-		if len(opts.PropertyIDs) > 0 {
-			want := map[string]bool{}
-			for _, id := range opts.PropertyIDs {
-				want[id] = true
+		t0 := time.Now()
+		merr := guard.Run("statemodel", func() error {
+			faultinject.Hit(faultinject.SiteStateModel)
+			m, err := statemodel.BuildBudget(b, statemodel.Options{}, apps...)
+			if err != nil {
+				return fmt.Errorf("state model: %w", err)
 			}
-			var filtered []properties.Violation
-			for _, v := range vs {
-				if want[v.ID] {
-					filtered = append(filtered, v)
-				}
-			}
-			vs = filtered
+			a.Model = m
+			return nil
+		})
+		if merr == nil && a.Model != nil {
+			merr = guard.Run("kripke", func() error {
+				faultinject.Hit(faultinject.SiteKripke)
+				a.Kripke = kripke.FromModel(a.Model)
+				return nil
+			})
 		}
-		a.Violations = append(a.Violations, vs...)
+		a.Timings.Model = time.Since(t0)
+		if merr != nil {
+			if recoverable(merr) {
+				a.markIncomplete(guard.Diagnose("statemodel", "", "", merr))
+				return nil
+			}
+			return merr
+		}
+
+		t1 := time.Now()
+		defer func() { a.Timings.Checking = time.Since(t1) }()
+		if opts.General {
+			gerr := guard.Run("properties.general", func() error {
+				faultinject.Hit(faultinject.SiteGeneral)
+				a.Violations = append(a.Violations, properties.CheckGeneralBudget(a.Model, b)...)
+				return nil
+			})
+			if gerr != nil {
+				if !recoverable(gerr) {
+					return gerr
+				}
+				a.markIncomplete(guard.Diagnose("properties.general", "", "", gerr))
+			}
+		}
+		if opts.AppSpecific {
+			rep := properties.CheckAppSpecificWith(a.Model, func(propID string, f ctl.Formula) properties.PropertyOutcome {
+				return checkProperty(a.Kripke, b, propID, f)
+			})
+			a.Checked = rep.Checked
+			a.Diagnostics = append(a.Diagnostics, rep.Diagnostics...)
+			if rep.Incomplete {
+				a.Incomplete = true
+			}
+			vs := rep.Violations
+			if len(opts.PropertyIDs) > 0 {
+				want := map[string]bool{}
+				for _, id := range opts.PropertyIDs {
+					want[id] = true
+				}
+				var filtered []properties.Violation
+				for _, v := range vs {
+					if want[v.ID] {
+						filtered = append(filtered, v)
+					}
+				}
+				vs = filtered
+			}
+			a.Violations = append(a.Violations, vs...)
+		}
+		return nil
+	})
+	if err != nil {
+		if recoverable(err) {
+			a.markIncomplete(guard.Diagnose("core.analyze", "", "", err))
+			return a, nil
+		}
+		return nil, err
 	}
-	a.Timings.Checking = time.Since(t1)
 	return a, nil
 }
 
@@ -136,6 +230,110 @@ const (
 	BMC Engine = "bmc"
 )
 
+// fallbackChain is the engine order tried when an engine fails on a
+// property (budget exhaustion or contained panic); the failed engine
+// is skipped. Explicit remains the primary engine — it is the only one
+// producing counterexamples.
+var fallbackChain = []Engine{BDD, Explicit, BMC}
+
+// faultSite maps an engine to its fault-injection site.
+func faultSite(e Engine) string {
+	switch e {
+	case BDD:
+		return faultinject.SiteEngineBDD
+	case BMC:
+		return faultinject.SiteEngineBMC
+	}
+	return faultinject.SiteEngineExplicit
+}
+
+// bmcBound caps BMC unrolling depth.
+func bmcBound(k *kripke.Structure) int {
+	if k.N > 64 {
+		return 64
+	}
+	return k.N
+}
+
+// tryEngine decides f on k with one engine inside a recovery boundary.
+func tryEngine(k *kripke.Structure, b *guard.Budget, e Engine, propID string, f ctl.Formula) (out properties.PropertyOutcome, err error) {
+	defer guard.RecoverTo(&err, "engine."+string(e))
+	faultinject.HitKey(faultSite(e), propID)
+	out.Engine = string(e)
+	switch e {
+	case BDD:
+		r := symbolic.NewBudget(k, b).Check(f)
+		out.Holds = r.Holds
+		for _, s := range k.Init {
+			if !r.Sat[s] {
+				out.FailingStates++
+			}
+		}
+	case BMC:
+		r, handled := bmc.CheckAGBudget(k, f, bmcBound(k), b)
+		if !handled {
+			return out, fmt.Errorf("core: BMC handles only AG formulas with propositional bodies")
+		}
+		out.Holds = !r.Violated
+		if r.Violated {
+			out.FailingStates = 1
+			out.Counterexample = k.RenderPath(r.Path)
+		}
+	default:
+		r := modelcheck.CheckBudget(k, f, b)
+		out.Holds = r.Holds
+		out.FailingStates = len(r.FailingStates)
+		if !r.Holds && len(r.Counterexample) > 0 {
+			out.Counterexample = k.RenderPath(r.Counterexample)
+		}
+	}
+	return out, nil
+}
+
+// checkProperty decides one catalogue formula with the explicit engine
+// and, when it fails recoverably, retries on the other engines of
+// fallbackChain. Every failure is recorded as a Diagnostic; Err is set
+// only when no engine could decide the formula.
+func checkProperty(k *kripke.Structure, b *guard.Budget, propID string, f ctl.Formula) properties.PropertyOutcome {
+	// Per-property boundary: an exhausted budget (checked promptly, not
+	// amortized) or an injected per-property fault undecides only this
+	// property.
+	if err := guard.Run("property", func() error {
+		faultinject.HitKey(faultinject.SiteProperty, propID)
+		b.Check("property")
+		return nil
+	}); err != nil {
+		return properties.PropertyOutcome{
+			Diagnostics: []guard.Diagnostic{guard.Diagnose("property", propID, "", err)},
+			Err:         err,
+		}
+	}
+	var diags []guard.Diagnostic
+	record := func(e Engine, err error) {
+		diags = append(diags, guard.Diagnose("engine."+string(e), propID, string(e), err))
+	}
+	out, err := tryEngine(k, b, Explicit, propID, f)
+	if err == nil {
+		out.Diagnostics = diags
+		return out
+	}
+	record(Explicit, err)
+	lastErr := err
+	for _, e := range fallbackChain {
+		if e == Explicit {
+			continue
+		}
+		out, err = tryEngine(k, b, e, propID, f)
+		if err == nil {
+			out.Diagnostics = diags
+			return out
+		}
+		record(e, err)
+		lastErr = err
+	}
+	return properties.PropertyOutcome{Diagnostics: diags, Err: lastErr}
+}
+
 // CheckFormula verifies a custom CTL formula against the analysis
 // model with the explicit-state engine; it returns whether the
 // property holds and a rendered counterexample when it does not.
@@ -143,16 +341,35 @@ func (a *Analysis) CheckFormula(formula string) (bool, string, error) {
 	return a.CheckFormulaEngine(formula, Explicit)
 }
 
+// errNoModel reports a post-hoc check against an incomplete analysis.
+func (a *Analysis) errNoModel() error {
+	return fmt.Errorf("core: analysis is incomplete, no model to check against")
+}
+
+// budget creates a fresh budget for a post-hoc formula check,
+// reapplying the per-resource limits (not the wall clock) the analysis
+// ran under.
+func (a *Analysis) budget() *guard.Budget {
+	return guard.New(context.Background(), a.lim)
+}
+
 // CheckFormulaEngine is CheckFormula with an explicit backend choice
-// (the paper's NuSMV combined BDD- and SAT-based engines; §5).
-func (a *Analysis) CheckFormulaEngine(formula string, engine Engine) (bool, string, error) {
-	f, err := ctl.Parse(formula)
+// (the paper's NuSMV combined BDD- and SAT-based engines; §5). It
+// never panics: malformed formulas and engine faults come back as
+// errors.
+func (a *Analysis) CheckFormulaEngine(formula string, engine Engine) (holds bool, cex string, err error) {
+	defer guard.RecoverTo(&err, "checkformula")
+	if a.Kripke == nil {
+		return false, "", a.errNoModel()
+	}
+	faultinject.Hit(faultinject.SiteCTLParse)
+	f, err := ctl.ParseDepth(formula, a.lim.MaxFormulaDepth)
 	if err != nil {
 		return false, "", err
 	}
 	switch engine {
 	case Explicit, "":
-		r := modelcheck.Check(a.Kripke, f)
+		r := modelcheck.CheckBudget(a.Kripke, f, a.budget())
 		if r.Holds {
 			return true, "", nil
 		}
@@ -162,14 +379,10 @@ func (a *Analysis) CheckFormulaEngine(formula string, engine Engine) (bool, stri
 		}
 		return false, cex, nil
 	case BDD:
-		r := symbolic.New(a.Kripke).Check(f)
+		r := symbolic.NewBudget(a.Kripke, a.budget()).Check(f)
 		return r.Holds, "", nil
 	case BMC:
-		bound := a.Kripke.N
-		if bound > 64 {
-			bound = 64
-		}
-		r, handled := bmc.CheckAG(a.Kripke, f, bound)
+		r, handled := bmc.CheckAGBudget(a.Kripke, f, bmcBound(a.Kripke), a.budget())
 		if !handled {
 			return false, "", fmt.Errorf("core: BMC handles only AG formulas with propositional bodies")
 		}
@@ -184,17 +397,23 @@ func (a *Analysis) CheckFormulaEngine(formula string, engine Engine) (bool, stri
 // CheckLTL verifies an LTL property (interpreted over all paths from
 // all initial states — the second temporal logic the paper names in
 // §2). When the property fails, the counterexample is a rendered
-// lasso: a finite stem followed by a loop.
-func (a *Analysis) CheckLTL(formula string) (bool, string, error) {
-	f, err := ltl.Parse(formula)
+// lasso: a finite stem followed by a loop. It never panics.
+func (a *Analysis) CheckLTL(formula string) (holds bool, cex string, err error) {
+	defer guard.RecoverTo(&err, "checkltl")
+	if a.Kripke == nil {
+		return false, "", a.errNoModel()
+	}
+	faultinject.Hit(faultinject.SiteLTLParse)
+	f, err := ltl.ParseDepth(formula, a.lim.MaxFormulaDepth)
 	if err != nil {
 		return false, "", err
 	}
-	r := ltl.Check(a.Kripke, f)
+	faultinject.Hit(faultinject.SiteEngineLTL)
+	r := ltl.CheckBudget(a.Kripke, f, a.budget())
 	if r.Holds {
 		return true, "", nil
 	}
-	cex := a.Kripke.RenderPath(r.Counterexample)
+	cex = a.Kripke.RenderPath(r.Counterexample)
 	if r.Loop >= 0 && r.Loop < len(r.Counterexample) {
 		cex += fmt.Sprintf("\n  --(loops back to step %d)--> %s",
 			r.Loop, a.Kripke.Names[r.Counterexample[r.Loop]])
@@ -205,9 +424,15 @@ func (a *Analysis) CheckLTL(formula string) (bool, string, error) {
 // WitnessFormula produces a rendered trace demonstrating an
 // existential CTL formula (EX/EF/EU/EG) from some state of the model —
 // evidence for "can the environment ever reach ...?" questions.
-// ok=false when the formula is unsatisfiable or not existential.
+// ok=false when the formula is unsatisfiable or not existential. It
+// never panics.
 func (a *Analysis) WitnessFormula(formula string) (trace string, ok bool, err error) {
-	f, err := ctl.Parse(formula)
+	defer guard.RecoverTo(&err, "witness")
+	if a.Kripke == nil {
+		return "", false, a.errNoModel()
+	}
+	faultinject.Hit(faultinject.SiteCTLParse)
+	f, err := ctl.ParseDepth(formula, a.lim.MaxFormulaDepth)
 	if err != nil {
 		return "", false, err
 	}
@@ -219,12 +444,22 @@ func (a *Analysis) WitnessFormula(formula string) (trace string, ok bool, err er
 	return "", false, nil
 }
 
-// DOT renders the state model in Graphviz format.
-func (a *Analysis) DOT() string { return a.Model.Dot() }
+// DOT renders the state model in Graphviz format ("" when the
+// analysis has no model).
+func (a *Analysis) DOT() string {
+	if a.Model == nil {
+		return ""
+	}
+	return a.Model.Dot()
+}
 
 // SMV renders the state model in NuSMV input format, with the full
-// catalogue's applicable formulas as SPECs.
+// catalogue's applicable formulas as SPECs ("" when the analysis has
+// no model).
 func (a *Analysis) SMV() string {
+	if a.Model == nil {
+		return ""
+	}
 	var specs []ctl.Formula
 	for _, prop := range properties.Catalogue() {
 		for _, variant := range prop.Variants {

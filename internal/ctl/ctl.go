@@ -17,6 +17,7 @@ package ctl
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -145,13 +146,30 @@ func Props(f Formula) []string {
 // Parser
 
 type parser struct {
-	src string
-	pos int
+	src      string
+	pos      int
+	depth    int
+	maxDepth int
 }
 
-// Parse parses a CTL formula.
+// DefaultMaxDepth is the nesting-depth limit Parse enforces; beyond
+// it the recursive-descent parser would risk exhausting the stack on
+// adversarial inputs (e.g. megabytes of '!' or '(').
+const DefaultMaxDepth = 1000
+
+// Parse parses a CTL formula. It rejects formulas nested deeper than
+// DefaultMaxDepth; use ParseDepth to choose a different limit.
 func Parse(src string) (Formula, error) {
-	p := &parser{src: src}
+	return ParseDepth(src, DefaultMaxDepth)
+}
+
+// ParseDepth is Parse with an explicit nesting-depth limit
+// (maxDepth <= 0 selects DefaultMaxDepth).
+func ParseDepth(src string, maxDepth int) (Formula, error) {
+	if maxDepth <= 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	p := &parser{src: src, maxDepth: maxDepth}
 	f, err := p.parseImplies()
 	if err != nil {
 		return nil, err
@@ -259,6 +277,11 @@ func (p *parser) parseAnd() (Formula, error) {
 }
 
 func (p *parser) parseUnary() (Formula, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > p.maxDepth {
+		return nil, fmt.Errorf("ctl: formula exceeds maximum nesting depth %d", p.maxDepth)
+	}
 	p.skipWS()
 	if p.pos >= len(p.src) {
 		return nil, fmt.Errorf("ctl: unexpected end of formula")
@@ -350,17 +373,29 @@ func (p *parser) parseUnary() (Formula, error) {
 	return Prop{Name: w}, nil
 }
 
+// parseQuotedProp scans a Go-style quoted proposition. Escape
+// sequences are decoded, so the %q rendering of any proposition name
+// (including non-printable bytes) parses back to the same name.
 func (p *parser) parseQuotedProp() (Formula, error) {
 	start := p.pos
 	p.pos++ // opening quote
-	var sb strings.Builder
-	for p.pos < len(p.src) && p.src[p.pos] != '"' {
-		sb.WriteByte(p.src[p.pos])
-		p.pos++
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '\\':
+			p.pos++
+			if p.pos < len(p.src) {
+				p.pos++
+			}
+		case '"':
+			p.pos++
+			name, err := strconv.Unquote(p.src[start:p.pos])
+			if err != nil {
+				return nil, fmt.Errorf("ctl: bad proposition literal at %d: %v", start, err)
+			}
+			return Prop{Name: name}, nil
+		default:
+			p.pos++
+		}
 	}
-	if p.pos >= len(p.src) {
-		return nil, fmt.Errorf("ctl: unterminated proposition at %d", start)
-	}
-	p.pos++
-	return Prop{Name: sb.String()}, nil
+	return nil, fmt.Errorf("ctl: unterminated proposition at %d", start)
 }

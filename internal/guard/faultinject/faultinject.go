@@ -1,0 +1,136 @@
+// Package faultinject is the fault-injection harness of the
+// resilience layer. Stage boundaries throughout the pipeline call
+// Hit (or HitKey, for per-property sites); in production every call
+// is a single disarmed atomic load. Tests arm sites with ArmPanic or
+// ArmBudget to force a panic — or a simulated budget exhaustion — at
+// that exact boundary and assert that the public API still returns a
+// structured partial result.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/soteria-analysis/soteria/internal/guard"
+)
+
+// Canonical injection sites, one per pipeline stage boundary.
+const (
+	// SiteAnalyze is the top-level public API boundary.
+	SiteAnalyze = "core.analyze"
+	// SiteStateModel is state-model construction.
+	SiteStateModel = "statemodel.build"
+	// SiteKripke is Kripke-structure translation.
+	SiteKripke = "kripke.from"
+	// SiteGeneral is the S.1–S.5 / nondeterminism check stage.
+	SiteGeneral = "properties.general"
+	// SiteProperty is the per-property check boundary; HitKey passes
+	// the property ID.
+	SiteProperty = "properties.property"
+	// SiteEngineExplicit, SiteEngineBDD, SiteEngineBMC are the three
+	// CTL engine boundaries; HitKey passes the property ID when the
+	// engine runs under the property checker.
+	SiteEngineExplicit = "engine.explicit"
+	SiteEngineBDD      = "engine.bdd"
+	SiteEngineBMC      = "engine.bmc"
+	// SiteEngineLTL is the LTL checker boundary.
+	SiteEngineLTL = "engine.ltl"
+	// SiteCTLParse and SiteLTLParse are the formula parser boundaries.
+	SiteCTLParse = "ctl.parse"
+	SiteLTLParse = "ltl.parse"
+	// SiteSATSolve is the SAT solver entry.
+	SiteSATSolve = "sat.solve"
+)
+
+// Sites returns every canonical injection site, for exhaustive
+// fault-injection sweeps.
+func Sites() []string {
+	return []string{
+		SiteAnalyze, SiteStateModel, SiteKripke, SiteGeneral,
+		SiteProperty, SiteEngineExplicit, SiteEngineBDD, SiteEngineBMC,
+		SiteEngineLTL, SiteCTLParse, SiteLTLParse, SiteSATSolve,
+	}
+}
+
+type faultKind int
+
+const (
+	faultPanic faultKind = iota
+	faultBudget
+)
+
+type fault struct {
+	kind     faultKind
+	key      string // match key; "" matches every key
+	resource string // for faultBudget
+}
+
+var (
+	enabled atomic.Bool
+	mu      sync.Mutex
+	armed   map[string]fault
+)
+
+// ArmPanic arms site to panic on its next hits. key narrows the
+// trigger to HitKey calls with that key ("" triggers on any hit).
+func ArmPanic(site, key string) { arm(site, fault{kind: faultPanic, key: key}) }
+
+// ArmBudget arms site to simulate exhaustion of the named resource:
+// Hit panics with an injected *guard.BudgetError, exercising the
+// budget-exhaustion paths (diagnostics, engine fallback) without
+// constructing a genuinely explosive input.
+func ArmBudget(site, key, resource string) {
+	arm(site, fault{kind: faultBudget, key: key, resource: resource})
+}
+
+func arm(site string, f fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	if armed == nil {
+		armed = map[string]fault{}
+	}
+	armed[site] = f
+	enabled.Store(true)
+}
+
+// Disarm removes the fault armed at site.
+func Disarm(site string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(armed, site)
+	enabled.Store(len(armed) > 0)
+}
+
+// Reset disarms every site.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed = nil
+	enabled.Store(false)
+}
+
+// Hit triggers any fault armed at site. Disarmed, it costs one atomic
+// load.
+func Hit(site string) { HitKey(site, "") }
+
+// HitKey triggers any fault armed at site whose key is "" or equals
+// key. Sites that check one property at a time pass the property ID
+// so tests can fault a single property.
+func HitKey(site, key string) {
+	if !enabled.Load() {
+		return
+	}
+	mu.Lock()
+	f, ok := armed[site]
+	mu.Unlock()
+	if !ok || (f.key != "" && f.key != key) {
+		return
+	}
+	switch f.kind {
+	case faultBudget:
+		panic(&guard.BudgetError{Resource: f.resource, Stage: site, Injected: true})
+	default:
+		panic(fmt.Sprintf("faultinject: injected panic at %s (key %q)", site, key))
+	}
+}

@@ -3,6 +3,7 @@ package ltl
 import (
 	"sort"
 
+	"github.com/soteria-analysis/soteria/internal/guard"
 	"github.com/soteria-analysis/soteria/internal/kripke"
 )
 
@@ -20,8 +21,18 @@ type Result struct {
 // Check decides whether every path from every initial state of k
 // satisfies f, by emptiness of k × GBA(¬f).
 func Check(k *kripke.Structure, f Formula) *Result {
-	aut := build(Not(f))
+	return CheckBudget(k, f, nil)
+}
+
+// CheckBudget is Check under a resource budget: tableau construction
+// and the product search cooperatively check the wall-clock deadline,
+// and reachable product states are charged against MaxStates.
+// Exhaustion panics with a *guard.BudgetError for the enclosing
+// recovery boundary; a nil budget disables all checks.
+func CheckBudget(k *kripke.Structure, f Formula, b *guard.Budget) *Result {
+	aut := build(Not(f), b)
 	prod := newProduct(k, aut)
+	prod.b = b
 	path, loop := prod.findAcceptingLasso()
 	res := &Result{Formula: f, Holds: path == nil, Loop: -1}
 	if path != nil {
@@ -93,11 +104,12 @@ type builder struct {
 	nodes  []*gbaNode
 	byKey  map[string]*gbaNode
 	nextID int
+	budget *guard.Budget
 }
 
 // build constructs the generalized Büchi automaton of f (in NNF).
-func build(f Formula) *automaton {
-	b := &builder{byKey: map[string]*gbaNode{}}
+func build(f Formula, budget *guard.Budget) *automaton {
+	b := &builder{byKey: map[string]*gbaNode{}, budget: budget}
 	start := &gbaNode{
 		id:       b.fresh(),
 		incoming: map[int]bool{initMarker: true},
@@ -159,6 +171,7 @@ func untilSeen(us []Until, u Until) bool {
 
 // expand is the GPVW node-splitting procedure.
 func (b *builder) expand(q *gbaNode) {
+	b.budget.Tick("ltl.tableau")
 	if len(q.new) == 0 {
 		k := key(q.old) + "|" + key(q.next)
 		if r, ok := b.byKey[k]; ok {
@@ -277,6 +290,7 @@ type product struct {
 	// succsOf maps automaton node id -> successor nodes.
 	succsOf map[int][]*gbaNode
 	inits   []*gbaNode
+	b       *guard.Budget
 }
 
 type pstate struct {
@@ -335,10 +349,12 @@ func (p *product) findAcceptingLasso() ([]int, int) {
 		}
 	}
 	for len(stack) > 0 {
+		p.b.Tick("ltl.product")
 		ps := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, t := range p.succs(ps) {
 			if _, seen := index[t]; !seen {
+				p.b.States(1, "ltl.product")
 				index[t] = len(order)
 				order = append(order, t)
 				stack = append(stack, t)

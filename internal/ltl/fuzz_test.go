@@ -1,0 +1,47 @@
+package ltl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the LTL parser with arbitrary input. The
+// invariants are totality (no panic, even on deeply nested input —
+// the depth limit must kick in before the stack does) and that any
+// accepted formula round-trips through its (negation-normal-form)
+// rendering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"true", "false", "\"valve.valve=closed\"",
+		// LTL renderings of the catalogue's recurring shapes: "after
+		// the event, eventually/always the actuator state".
+		"G(\"ev:smoke.smoke.detected\" -> F \"alarm.alarm=siren\")",
+		"G(\"ev:waterSensor.water.wet\" -> X \"valve.valve=closed\")",
+		"G(\"location.mode=Away\" -> G !\"switch.switch=on\")",
+		"F \"heater.switch=on\" U \"location.mode=Home\"",
+		"(\"a\" U \"b\") R (\"c\" | !\"d\")",
+		"X X X \"p\"",
+		"G F \"p\" -> F G \"q\"",
+		"((((\"p\"))))",
+		"G(", "\"a\" U", "\"unterminated",
+		strings.Repeat("!", 2000) + "\"p\"",
+		strings.Repeat("(", 2000) + "\"p\"" + strings.Repeat(")", 2000),
+		strings.Repeat("X ", 1500) + "\"p\"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		f1, err := Parse(src)
+		if err != nil {
+			return
+		}
+		f2, err := Parse(f1.String())
+		if err != nil {
+			t.Fatalf("rendering of accepted formula does not reparse: %q: %v", f1.String(), err)
+		}
+		if f1.String() != f2.String() {
+			t.Fatalf("round-trip mismatch: %q vs %q", f1.String(), f2.String())
+		}
+	})
+}

@@ -13,6 +13,7 @@ package ltl
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -106,14 +107,32 @@ func Implies(f, g Formula) Formula { return Or{L: Not(f), R: g} }
 //	    | f 'U' f | f 'R' f                (binary temporal, left assoc)
 //	    | '(' f ')' | 'true' | 'false' | prop
 type parser struct {
-	src string
-	pos int
+	src      string
+	pos      int
+	depth    int
+	maxDepth int
 }
 
+// DefaultMaxDepth is the nesting-depth limit Parse enforces; beyond
+// it the recursive-descent parser (and the recursive NNF rewrite)
+// would risk exhausting the stack on adversarial inputs.
+const DefaultMaxDepth = 1000
+
 // Parse parses an LTL formula. Propositions are double-quoted strings
-// or bare word tokens, as in the ctl package.
+// or bare word tokens, as in the ctl package. Formulas nested deeper
+// than DefaultMaxDepth are rejected; use ParseDepth for a different
+// limit.
 func Parse(src string) (Formula, error) {
-	p := &parser{src: src}
+	return ParseDepth(src, DefaultMaxDepth)
+}
+
+// ParseDepth is Parse with an explicit nesting-depth limit
+// (maxDepth <= 0 selects DefaultMaxDepth).
+func ParseDepth(src string, maxDepth int) (Formula, error) {
+	if maxDepth <= 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	p := &parser{src: src, maxDepth: maxDepth}
 	f, err := p.parseImplies()
 	if err != nil {
 		return nil, err
@@ -247,6 +266,11 @@ func (p *parser) parseBinaryTemporal() (Formula, error) {
 }
 
 func (p *parser) parseUnary() (Formula, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > p.maxDepth {
+		return nil, fmt.Errorf("ltl: formula exceeds maximum nesting depth %d", p.maxDepth)
+	}
 	p.skipWS()
 	if p.pos >= len(p.src) {
 		return nil, fmt.Errorf("ltl: unexpected end of formula")
@@ -272,18 +296,29 @@ func (p *parser) parseUnary() (Formula, error) {
 		p.pos++
 		return f, nil
 	case p.src[p.pos] == '"':
+		// Go-style quoted proposition; escape sequences are decoded so
+		// the %q rendering of any name parses back to the same name.
 		start := p.pos
 		p.pos++
-		var sb strings.Builder
-		for p.pos < len(p.src) && p.src[p.pos] != '"' {
-			sb.WriteByte(p.src[p.pos])
-			p.pos++
+		for p.pos < len(p.src) {
+			switch p.src[p.pos] {
+			case '\\':
+				p.pos++
+				if p.pos < len(p.src) {
+					p.pos++
+				}
+			case '"':
+				p.pos++
+				name, err := strconv.Unquote(p.src[start:p.pos])
+				if err != nil {
+					return nil, fmt.Errorf("ltl: bad proposition literal at %d: %v", start, err)
+				}
+				return Prop{Name: name}, nil
+			default:
+				p.pos++
+			}
 		}
-		if p.pos >= len(p.src) {
-			return nil, fmt.Errorf("ltl: unterminated proposition at %d", start)
-		}
-		p.pos++
-		return Prop{Name: sb.String()}, nil
+		return nil, fmt.Errorf("ltl: unterminated proposition at %d", start)
 	}
 	w := p.peekWord()
 	switch w {

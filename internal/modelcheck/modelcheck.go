@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"github.com/soteria-analysis/soteria/internal/ctl"
+	"github.com/soteria-analysis/soteria/internal/guard"
 	"github.com/soteria-analysis/soteria/internal/kripke"
 )
 
@@ -33,7 +34,15 @@ type Result struct {
 
 // Check evaluates f over k.
 func Check(k *kripke.Structure, f ctl.Formula) *Result {
-	c := &checker{k: k, cache: map[string][]bool{}}
+	return CheckBudget(k, f, nil)
+}
+
+// CheckBudget is Check under a resource budget: the fixpoint loops
+// cooperatively check the wall-clock deadline and panic with a
+// *guard.BudgetError on exhaustion (converted to an error by the
+// enclosing recovery boundary). A nil budget disables all checks.
+func CheckBudget(k *kripke.Structure, f ctl.Formula, b *guard.Budget) *Result {
+	c := &checker{k: k, cache: map[string][]bool{}, b: b}
 	sat := c.eval(f)
 	res := &Result{Formula: f, Sat: sat, Holds: true, CounterexampleLoop: -1}
 	for _, s := range k.Init {
@@ -51,6 +60,7 @@ func Check(k *kripke.Structure, f ctl.Formula) *Result {
 type checker struct {
 	k     *kripke.Structure
 	cache map[string][]bool
+	b     *guard.Budget
 }
 
 func (c *checker) eval(f ctl.Formula) []bool {
@@ -58,6 +68,7 @@ func (c *checker) eval(f ctl.Formula) []bool {
 	if v, ok := c.cache[key]; ok {
 		return v
 	}
+	c.b.Check("modelcheck")
 	var out []bool
 	switch x := f.(type) {
 	case ctl.TrueF:
@@ -154,6 +165,7 @@ func negate(in []bool) []bool {
 func (c *checker) ex(sat []bool) []bool {
 	out := make([]bool, c.k.N)
 	for s := 0; s < c.k.N; s++ {
+		c.b.Tick("modelcheck")
 		for _, t := range c.k.Succs[s] {
 			if sat[t] {
 				out[s] = true
@@ -175,6 +187,7 @@ func (c *checker) eu(a, b []bool) []bool {
 		}
 	}
 	for len(queue) > 0 {
+		c.b.Tick("modelcheck")
 		t := queue[0]
 		queue = queue[1:]
 		for _, s := range c.k.Preds[t] {
@@ -195,6 +208,7 @@ func (c *checker) eg(a []bool) []bool {
 	for {
 		changed := false
 		for s := 0; s < c.k.N; s++ {
+			c.b.Tick("modelcheck")
 			if !out[s] {
 				continue
 			}
@@ -268,6 +282,7 @@ func (c *checker) shortestPathTo(s int, target []bool) []int {
 	prev[s] = s
 	queue := []int{s}
 	for len(queue) > 0 {
+		c.b.Tick("modelcheck")
 		u := queue[0]
 		queue = queue[1:]
 		for _, v := range c.k.Succs[u] {
@@ -304,6 +319,7 @@ func (c *checker) egWitness(a []bool, s int) ([]int, int) {
 	pos := map[int]int{}
 	cur := s
 	for {
+		c.b.Tick("modelcheck")
 		if at, seen := pos[cur]; seen {
 			return path, at
 		}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/soteria-analysis/soteria/internal/capability"
 	"github.com/soteria-analysis/soteria/internal/ctl"
+	"github.com/soteria-analysis/soteria/internal/guard"
 	"github.com/soteria-analysis/soteria/internal/ir"
 	"github.com/soteria-analysis/soteria/internal/kripke"
 	"github.com/soteria-analysis/soteria/internal/modelcheck"
@@ -560,17 +561,56 @@ func PropertyByID(id string) (AppProperty, bool) {
 	return AppProperty{}, false
 }
 
-// CheckAppSpecific verifies every applicable catalogue property on the
-// model with the explicit-state model checker and returns the
-// violations found.
-func CheckAppSpecific(m *statemodel.Model, k *kripke.Structure) []Violation {
-	var out []Violation
+// PropertyOutcome is the verdict of one catalogue formula under a
+// pluggable checker: either a decision (Holds plus counterexample
+// material) or a failure (Err non-nil, property undecided). The
+// Diagnostics record contained engine failures — present even on a
+// successful decision when a fallback engine had to step in.
+type PropertyOutcome struct {
+	Holds bool
+	// FailingStates counts the initial states violating the formula.
+	FailingStates int
+	// Counterexample is a rendered model trace, when available.
+	Counterexample string
+	// Engine names the engine that produced the decision.
+	Engine string
+	// Diagnostics record contained failures encountered on the way.
+	Diagnostics []guard.Diagnostic
+	// Err, when non-nil, means no engine could decide the formula.
+	Err error
+}
+
+// PropertyChecker decides one catalogue formula. Implementations
+// impose budgets, recovery boundaries, and engine fallback; they must
+// not panic.
+type PropertyChecker func(propID string, f ctl.Formula) PropertyOutcome
+
+// AppSpecificReport is the outcome of a catalogue sweep.
+type AppSpecificReport struct {
+	Violations []Violation
+	// Checked lists the property IDs for which every applicable variant
+	// was decided, in catalogue order.
+	Checked []string
+	// Diagnostics aggregates the contained failures of all properties.
+	Diagnostics []guard.Diagnostic
+	// Incomplete is true when at least one applicable variant could not
+	// be decided.
+	Incomplete bool
+}
+
+// CheckAppSpecificWith sweeps the catalogue, deciding each applicable
+// variant's formula with check. A variant failure is contained: the
+// property is marked undecided and the sweep continues, so the report
+// still carries verdicts for every other property.
+func CheckAppSpecificWith(m *statemodel.Model, check PropertyChecker) AppSpecificReport {
+	var rep AppSpecificReport
 	appNames := make([]string, len(m.Apps))
 	for i, am := range m.Apps {
 		appNames[i] = am.App.Name
 	}
 	seen := map[string]bool{}
 	for _, prop := range Catalogue() {
+		applicable, decided := false, true
 		for _, variant := range prop.Variants {
 			if !variant.Applicable(m) {
 				continue
@@ -579,26 +619,52 @@ func CheckAppSpecific(m *statemodel.Model, k *kripke.Structure) []Violation {
 			if !ok {
 				continue
 			}
-			r := modelcheck.Check(k, f)
-			if r.Holds {
+			applicable = true
+			out := check(prop.ID, f)
+			rep.Diagnostics = append(rep.Diagnostics, out.Diagnostics...)
+			if out.Err != nil {
+				decided = false
+				rep.Incomplete = true
 				continue
 			}
-			detail := fmt.Sprintf("formula %s fails in %d state(s)", f, len(r.FailingStates))
+			if out.Holds {
+				continue
+			}
+			detail := fmt.Sprintf("formula %s fails in %d state(s)", f, out.FailingStates)
 			if seen[prop.ID+"|"+detail] {
 				continue
 			}
 			seen[prop.ID+"|"+detail] = true
-			cex := ""
-			if len(r.Counterexample) > 0 {
-				cex = k.RenderPath(r.Counterexample)
-			}
-			out = append(out, Violation{
+			rep.Violations = append(rep.Violations, Violation{
 				ID: prop.ID, Kind: AppSpecific,
 				Description: prop.Description,
 				Detail:      detail,
-				Apps:        appNames, Counterexample: cex,
+				Apps:        appNames, Counterexample: out.Counterexample,
 			})
 		}
+		if applicable && decided {
+			rep.Checked = append(rep.Checked, prop.ID)
+		}
 	}
-	return out
+	return rep
+}
+
+// ExplicitChecker returns an unbudgeted PropertyChecker backed by the
+// explicit-state engine — the legacy single-engine behavior.
+func ExplicitChecker(k *kripke.Structure) PropertyChecker {
+	return func(propID string, f ctl.Formula) PropertyOutcome {
+		r := modelcheck.Check(k, f)
+		out := PropertyOutcome{Holds: r.Holds, FailingStates: len(r.FailingStates), Engine: "explicit"}
+		if !r.Holds && len(r.Counterexample) > 0 {
+			out.Counterexample = k.RenderPath(r.Counterexample)
+		}
+		return out
+	}
+}
+
+// CheckAppSpecific verifies every applicable catalogue property on the
+// model with the explicit-state model checker and returns the
+// violations found.
+func CheckAppSpecific(m *statemodel.Model, k *kripke.Structure) []Violation {
+	return CheckAppSpecificWith(m, ExplicitChecker(k)).Violations
 }

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"github.com/soteria-analysis/soteria/internal/groovy"
+	"github.com/soteria-analysis/soteria/internal/guard"
 	"github.com/soteria-analysis/soteria/internal/ir"
 	"github.com/soteria-analysis/soteria/internal/pathcond"
 	"github.com/soteria-analysis/soteria/internal/statemodel"
@@ -197,6 +198,14 @@ func refineValues(values []string, g pathcond.Cond) []string {
 
 // CheckGeneral runs S.1–S.5 and the nondeterminism check on a model.
 func CheckGeneral(m *statemodel.Model) []Violation {
+	return CheckGeneralBudget(m, nil)
+}
+
+// CheckGeneralBudget is CheckGeneral under a resource budget: the
+// pairwise path comparison (the quadratic part of the general checks)
+// cooperatively checks the wall-clock deadline. A nil budget disables
+// all checks.
+func CheckGeneralBudget(m *statemodel.Model, bud *guard.Budget) []Violation {
 	paths := digestPaths(m)
 	var out []Violation
 	seen := map[string]bool{}
@@ -242,6 +251,7 @@ func CheckGeneral(m *statemodel.Model) []Violation {
 	// (non-complement events, conflicting writes).
 	for i := 0; i < len(paths); i++ {
 		for j := i + 1; j < len(paths); j++ {
+			bud.Tick("properties.general")
 			a, b := paths[i], paths[j]
 			samePath := a.app == b.app && a.handler == b.handler
 			jointly := pathcond.Feasible(a.guard.And(b.guard))

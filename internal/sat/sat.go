@@ -6,7 +6,12 @@
 // model checking instances Soteria's app models generate.
 package sat
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/soteria-analysis/soteria/internal/guard"
+	"github.com/soteria-analysis/soteria/internal/guard/faultinject"
+)
 
 // Lit is a literal: positive value v means variable v, negative -v
 // means ¬v. Variables are numbered from 1.
@@ -54,8 +59,18 @@ func (a Assignment) Value(l Lit) bool {
 
 // Solve decides satisfiability; when satisfiable it returns a model.
 func Solve(f *Formula) (Assignment, bool) {
+	return SolveBudget(f, nil)
+}
+
+// SolveBudget is Solve under a resource budget: DPLL conflicts are
+// charged against MaxSATConflicts and the search cooperatively checks
+// the wall-clock deadline. Exhaustion panics with a *guard.BudgetError
+// for the enclosing recovery boundary; a nil budget disables checks.
+func SolveBudget(f *Formula, b *guard.Budget) (Assignment, bool) {
+	faultinject.Hit(faultinject.SiteSATSolve)
 	s := &solver{
 		f:      f,
+		budget: b,
 		assign: make([]int8, f.NumVars+1), // 0 unset, 1 true, -1 false
 	}
 	// Build watch lists: variable -> clauses containing it.
@@ -84,6 +99,7 @@ type solver struct {
 	assign []int8
 	trail  []int // assigned variables in order
 	occur  [][]int
+	budget *guard.Budget
 }
 
 func (s *solver) litVal(l Lit) int8 {
@@ -181,7 +197,9 @@ func (s *solver) pickBranch() Lit {
 }
 
 func (s *solver) dpll() bool {
+	s.budget.Tick("sat")
 	if !s.propagate() {
+		s.budget.SATConflicts(1, "sat")
 		return false
 	}
 	l := s.pickBranch()

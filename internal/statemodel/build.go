@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"github.com/soteria-analysis/soteria/internal/capability"
+	"github.com/soteria-analysis/soteria/internal/guard"
 	"github.com/soteria-analysis/soteria/internal/ir"
 	"github.com/soteria-analysis/soteria/internal/pathcond"
 	"github.com/soteria-analysis/soteria/internal/symexec"
@@ -33,10 +34,20 @@ func Build(apps ...*ir.App) (*Model, error) {
 
 // BuildOpt is Build with explicit options.
 func BuildOpt(opt Options, apps ...*ir.App) (*Model, error) {
+	return BuildBudget(nil, opt, apps...)
+}
+
+// BuildBudget is BuildOpt under a resource budget: state enumeration
+// is charged against MaxStates and the extraction loops cooperatively
+// check the wall-clock deadline. Exhaustion panics with a
+// *guard.BudgetError for the enclosing recovery boundary; a nil
+// budget disables all checks.
+func BuildBudget(b *guard.Budget, opt Options, apps ...*ir.App) (*Model, error) {
 	m := &Model{
 		varIdx:  map[string]int{},
 		stateID: map[string]int{},
 		opt:     opt,
+		budget:  b,
 	}
 	for _, app := range apps {
 		am := &AppModel{App: app, HandleCap: map[string]string{}}
@@ -253,10 +264,14 @@ func (m *Model) enumerateStates() error {
 			return fmt.Errorf("state space exceeds %d states", maxStates)
 		}
 	}
+	// Charge the whole product against the budget before materialising
+	// it, so a too-large model aborts in O(vars) rather than O(states).
+	m.budget.States(total, "statemodel.enumerate")
 	idx := make([]int, len(m.Vars))
 	var rec func(i int)
 	rec = func(i int) {
 		if i == len(m.Vars) {
+			m.budget.Tick("statemodel.enumerate")
 			m.internState(idx)
 			return
 		}
@@ -326,6 +341,7 @@ func (m *Model) derivePathTransitions(ai int, am *AppModel, ep *ir.EntryPoint, t
 
 	for _, ev := range events {
 		for s := range m.States {
+			m.budget.Tick("statemodel.transitions")
 			m.applyPath(ai, am, ep, path, ev, s, seen)
 		}
 	}
@@ -563,6 +579,7 @@ func (m *Model) detectNondeterminism() {
 	for _, k := range sortedKeys(group) {
 		ts := group[k]
 		for i := 0; i < len(ts) && len(m.Nondet) < maxReports; i++ {
+			m.budget.Tick("statemodel.nondet")
 			for j := i + 1; j < len(ts); j++ {
 				a, b := m.Transitions[ts[i]], m.Transitions[ts[j]]
 				if a.To == b.To {

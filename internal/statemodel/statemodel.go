@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/soteria-analysis/soteria/internal/guard"
 	"github.com/soteria-analysis/soteria/internal/ir"
 	"github.com/soteria-analysis/soteria/internal/pathcond"
 	"github.com/soteria-analysis/soteria/internal/symexec"
@@ -141,6 +142,7 @@ type Model struct {
 	Nondet      []NondetReport
 	Warnings    []string
 	opt         Options
+	budget      *guard.Budget
 	// StatesBeforeReduction is the would-be state count without
 	// property abstraction, using the standard discretisation (100
 	// levels per numeric attribute) — the Fig. 11 baseline.

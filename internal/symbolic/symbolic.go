@@ -13,6 +13,7 @@ package symbolic
 import (
 	"github.com/soteria-analysis/soteria/internal/bdd"
 	"github.com/soteria-analysis/soteria/internal/ctl"
+	"github.com/soteria-analysis/soteria/internal/guard"
 	"github.com/soteria-analysis/soteria/internal/kripke"
 )
 
@@ -30,12 +31,21 @@ type Engine struct {
 	// stateEnc caches the current-variable encoding of each state.
 	stateEnc []bdd.Ref
 	props    map[string]bdd.Ref
+	b        *guard.Budget
 }
 
 // New encodes k symbolically. Current-state bit i is BDD variable 2i,
 // next-state bit i is 2i+1 (interleaved ordering keeps the transition
 // relation small).
 func New(k *kripke.Structure) *Engine {
+	return NewBudget(k, nil)
+}
+
+// NewBudget is New under a resource budget: BDD node allocation is
+// charged against MaxBDDNodes and the encoding and fixpoint loops
+// cooperatively check the wall-clock deadline. A nil budget disables
+// all checks.
+func NewBudget(k *kripke.Structure, b *guard.Budget) *Engine {
 	bits := 1
 	for (1 << bits) < k.N {
 		bits++
@@ -45,7 +55,9 @@ func New(k *kripke.Structure) *Engine {
 		curToNext: map[int]int{}, nextToCur: map[int]int{},
 		nextVars: map[int]bool{},
 		props:    map[string]bdd.Ref{},
+		b:        b,
 	}
+	e.m.SetBudget(b)
 	for i := 0; i < bits; i++ {
 		e.curToNext[2*i] = 2*i + 1
 		e.nextToCur[2*i+1] = 2 * i
@@ -182,6 +194,7 @@ func (e *Engine) eval(f ctl.Formula) bdd.Ref {
 func (e *Engine) lfpEU(a, b bdd.Ref) bdd.Ref {
 	z := b
 	for {
+		e.b.Check("symbolic")
 		nz := e.m.Or(b, e.m.And(a, e.preimage(z)))
 		if nz == z {
 			return z
@@ -194,6 +207,7 @@ func (e *Engine) lfpEU(a, b bdd.Ref) bdd.Ref {
 func (e *Engine) gfpEG(a bdd.Ref) bdd.Ref {
 	z := a
 	for {
+		e.b.Check("symbolic")
 		nz := e.m.And(a, e.preimage(z))
 		if nz == z {
 			return z

@@ -27,9 +27,12 @@
 package soteria
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"github.com/soteria-analysis/soteria/internal/core"
+	"github.com/soteria-analysis/soteria/internal/guard"
 	"github.com/soteria-analysis/soteria/internal/ir"
 	"github.com/soteria-analysis/soteria/internal/properties"
 )
@@ -103,7 +106,87 @@ func (v Violation) String() string {
 	return fmt.Sprintf("%s: %s — %s", v.ID, v.Description, v.Detail)
 }
 
-// Result is a completed analysis.
+// DiagnosticKind classifies a contained analysis failure.
+type DiagnosticKind string
+
+// Diagnostic kinds.
+const (
+	// DiagnosticPanic marks a recovered internal panic.
+	DiagnosticPanic DiagnosticKind = "panic"
+	// DiagnosticBudget marks resource-budget exhaustion (timeout,
+	// state/node/conflict limit) or context cancellation.
+	DiagnosticBudget DiagnosticKind = "budget"
+	// DiagnosticError marks an ordinary contained stage error.
+	DiagnosticError DiagnosticKind = "error"
+)
+
+// Diagnostic describes one contained failure of the analysis pipeline.
+// Diagnostics accompany partial results: instead of aborting (or
+// crashing) the whole analysis, the failing stage or property is
+// skipped and recorded here.
+type Diagnostic struct {
+	// Stage names the pipeline stage that failed ("statemodel",
+	// "properties.general", "engine.explicit", ...).
+	Stage string
+	// Property is the property ID being checked, when applicable.
+	Property string
+	// Engine is the model-checking engine involved, when applicable.
+	Engine string
+	Kind   DiagnosticKind
+	// Message is the human-readable failure description.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("[%s] %s", d.Kind, d.Stage)
+	if d.Property != "" {
+		s += " property=" + d.Property
+	}
+	if d.Engine != "" {
+		s += " engine=" + d.Engine
+	}
+	return s + ": " + d.Message
+}
+
+func diagnosticOf(d guard.Diagnostic) Diagnostic {
+	return Diagnostic{
+		Stage:    d.Stage,
+		Property: d.Property,
+		Engine:   d.Engine,
+		Kind:     DiagnosticKind(d.Kind),
+		Message:  d.Message,
+	}
+}
+
+// Limits bounds an analysis run. The zero value means "unlimited" for
+// every resource; see WithLimits.
+type Limits struct {
+	// Timeout is the wall-clock budget for the whole analysis.
+	Timeout time.Duration
+	// MaxStates caps state-model enumeration (and LTL product
+	// exploration).
+	MaxStates int
+	// MaxBDDNodes caps BDD allocation in the symbolic engine.
+	MaxBDDNodes int
+	// MaxSATConflicts caps DPLL conflicts per bounded-model-checking
+	// SAT call.
+	MaxSATConflicts int
+	// MaxFormulaDepth caps the nesting depth accepted by the CTL/LTL
+	// parsers (0 = the built-in default of 1000).
+	MaxFormulaDepth int
+}
+
+func (l Limits) internal() guard.Limits {
+	return guard.Limits{
+		Timeout:         l.Timeout,
+		MaxStates:       l.MaxStates,
+		MaxBDDNodes:     l.MaxBDDNodes,
+		MaxSATConflicts: l.MaxSATConflicts,
+		MaxFormulaDepth: l.MaxFormulaDepth,
+	}
+}
+
+// Result is a completed (possibly partial) analysis.
 type Result struct {
 	// Apps names the analyzed apps.
 	Apps []string
@@ -115,6 +198,16 @@ type Result struct {
 	Transitions int
 	// Violations lists every property violation found.
 	Violations []Violation
+	// Incomplete is true when part of the analysis was skipped — the
+	// resource budget ran out, the context was canceled, or an internal
+	// fault was contained. The populated fields are still valid; the
+	// Diagnostics explain what was skipped and why.
+	Incomplete bool
+	// Diagnostics describe each contained failure.
+	Diagnostics []Diagnostic
+	// Checked lists the app-specific property IDs that were fully
+	// decided, in catalogue order.
+	Checked []string
 
 	analysis *core.Analysis
 }
@@ -139,15 +232,58 @@ func WithProperties(ids ...string) Option {
 	return func(o *core.Options) { o.PropertyIDs = ids }
 }
 
-// Analyze checks a single app against all properties.
+// WithTimeout bounds the analysis wall clock. When the deadline
+// passes, the run stops cooperatively and returns a partial Result
+// with Incomplete set (it is not an error).
+func WithTimeout(d time.Duration) Option {
+	return func(o *core.Options) { o.Limits.Timeout = d }
+}
+
+// WithLimits bounds the analysis resources. Exhausting any limit
+// degrades the run to a partial Result with Incomplete set and a
+// Diagnostic naming the exhausted resource.
+func WithLimits(l Limits) Option {
+	return func(o *core.Options) { o.Limits = l.internal() }
+}
+
+// Analyze checks a single app against all properties. It never
+// panics: internal faults and budget exhaustion come back as a
+// partial Result with Incomplete set.
 func Analyze(app *App, opts ...Option) (*Result, error) {
 	return AnalyzeEnvironment([]*App{app}, opts...)
+}
+
+// AnalyzeContext is Analyze under a context: cancellation and context
+// deadlines stop the run cooperatively, yielding a partial Result.
+func AnalyzeContext(ctx context.Context, app *App, opts ...Option) (*Result, error) {
+	return AnalyzeEnvironmentContext(ctx, []*App{app}, opts...)
 }
 
 // AnalyzeEnvironment checks a collection of apps working in concert:
 // it builds the union state model (Algorithm 2) and verifies the
 // properties on the joint behaviour.
 func AnalyzeEnvironment(apps []*App, opts ...Option) (*Result, error) {
+	return AnalyzeEnvironmentContext(context.Background(), apps, opts...)
+}
+
+// AnalyzeEnvironmentContext is AnalyzeEnvironment under a context. It
+// never panics; whatever fails inside the pipeline is contained and
+// reported through Result.Incomplete and Result.Diagnostics.
+func AnalyzeEnvironmentContext(ctx context.Context, apps []*App, opts ...Option) (res *Result, err error) {
+	defer func() {
+		// Last-resort boundary: a panic that escapes every inner
+		// recovery boundary still becomes a structured partial result.
+		var perr error
+		guard.RecoverTo(&perr, "soteria")
+		if perr != nil {
+			res = &Result{Incomplete: true,
+				Diagnostics: []Diagnostic{diagnosticOf(guard.Diagnose("soteria", "", "", perr))}}
+			err = nil
+			for _, a := range apps {
+				res.Apps = append(res.Apps, a.Name)
+			}
+		}
+	}()
 	o := core.DefaultOptions()
 	for _, fn := range opts {
 		fn(&o)
@@ -156,15 +292,22 @@ func AnalyzeEnvironment(apps []*App, opts ...Option) (*Result, error) {
 	for i, a := range apps {
 		irs[i] = a.ir
 	}
-	an, err := core.AnalyzeApps(o, irs...)
+	an, err := core.AnalyzeAppsContext(ctx, o, irs...)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{
-		States:                len(an.Model.States),
-		StatesBeforeReduction: an.Model.StatesBeforeReduction,
-		Transitions:           len(an.Model.Transitions),
-		analysis:              an,
+	res = &Result{
+		Incomplete: an.Incomplete,
+		Checked:    append([]string{}, an.Checked...),
+		analysis:   an,
+	}
+	if an.Model != nil {
+		res.States = len(an.Model.States)
+		res.StatesBeforeReduction = an.Model.StatesBeforeReduction
+		res.Transitions = len(an.Model.Transitions)
+	}
+	for _, d := range an.Diagnostics {
+		res.Diagnostics = append(res.Diagnostics, diagnosticOf(d))
 	}
 	for _, a := range apps {
 		res.Apps = append(res.Apps, a.Name)
@@ -194,21 +337,41 @@ func kindOf(k properties.Kind) ViolationKind {
 	return ViolationKind("unknown")
 }
 
+// errIncomplete reports a post-hoc query against a result with no
+// model (analysis degraded before model construction finished).
+func (r *Result) errIncomplete() error {
+	return fmt.Errorf("soteria: analysis is incomplete, no model available")
+}
+
 // DOT renders the extracted state model as a Graphviz digraph (the
-// paper's Fig. 9 visualisation).
-func (r *Result) DOT() string { return r.analysis.DOT() }
+// paper's Fig. 9 visualisation). "" when the result has no model.
+func (r *Result) DOT() string {
+	if r.analysis == nil {
+		return ""
+	}
+	return r.analysis.DOT()
+}
 
 // SMV renders the model in NuSMV input format with the applicable
-// property formulas as SPEC lines.
-func (r *Result) SMV() string { return r.analysis.SMV() }
+// property formulas as SPEC lines. "" when the result has no model.
+func (r *Result) SMV() string {
+	if r.analysis == nil {
+		return ""
+	}
+	return r.analysis.SMV()
+}
 
 // CheckFormula verifies a custom CTL property against the model.
 // Atomic propositions are "capability.attribute=value" state facts
 // (e.g. "valve.valve=closed") and "ev:<event>" markers for states
 // entered via an event (e.g. "ev:waterSensor.water.wet"). It returns
 // whether the property holds and, when it does not, a counterexample
-// trace.
+// trace. Malformed formulas (syntax errors, excessive nesting) are
+// reported as errors — CheckFormula never panics.
 func (r *Result) CheckFormula(formula string) (holds bool, counterexample string, err error) {
+	if r.analysis == nil {
+		return false, "", r.errIncomplete()
+	}
 	return r.analysis.CheckFormula(formula)
 }
 
@@ -229,14 +392,21 @@ const (
 // backend. The BMC engine handles only AG formulas with propositional
 // bodies (it returns an error otherwise).
 func (r *Result) CheckFormulaEngine(formula string, engine Engine) (holds bool, counterexample string, err error) {
+	if r.analysis == nil {
+		return false, "", r.errIncomplete()
+	}
 	return r.analysis.CheckFormulaEngine(formula, engine)
 }
 
 // CheckLTL verifies a linear temporal logic property over all paths of
 // the model (syntax: G, F, X, U, R, !, &, |, ->; propositions as in
 // CheckFormula). A failing property yields a lasso counterexample —
-// a stem followed by an infinitely repeating loop.
+// a stem followed by an infinitely repeating loop. Malformed formulas
+// are reported as errors — CheckLTL never panics.
 func (r *Result) CheckLTL(formula string) (holds bool, counterexample string, err error) {
+	if r.analysis == nil {
+		return false, "", r.errIncomplete()
+	}
 	return r.analysis.CheckLTL(formula)
 }
 
@@ -245,6 +415,9 @@ func (r *Result) CheckLTL(formula string) (holds bool, counterexample string, er
 // ever be unlocked while nobody is home?". ok=false when the formula
 // is unsatisfiable on the model or is not existential.
 func (r *Result) WitnessFormula(formula string) (trace string, ok bool, err error) {
+	if r.analysis == nil {
+		return "", false, r.errIncomplete()
+	}
 	return r.analysis.WitnessFormula(formula)
 }
 
