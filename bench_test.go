@@ -10,6 +10,8 @@ package soteria
 // target. cmd/soteria-bench prints the corresponding tables.
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"github.com/soteria-analysis/soteria/internal/bmc"
@@ -22,6 +24,7 @@ import (
 	"github.com/soteria-analysis/soteria/internal/ltl"
 	"github.com/soteria-analysis/soteria/internal/maliot"
 	"github.com/soteria-analysis/soteria/internal/market"
+	"github.com/soteria-analysis/soteria/internal/market/audit"
 	"github.com/soteria-analysis/soteria/internal/modelcheck"
 	"github.com/soteria-analysis/soteria/internal/paperapps"
 	"github.com/soteria-analysis/soteria/internal/statemodel"
@@ -224,6 +227,38 @@ func BenchmarkAblationPathMerging(b *testing.B) {
 		}
 		b.ReportMetric(float64(explored), "explored-paths")
 		b.ReportMetric(float64(merged), "merged-paths")
+	}
+}
+
+// BenchmarkBatch measures the full-corpus market audit (65 apps + the
+// Table 4 groups) at several batch-worker counts. Every run is cold
+// (no cache), so the parallel sub-benchmarks measure real fan-out;
+// speedup over workers/1 tracks GOMAXPROCS — on a single-core runner
+// the times are expected to be flat. cmd/soteria-bench -parallel-bench
+// writes the sequential-vs-parallel comparison to BENCH_parallel.json.
+func BenchmarkBatch(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers/%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep := audit.Run(context.Background(), workers, nil)
+				for _, e := range rep.Apps {
+					if e.Err != nil {
+						b.Fatal(e.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchCached measures the same audit with a warm memoizing
+// cache — the steady-state cost of re-auditing an unchanged corpus.
+func BenchmarkBatchCached(b *testing.B) {
+	cache := core.NewCache()
+	audit.Run(context.Background(), 1, cache) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		audit.Run(context.Background(), 1, cache)
 	}
 }
 

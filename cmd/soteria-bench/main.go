@@ -7,21 +7,42 @@
 //	soteria-bench -table 2|3|4|maliot
 //	soteria-bench -fig 11a|11b|union|verify
 //	soteria-bench -ablation predicates|merging
+//	soteria-bench -parallel N     # fan experiment analyses out over N workers
+//	soteria-bench -parallel-bench # time sequential vs parallel corpus audit,
+//	                              # write BENCH_parallel.json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"github.com/soteria-analysis/soteria/internal/experiments"
+	"github.com/soteria-analysis/soteria/internal/market/audit"
 )
 
 func main() {
 	table := flag.String("table", "", "regenerate one table: 2, 3, 4, or maliot")
 	fig := flag.String("fig", "", "regenerate one figure: 11a, 11b, union, or verify")
 	ablation := flag.String("ablation", "", "run one ablation: predicates or merging")
+	parallel := flag.Int("parallel", 1, "fan batch analyses out over this many workers (outputs are identical at any setting)")
+	parallelBench := flag.Bool("parallel-bench", false, "benchmark a sequential vs parallel market audit and write BENCH_parallel.json")
+	benchOut := flag.String("parallel-bench-out", "BENCH_parallel.json", "output path for -parallel-bench")
 	flag.Parse()
+
+	experiments.Parallel = *parallel
+
+	if *parallelBench {
+		if err := runParallelBench(*parallel, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "soteria-bench: parallel-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	all := *table == "" && *fig == "" && *ablation == ""
 	ran := false
@@ -141,4 +162,87 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+}
+
+// parallelBenchResult is the machine-readable record -parallel-bench
+// emits: sequential vs parallel wall time for a cold full-corpus audit
+// (65 individual apps + the Table 4 groups), and whether the two runs
+// produced identical verdicts.
+type parallelBenchResult struct {
+	CorpusApps        int     `json:"corpus_apps"`
+	Groups            int     `json:"groups"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	Parallel          int     `json:"parallel"`
+	SequentialMS      float64 `json:"sequential_ms"`
+	ParallelMS        float64 `json:"parallel_ms"`
+	Speedup           float64 `json:"speedup"`
+	VerdictsIdentical bool    `json:"verdicts_identical"`
+}
+
+// runParallelBench times two cold audits of the whole market corpus —
+// workers=1, then workers=parallel — and writes the comparison as
+// JSON. Each audit gets a fresh (nil) cache so the parallel run cannot
+// borrow the sequential run's work; with GOMAXPROCS=1 the speedup
+// honestly reports ~1x, scaling with available cores.
+func runParallelBench(parallel int, out string) error {
+	if parallel < 2 {
+		parallel = runtime.GOMAXPROCS(0)
+		if parallel < 2 {
+			parallel = 4
+		}
+	}
+	ctx := context.Background()
+
+	t0 := time.Now()
+	seq := audit.Run(ctx, 1, nil)
+	seqDur := time.Since(t0)
+
+	t1 := time.Now()
+	par := audit.Run(ctx, parallel, nil)
+	parDur := time.Since(t1)
+
+	res := parallelBenchResult{
+		CorpusApps:        len(seq.Apps),
+		Groups:            len(seq.Groups),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		Parallel:          parallel,
+		SequentialMS:      float64(seqDur.Microseconds()) / 1000,
+		ParallelMS:        float64(parDur.Microseconds()) / 1000,
+		Speedup:           seqDur.Seconds() / parDur.Seconds(),
+		VerdictsIdentical: identicalVerdicts(seq, par),
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		return err
+	}
+	fmt.Printf("parallel bench: sequential %.1fms, parallel(%d) %.1fms, speedup %.2fx, verdicts identical: %t → %s\n",
+		res.SequentialMS, res.Parallel, res.ParallelMS, res.Speedup, res.VerdictsIdentical, out)
+	return nil
+}
+
+func identicalVerdicts(a, b *audit.Report) bool {
+	same := func(x, y []audit.Entry) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i].ID != y[i].ID || x[i].Incomplete != y[i].Incomplete ||
+				len(x[i].Violated) != len(y[i].Violated) {
+				return false
+			}
+			for j := range x[i].Violated {
+				if x[i].Violated[j] != y[i].Violated[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return same(a.Apps, b.Apps) && same(a.Groups, b.Groups)
 }

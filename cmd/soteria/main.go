@@ -17,6 +17,7 @@
 //	-witness F produce a trace demonstrating an existential formula
 //	-general   check only the general properties (S.1–S.5)
 //	-specific  check only the app-specific properties (P.1–P.30)
+//	-parallel N check properties with N concurrent workers
 //	-timeout D abort the analysis after the wall-clock duration D
 //	-max-states N cap state-model enumeration at N states
 //	-json      emit the analysis result as JSON
@@ -51,6 +52,7 @@ func main() {
 		specific  = flag.Bool("specific", false, "check only app-specific properties (P.1-P.30)")
 		list      = flag.Bool("list", false, "list the property catalogue and exit")
 		jsonOut   = flag.Bool("json", false, "emit the analysis result as JSON")
+		parallel  = flag.Int("parallel", 1, "check properties with this many concurrent workers (results are identical at any setting)")
 		timeout   = flag.Duration("timeout", 0, "abort the analysis after this wall-clock duration (0 = no limit)")
 		maxStates = flag.Int("max-states", 0, "cap state-model enumeration at this many states (0 = no limit)")
 	)
@@ -103,6 +105,9 @@ func main() {
 	}
 	if *specific && !*general {
 		opts = append(opts, soteria.WithAppSpecificOnly())
+	}
+	if *parallel > 1 {
+		opts = append(opts, soteria.WithParallel(*parallel))
 	}
 	if *timeout > 0 || *maxStates > 0 {
 		opts = append(opts, soteria.WithLimits(soteria.Limits{

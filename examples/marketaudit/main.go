@@ -1,10 +1,14 @@
 // Market audit: run the full Soteria pipeline over the 65-app market
 // corpus — every app individually, then the three interacting groups —
 // and print an auditor-style report, the workload of the paper's §6.1
-// evaluation.
+// evaluation. The whole corpus is fanned out over soteria.AnalyzeBatch;
+// pass -parallel to bound the worker pool (the report is identical at
+// any setting).
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 	"strings"
@@ -14,33 +18,21 @@ import (
 )
 
 func main() {
-	flagged := 0
-	for _, spec := range market.All() {
+	parallel := flag.Int("parallel", 4, "concurrent analyses (results are identical at any setting)")
+	flag.Parse()
+
+	specs := market.All()
+	groups := market.Groups()
+
+	var items []soteria.BatchItem
+	for _, spec := range specs {
 		app, err := soteria.ParseApp(spec.Name, spec.Source)
 		if err != nil {
 			log.Fatalf("%s: %v", spec.ID, err)
 		}
-		res, err := soteria.Analyze(app)
-		if err != nil {
-			log.Fatalf("%s: %v", spec.ID, err)
-		}
-		if len(res.Violations) == 0 {
-			continue
-		}
-		flagged++
-		var ids []string
-		for _, v := range res.Violations {
-			ids = append(ids, v.ID)
-		}
-		kind := "third-party"
-		if spec.Official {
-			kind = "official"
-		}
-		fmt.Printf("%-5s %-28s %-12s %s\n", spec.ID, spec.Name, kind, strings.Join(ids, ", "))
+		items = append(items, soteria.BatchItem{Key: spec.ID, Apps: []*soteria.App{app}})
 	}
-	fmt.Printf("\n%d of %d apps flagged individually\n\n", flagged, len(market.All()))
-
-	for _, g := range market.Groups() {
+	for _, g := range groups {
 		var apps []*soteria.App
 		for _, id := range g.Members {
 			spec, _ := market.ByID(id)
@@ -50,19 +42,47 @@ func main() {
 			}
 			apps = append(apps, app)
 		}
-		res, err := soteria.AnalyzeEnvironment(apps)
-		if err != nil {
-			log.Fatalf("%s: %v", g.ID, err)
+		items = append(items, soteria.BatchItem{Key: g.ID, Apps: apps})
+	}
+
+	results := soteria.AnalyzeBatch(context.Background(), *parallel, items)
+
+	flagged := 0
+	for i, spec := range specs {
+		r := results[i]
+		if r.Err != nil {
+			log.Fatalf("%s: %v", spec.ID, r.Err)
+		}
+		if len(r.Result.Violations) == 0 {
+			continue
+		}
+		flagged++
+		var ids []string
+		for _, v := range r.Result.Violations {
+			ids = append(ids, v.ID)
+		}
+		kind := "third-party"
+		if spec.Official {
+			kind = "official"
+		}
+		fmt.Printf("%-5s %-28s %-12s %s\n", spec.ID, spec.Name, kind, strings.Join(ids, ", "))
+	}
+	fmt.Printf("\n%d of %d apps flagged individually\n\n", flagged, len(specs))
+
+	for i, g := range groups {
+		r := results[len(specs)+i]
+		if r.Err != nil {
+			log.Fatalf("%s: %v", g.ID, r.Err)
 		}
 		seen := map[string]bool{}
 		var ids []string
-		for _, v := range res.Violations {
+		for _, v := range r.Result.Violations {
 			if !seen[v.ID] {
 				seen[v.ID] = true
 				ids = append(ids, v.ID)
 			}
 		}
 		fmt.Printf("group %-4s (%s): %d states, violations: %s\n",
-			g.ID, strings.Join(g.Members, ","), res.States, strings.Join(ids, ", "))
+			g.ID, strings.Join(g.Members, ","), r.Result.States, strings.Join(ids, ", "))
 	}
 }

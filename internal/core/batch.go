@@ -1,0 +1,258 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/soteria-analysis/soteria/internal/guard"
+	"github.com/soteria-analysis/soteria/internal/guard/faultinject"
+	"github.com/soteria-analysis/soteria/internal/ir"
+)
+
+// BatchItem is one unit of a batch analysis: a single app or a
+// multi-app environment, identified by Key in the results. Provide
+// either Sources (parsed through the batch cache, enabling IR and
+// analysis reuse) or pre-parsed Apps; when both are set, Apps wins
+// and the cache is bypassed.
+type BatchItem struct {
+	Key     string
+	Sources []NamedSource
+	Apps    []*ir.App
+}
+
+// BatchResult pairs an item with its outcome. Exactly one of Analysis
+// and Err is nil: hard input errors (unparseable apps) land in Err,
+// while contained faults and budget exhaustion come back as a partial
+// Analysis with Incomplete set — the same contract as
+// AnalyzeAppsContext, preserved per item.
+type BatchResult struct {
+	Key      string
+	Analysis *Analysis
+	Err      error
+	// Cached is true when the result was served from the batch cache
+	// without re-running the pipeline.
+	Cached bool
+}
+
+// BatchOptions configures a batch run.
+type BatchOptions struct {
+	// Options applies to every item (including per-item property
+	// parallelism via Options.Parallel).
+	Options
+	// Parallel bounds the number of items analyzed concurrently;
+	// 0 defaults to GOMAXPROCS, values below 2 run sequentially.
+	Parallel int
+	// Cache, when non-nil, memoizes parsed IR per source and completed
+	// analyses per item (keyed by source hashes + options), so repeated
+	// audits — the same app in several groups, the same corpus across
+	// tables — reuse parsed IR and state models instead of rebuilding
+	// them.
+	Cache *Cache
+}
+
+// AnalyzeBatch analyzes the items with a bounded worker pool and
+// returns one result per item, in input order. Each item runs inside
+// its own recovery boundary: a contained panic or exhausted budget in
+// one item degrades only that item's result and never loses the
+// others. Cancellation of ctx stops unstarted items promptly (their
+// results carry the cancellation as Err) while started items degrade
+// cooperatively through their budgets.
+func AnalyzeBatch(ctx context.Context, bo BatchOptions, items ...BatchItem) []BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]BatchResult, len(items))
+	workers := bo.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for i := range items {
+			results[i] = analyzeItem(ctx, bo, items[i])
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				results[i] = analyzeItem(ctx, bo, items[i])
+			}
+		}()
+	}
+	for i := range items {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	return results
+}
+
+// analyzeItem runs one batch item end to end: cache lookup, parsing,
+// analysis, cache store. The recovery boundary contains panics that
+// would otherwise escape between pipeline boundaries (e.g. an injected
+// fault at the batch-item site) so sibling items are unaffected.
+func analyzeItem(ctx context.Context, bo BatchOptions, it BatchItem) BatchResult {
+	br := BatchResult{Key: it.Key}
+	if err := ctx.Err(); err != nil {
+		br.Err = fmt.Errorf("batch %s: %w", it.Key, err)
+		return br
+	}
+
+	cacheKey := ""
+	if bo.Cache != nil && len(it.Apps) == 0 && len(it.Sources) > 0 {
+		cacheKey = bo.Cache.analysisKey(it.Sources, bo.Options)
+		if an, ok := bo.Cache.lookupAnalysis(cacheKey); ok {
+			br.Analysis, br.Cached = an, true
+			return br
+		}
+	}
+
+	err := guard.Run("batch.item", func() error {
+		faultinject.HitKey(faultinject.SiteBatchItem, it.Key)
+		apps := it.Apps
+		if len(apps) == 0 {
+			apps = make([]*ir.App, len(it.Sources))
+			for i, s := range it.Sources {
+				app, err := parseCached(bo.Cache, s)
+				if err != nil {
+					return fmt.Errorf("parsing %s: %w", s.Name, err)
+				}
+				apps[i] = app
+			}
+		}
+		an, err := AnalyzeAppsContext(ctx, bo.Options, apps...)
+		if err != nil {
+			return err
+		}
+		br.Analysis = an
+		return nil
+	})
+	if err != nil {
+		// A fault that escaped the per-item pipeline (rather than being
+		// contained inside it) still yields a structured per-item
+		// failure instead of tearing down the batch.
+		br.Analysis = nil
+		br.Err = fmt.Errorf("batch %s: %w", it.Key, err)
+		return br
+	}
+	if cacheKey != "" && br.Analysis != nil {
+		bo.Cache.storeAnalysis(cacheKey, br.Analysis)
+	}
+	return br
+}
+
+func parseCached(c *Cache, s NamedSource) (*ir.App, error) {
+	if c == nil {
+		return ir.BuildSource(s.Name, s.Source)
+	}
+	return c.parseSource(s)
+}
+
+// ---------------------------------------------------------------------------
+// Cache
+
+// Cache memoizes batch work across items and across calls. It has two
+// levels, both keyed by content hashes so identical sources shared
+// between items (an app that is a member of several groups) or
+// repeated audits hit without coordination:
+//
+//   - an IR cache: source hash → parsed *ir.App,
+//   - an analysis cache: hash of all item sources + an options
+//     fingerprint → completed *Analysis.
+//
+// Cached values are shared, not copied: the IR and the Analysis (its
+// model, Kripke structure, and violations) are treated as immutable
+// after construction — which they are for every reader in this
+// repository (post-hoc checks build fresh budgets and engine state).
+// Callers that mutate results must not use a cache. All methods are
+// safe for concurrent use.
+type Cache struct {
+	mu sync.Mutex
+	ir map[string]irEntry
+	an map[string]*Analysis
+}
+
+type irEntry struct {
+	app *ir.App
+	err error
+}
+
+// NewCache creates an empty batch cache.
+func NewCache() *Cache {
+	return &Cache{ir: map[string]irEntry{}, an: map[string]*Analysis{}}
+}
+
+func sourceHash(s NamedSource) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d:%s\x00%d:%s\x00", len(s.Name), s.Name, len(s.Source), s.Source)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// parseSource parses through the IR cache. Errors are cached too:
+// re-auditing a corpus with one broken app does not re-parse it per
+// table. Parsing runs outside the lock; concurrent first parses of
+// the same source may race benignly (last write wins, same value).
+func (c *Cache) parseSource(s NamedSource) (*ir.App, error) {
+	key := sourceHash(s)
+	c.mu.Lock()
+	e, ok := c.ir[key]
+	c.mu.Unlock()
+	if ok {
+		return e.app, e.err
+	}
+	app, err := ir.BuildSource(s.Name, s.Source)
+	c.mu.Lock()
+	c.ir[key] = irEntry{app: app, err: err}
+	c.mu.Unlock()
+	return app, err
+}
+
+// analysisKey fingerprints an item's sources plus every option that
+// affects verdicts. Parallel is deliberately excluded: parallel and
+// sequential runs produce identical analyses, so they share entries.
+func (c *Cache) analysisKey(sources []NamedSource, o Options) string {
+	h := sha256.New()
+	for _, s := range sources {
+		fmt.Fprintf(h, "%s\x00", sourceHash(s))
+	}
+	fmt.Fprintf(h, "g=%t|a=%t|ids=%q|lim=%+v", o.General, o.AppSpecific, o.PropertyIDs, o.Limits)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (c *Cache) lookupAnalysis(key string) (*Analysis, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	an, ok := c.an[key]
+	return an, ok
+}
+
+// storeAnalysis memoizes a completed analysis. Partial results are
+// not cached: an Incomplete verdict reflects the budget or fault of
+// one run, not a property of the input.
+func (c *Cache) storeAnalysis(key string, an *Analysis) {
+	if an.Incomplete {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.an[key] = an
+}
+
+// Len reports the number of cached IR and analysis entries, for tests
+// and instrumentation.
+func (c *Cache) Len() (irEntries, analyses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ir), len(c.an)
+}

@@ -8,6 +8,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/soteria-analysis/soteria/internal/bmc"
@@ -31,8 +32,17 @@ type Options struct {
 	// AppSpecific enables the P.1–P.30 catalogue.
 	AppSpecific bool
 	// PropertyIDs restricts the app-specific catalogue to the listed
-	// IDs (empty = all).
+	// IDs (empty = all). The filter is applied before dispatch: only
+	// the requested properties are built and checked, and Checked
+	// reflects the filter.
 	PropertyIDs []string
+	// Parallel is the number of concurrent property-check workers
+	// (values below 2 check sequentially). Workers share the Kripke
+	// structure read-only and construct per-worker engine state; the
+	// resource budget stays global across workers, and reports are
+	// merged in catalogue order, so results are identical to a
+	// sequential run.
+	Parallel int
 	// Limits bounds the run's resources; the zero value is unlimited.
 	Limits guard.Limits
 }
@@ -178,32 +188,25 @@ func AnalyzeAppsContext(ctx context.Context, opts Options, apps ...*ir.App) (*An
 			}
 		}
 		if opts.AppSpecific {
-			rep := properties.CheckAppSpecificWith(a.Model, func(propID string, f ctl.Formula) properties.PropertyOutcome {
+			// The property filter is applied before dispatch: only the
+			// requested properties are built and checked, and Checked
+			// reflects the filter.
+			rep := properties.CheckAppSpecificOpts(a.Model, func(propID string, f ctl.Formula) properties.PropertyOutcome {
 				return checkProperty(a.Kripke, b, propID, f)
-			})
+			}, properties.SweepOptions{IDs: opts.PropertyIDs, Parallel: opts.Parallel})
 			a.Checked = rep.Checked
 			a.Diagnostics = append(a.Diagnostics, rep.Diagnostics...)
 			if rep.Incomplete {
 				a.Incomplete = true
 			}
-			vs := rep.Violations
-			if len(opts.PropertyIDs) > 0 {
-				want := map[string]bool{}
-				for _, id := range opts.PropertyIDs {
-					want[id] = true
-				}
-				var filtered []properties.Violation
-				for _, v := range vs {
-					if want[v.ID] {
-						filtered = append(filtered, v)
-					}
-				}
-				vs = filtered
-			}
-			a.Violations = append(a.Violations, vs...)
+			a.Violations = append(a.Violations, rep.Violations...)
 		}
 		return nil
 	})
+	// Reports are ordered by catalogue position (S.1–S.5, P.1–P.30,
+	// then ND) rather than discovery order, so equal inputs render
+	// byte-identical output however the checks were scheduled.
+	properties.SortViolations(a.Violations)
 	if err != nil {
 		if recoverable(err) {
 			a.markIncomplete(guard.Diagnose("core.analyze", "", "", err))
@@ -474,8 +477,9 @@ func (a *Analysis) SMV() string {
 	return smv.Emit(a.Model, specs)
 }
 
-// ViolatedIDs returns the distinct violated property IDs in report
-// order.
+// ViolatedIDs returns the distinct violated property IDs in catalogue
+// order (S.1–S.5, P.1–P.30, then ND) — deterministic regardless of
+// the order violations were recorded in.
 func (a *Analysis) ViolatedIDs() []string {
 	seen := map[string]bool{}
 	var out []string
@@ -485,5 +489,12 @@ func (a *Analysis) ViolatedIDs() []string {
 			out = append(out, v.ID)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := properties.IDRank(out[i]), properties.IDRank(out[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return out[i] < out[j]
+	})
 	return out
 }

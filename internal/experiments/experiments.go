@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -29,6 +30,59 @@ import (
 
 func parseSpec(a market.AppSpec) (*ir.App, error) { return a.Parse() }
 
+// Parallel bounds the batch worker pool the table generators hand to
+// core.AnalyzeBatch (values below 2 run sequentially). The tables are
+// deterministic, so the output is identical at any setting; cmd/
+// soteria-bench sets it from -parallel.
+var Parallel = 1
+
+// cache memoizes IR and whole analyses across the tables: Table 3's 65
+// individual analyses feed Table 4's group parses, Fig. 11a reuses the
+// models Table 2 built, and regenerating a table is nearly free.
+var cache = core.NewCache()
+
+// modelOnly runs the pipeline without any property checking — source →
+// IR → state model → Kripke — which is all the dataset tables need.
+var modelOnly = core.Options{}
+
+// batchSpecs analyzes one batch item per app spec (key = spec ID) and
+// returns the results in spec order, failing on the first hard error.
+func batchSpecs(opts core.Options, specs []market.AppSpec) ([]core.BatchResult, error) {
+	items := make([]core.BatchItem, len(specs))
+	for i, spec := range specs {
+		items[i] = core.BatchItem{
+			Key:     spec.ID,
+			Sources: []core.NamedSource{{Name: spec.Name, Source: spec.Source}},
+		}
+	}
+	return runBatch(opts, items)
+}
+
+// batchGroups analyzes one batch item per group (key = group ID).
+func batchGroups(opts core.Options, groups []market.Group) ([]core.BatchResult, error) {
+	items := make([]core.BatchItem, len(groups))
+	for i, g := range groups {
+		var srcs []core.NamedSource
+		for _, id := range g.Members {
+			spec, _ := market.ByID(id)
+			srcs = append(srcs, core.NamedSource{Name: spec.Name, Source: spec.Source})
+		}
+		items[i] = core.BatchItem{Key: g.ID, Sources: srcs}
+	}
+	return runBatch(opts, items)
+}
+
+func runBatch(opts core.Options, items []core.BatchItem) ([]core.BatchResult, error) {
+	bo := core.BatchOptions{Options: opts, Parallel: Parallel, Cache: cache}
+	results := core.AnalyzeBatch(context.Background(), bo, items...)
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+	}
+	return results, nil
+}
+
 // corpusStats aggregates Table 2 numbers for a corpus half.
 type corpusStats struct {
 	apps      int
@@ -40,21 +94,18 @@ type corpusStats struct {
 }
 
 func statsFor(apps []market.AppSpec) (*corpusStats, error) {
+	results, err := batchSpecs(modelOnly, apps)
+	if err != nil {
+		return nil, err
+	}
 	st := &corpusStats{devices: map[string]bool{}}
-	for _, spec := range apps {
-		app, err := parseSpec(spec)
-		if err != nil {
-			return nil, err
-		}
+	for i, spec := range apps {
+		an := results[i].Analysis
 		st.apps++
-		for _, c := range app.Capabilities() {
+		for _, c := range an.Apps[0].Capabilities() {
 			st.devices[c] = true
 		}
-		m, err := statemodel.Build(app)
-		if err != nil {
-			return nil, err
-		}
-		n := len(m.States)
+		n := len(an.Model.States)
 		st.sumStates += n
 		if n > st.maxStates {
 			st.maxStates = n
@@ -103,16 +154,13 @@ func Table3() (*report.Table, error) {
 		Headers: []string{"ID", "Flagged properties", "Expected (paper)", "Match"},
 	}
 	officialsFlagged := 0
-	for _, spec := range market.All() {
-		app, err := parseSpec(spec)
-		if err != nil {
-			return nil, err
-		}
-		an, err := core.AnalyzeApps(core.DefaultOptions(), app)
-		if err != nil {
-			return nil, err
-		}
-		got := an.ViolatedIDs()
+	all := market.All()
+	results, err := batchSpecs(core.DefaultOptions(), all)
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range all {
+		got := results[i].Analysis.ViolatedIDs()
 		sort.Strings(got)
 		want := market.Table3Expected[spec.ID]
 		if spec.Official && len(got) > 0 {
@@ -148,21 +196,13 @@ func Table4() (*report.Table, error) {
 		Title:   "Table 4: Soteria's results in multi-app environments",
 		Headers: []string{"Group", "Members", "Flagged", "Expected (paper)", "Match"},
 	}
-	for _, g := range market.Groups() {
-		var apps []*ir.App
-		for _, id := range g.Members {
-			spec, _ := market.ByID(id)
-			app, err := parseSpec(spec)
-			if err != nil {
-				return nil, err
-			}
-			apps = append(apps, app)
-		}
-		an, err := core.AnalyzeApps(core.DefaultOptions(), apps...)
-		if err != nil {
-			return nil, err
-		}
-		got := an.ViolatedIDs()
+	groups := market.Groups()
+	groupResults, err := batchGroups(core.DefaultOptions(), groups)
+	if err != nil {
+		return nil, err
+	}
+	for i, g := range groups {
+		got := groupResults[i].Analysis.ViolatedIDs()
 		sort.Strings(got)
 		gotSet := map[string]bool{}
 		for _, id := range got {
@@ -180,23 +220,14 @@ func Table4() (*report.Table, error) {
 	t.Note("a group 'matches' when every Table 4 property is flagged; extra findings are member-level violations subsumed by the group run")
 
 	// §6.1's group study: 28 candidate groups examined, three
-	// violating.
+	// violating. G.1–G.3's analyses are cache hits from the loop above.
 	violating := 0
-	for _, g := range market.CandidateGroups() {
-		var apps []*ir.App
-		for _, id := range g.Members {
-			spec, _ := market.ByID(id)
-			app, err := parseSpec(spec)
-			if err != nil {
-				return nil, err
-			}
-			apps = append(apps, app)
-		}
-		an, err := core.AnalyzeApps(core.DefaultOptions(), apps...)
-		if err != nil {
-			return nil, err
-		}
-		if len(an.Violations) > 0 {
+	candidateResults, err := batchGroups(core.DefaultOptions(), market.CandidateGroups())
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range candidateResults {
+		if len(r.Analysis.Violations) > 0 {
 			violating++
 		}
 	}
@@ -207,7 +238,7 @@ func Table4() (*report.Table, error) {
 
 // MalIoTTable reproduces the Appendix C evaluation.
 func MalIoTTable() (*report.Table, *maliot.SuiteResult, error) {
-	res, err := maliot.Run()
+	res, err := maliot.RunParallel(context.Background(), Parallel)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -233,15 +264,13 @@ func Fig11a() (*report.Table, error) {
 		Headers: []string{"App", "Before", "After", "Reduction"},
 	}
 	idx := 0
-	for _, spec := range market.All() {
-		app, err := parseSpec(spec)
-		if err != nil {
-			return nil, err
-		}
-		m, err := statemodel.Build(app)
-		if err != nil {
-			return nil, err
-		}
+	all := market.All()
+	results, err := batchSpecs(modelOnly, all)
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range all {
+		m := results[i].Analysis.Model
 		hasNumeric := false
 		for _, v := range m.Vars {
 			if v.Numeric {
@@ -273,41 +302,44 @@ func Fig11b() (*report.Series, error) {
 		ms     float64
 	}
 	var pts []point
-	for _, spec := range market.All() {
-		app, err := parseSpec(spec)
-		if err != nil {
-			return nil, err
+	// Analysis.Timings.Model is exactly the measured span: state-model
+	// extraction plus Kripke construction. The shared cache is bypassed
+	// here (nil) so every point is a fresh measurement, not a replay of
+	// an earlier table's timing.
+	addPoints := func(results []core.BatchResult) {
+		for _, r := range results {
+			pts = append(pts, point{
+				states: len(r.Analysis.Model.States),
+				ms:     float64(r.Analysis.Timings.Model.Microseconds()) / 1000,
+			})
 		}
-		start := time.Now()
-		m, err := statemodel.Build(app)
-		if err != nil {
-			return nil, err
+	}
+	all := market.All()
+	items := make([]core.BatchItem, len(all))
+	for i, spec := range all {
+		items[i] = core.BatchItem{
+			Key:     spec.ID,
+			Sources: []core.NamedSource{{Name: spec.Name, Source: spec.Source}},
 		}
-		_ = kripke.FromModel(m)
-		el := time.Since(start)
-		pts = append(pts, point{states: len(m.States), ms: float64(el.Microseconds()) / 1000})
 	}
 	// Multi-app combinations extend the state-count range, as the
 	// paper's larger apps do.
 	for _, g := range market.Groups() {
-		var apps []*ir.App
+		var srcs []core.NamedSource
 		for _, id := range g.Members {
 			spec, _ := market.ByID(id)
-			app, err := parseSpec(spec)
-			if err != nil {
-				return nil, err
-			}
-			apps = append(apps, app)
+			srcs = append(srcs, core.NamedSource{Name: spec.Name, Source: spec.Source})
 		}
-		start := time.Now()
-		m, err := statemodel.Build(apps...)
-		if err != nil {
-			return nil, err
-		}
-		_ = kripke.FromModel(m)
-		el := time.Since(start)
-		pts = append(pts, point{states: len(m.States), ms: float64(el.Microseconds()) / 1000})
+		items = append(items, core.BatchItem{Key: g.ID, Sources: srcs})
 	}
+	bo := core.BatchOptions{Options: modelOnly, Parallel: Parallel}
+	results := core.AnalyzeBatch(context.Background(), bo, items...)
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+	}
+	addPoints(results)
 	sort.Slice(pts, func(i, j int) bool { return pts[i].states < pts[j].states })
 	// Bucket identical state counts (average the times).
 	for i := 0; i < len(pts); {

@@ -41,6 +41,10 @@ const (
 	SiteLTLParse = "ltl.parse"
 	// SiteSATSolve is the SAT solver entry.
 	SiteSATSolve = "sat.solve"
+	// SiteBatchItem is the per-item boundary of core.AnalyzeBatch;
+	// HitKey passes the item key, so tests can fault exactly one app
+	// of a batch and assert the others survive.
+	SiteBatchItem = "batch.item"
 )
 
 // Sites returns every canonical injection site, for exhaustive
@@ -50,6 +54,7 @@ func Sites() []string {
 		SiteAnalyze, SiteStateModel, SiteKripke, SiteGeneral,
 		SiteProperty, SiteEngineExplicit, SiteEngineBDD, SiteEngineBMC,
 		SiteEngineLTL, SiteCTLParse, SiteLTLParse, SiteSATSolve,
+		SiteBatchItem,
 	}
 }
 
@@ -67,9 +72,11 @@ type fault struct {
 }
 
 var (
-	enabled atomic.Bool
-	mu      sync.Mutex
-	armed   map[string]fault
+	enabled  atomic.Bool
+	counting atomic.Bool
+	mu       sync.Mutex
+	armed    map[string]fault
+	counts   map[string]int
 )
 
 // ArmPanic arms site to panic on its next hits. key narrows the
@@ -102,12 +109,39 @@ func Disarm(site string) {
 	enabled.Store(len(armed) > 0)
 }
 
-// Reset disarms every site.
+// Reset disarms every site and stops hit counting.
 func Reset() {
 	mu.Lock()
 	defer mu.Unlock()
 	armed = nil
+	counts = nil
 	enabled.Store(false)
+	counting.Store(false)
+}
+
+// BeginCount clears and enables the per-site hit counters, so a test
+// can observe exactly which sites (and keys) the pipeline dispatched —
+// e.g. that a property filter keeps unrequested properties from ever
+// reaching the per-property boundary.
+func BeginCount() {
+	mu.Lock()
+	defer mu.Unlock()
+	counts = map[string]int{}
+	counting.Store(true)
+}
+
+// TakeCounts disables counting and returns the recorded hit counts,
+// keyed "site" for anonymous hits and "site|key" for keyed hits.
+func TakeCounts() map[string]int {
+	mu.Lock()
+	defer mu.Unlock()
+	out := counts
+	counts = nil
+	counting.Store(false)
+	if out == nil {
+		out = map[string]int{}
+	}
+	return out
 }
 
 // Hit triggers any fault armed at site. Disarmed, it costs one atomic
@@ -118,6 +152,17 @@ func Hit(site string) { HitKey(site, "") }
 // key. Sites that check one property at a time pass the property ID
 // so tests can fault a single property.
 func HitKey(site, key string) {
+	if counting.Load() {
+		k := site
+		if key != "" {
+			k += "|" + key
+		}
+		mu.Lock()
+		if counts != nil {
+			counts[k]++
+		}
+		mu.Unlock()
+	}
 	if !enabled.Load() {
 		return
 	}

@@ -19,6 +19,14 @@
 // Budgets are nil-safe: a nil *Budget performs no checks, so
 // unbudgeted callers (existing tests, the default API) pay only a nil
 // comparison in the hot loops.
+//
+// Budgets are also concurrency-safe: the resource counters are
+// atomics, so one budget may be shared by the parallel property
+// workers of a single analysis while still enforcing one global
+// ceiling. Accounting is add-then-check — each worker charges its
+// increment and panics if the post-add total exceeds the limit — so a
+// counter can transiently overshoot the ceiling by at most one
+// in-flight charge per worker before every worker has tripped.
 package guard
 
 import (
@@ -26,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 )
 
@@ -54,17 +63,18 @@ func (l Limits) Unlimited() bool {
 
 // Budget tracks resource consumption against Limits. All methods are
 // safe on a nil receiver (no-ops), so budget plumbing can pass nil to
-// mean "unbudgeted".
+// mean "unbudgeted", and safe for concurrent use by multiple
+// goroutines sharing one global ceiling.
 type Budget struct {
 	ctx         context.Context
 	deadline    time.Time
 	hasDeadline bool
 	lim         Limits
 
-	states       int64
-	bddNodes     int64
-	satConflicts int64
-	ticks        uint64
+	states       atomic.Int64
+	bddNodes     atomic.Int64
+	satConflicts atomic.Int64
+	ticks        atomic.Uint64
 }
 
 // tickMask amortizes the (comparatively expensive) time/context check
@@ -114,13 +124,13 @@ func (b *Budget) Check(stage string) {
 }
 
 // Tick is the amortized hot-loop variant of Check: it performs the
-// time/context check once every 256 calls.
+// time/context check once every 256 calls (across all goroutines
+// sharing the budget).
 func (b *Budget) Tick(stage string) {
 	if b == nil {
 		return
 	}
-	b.ticks++
-	if b.ticks&tickMask != 0 {
+	if b.ticks.Add(1)&tickMask != 0 {
 		return
 	}
 	b.Check(stage)
@@ -132,8 +142,8 @@ func (b *Budget) States(n int, stage string) {
 	if b == nil {
 		return
 	}
-	b.states += int64(n)
-	if b.lim.MaxStates > 0 && b.states > int64(b.lim.MaxStates) {
+	total := b.states.Add(int64(n))
+	if b.lim.MaxStates > 0 && total > int64(b.lim.MaxStates) {
 		panic(&BudgetError{Resource: "states", Limit: int64(b.lim.MaxStates), Stage: stage})
 	}
 }
@@ -143,8 +153,8 @@ func (b *Budget) BDDNodes(n int, stage string) {
 	if b == nil {
 		return
 	}
-	b.bddNodes += int64(n)
-	if b.lim.MaxBDDNodes > 0 && b.bddNodes > int64(b.lim.MaxBDDNodes) {
+	total := b.bddNodes.Add(int64(n))
+	if b.lim.MaxBDDNodes > 0 && total > int64(b.lim.MaxBDDNodes) {
 		panic(&BudgetError{Resource: "bdd-nodes", Limit: int64(b.lim.MaxBDDNodes), Stage: stage})
 	}
 }
@@ -154,10 +164,19 @@ func (b *Budget) SATConflicts(n int, stage string) {
 	if b == nil {
 		return
 	}
-	b.satConflicts += int64(n)
-	if b.lim.MaxSATConflicts > 0 && b.satConflicts > int64(b.lim.MaxSATConflicts) {
+	total := b.satConflicts.Add(int64(n))
+	if b.lim.MaxSATConflicts > 0 && total > int64(b.lim.MaxSATConflicts) {
 		panic(&BudgetError{Resource: "sat-conflicts", Limit: int64(b.lim.MaxSATConflicts), Stage: stage})
 	}
+}
+
+// Spent returns the current charge totals (states, BDD nodes, SAT
+// conflicts) — a consistent-enough snapshot for diagnostics and tests.
+func (b *Budget) Spent() (states, bddNodes, satConflicts int64) {
+	if b == nil {
+		return 0, 0, 0
+	}
+	return b.states.Load(), b.bddNodes.Load(), b.satConflicts.Load()
 }
 
 // FormulaDepth returns the configured parser nesting limit (0 when

@@ -1,0 +1,79 @@
+package guard
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestParallelBudgetCeiling hammers one budget from many goroutines
+// and verifies the global ceiling holds under concurrency: every
+// worker eventually trips a *BudgetError, and because accounting is
+// add-then-check, the counter never overshoots the limit by more than
+// one in-flight charge per worker.
+func TestParallelBudgetCeiling(t *testing.T) {
+	const (
+		workers = 16
+		limit   = 10_000
+	)
+	b := New(context.Background(), Limits{MaxStates: limit})
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = Run("hammer", func() error {
+				for {
+					b.States(1, "hammer")
+				}
+			})
+		}(w)
+	}
+	wg.Wait()
+
+	for w, err := range errs {
+		if !IsBudget(err) {
+			t.Fatalf("worker %d: got %v, want budget error", w, err)
+		}
+	}
+	states, _, _ := b.Spent()
+	if states <= limit {
+		t.Fatalf("counter %d never crossed the ceiling %d", states, limit)
+	}
+	if states > limit+workers {
+		t.Fatalf("counter %d overshot ceiling %d by more than the worker count %d",
+			states, limit, workers)
+	}
+}
+
+// TestParallelBudgetTick exercises the amortized Tick path from many
+// goroutines; under -race this proves the tick counter is not a data
+// race and that a canceled context still trips every worker.
+func TestParallelBudgetTick(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := New(ctx, Limits{})
+	cancel()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = Run("tick", func() error {
+				for {
+					b.Tick("tick")
+				}
+			})
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if !IsBudget(err) {
+			t.Fatalf("worker %d: got %v, want cancellation", w, err)
+		}
+	}
+}

@@ -9,11 +9,11 @@
 package maliot
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"github.com/soteria-analysis/soteria/internal/core"
-	"github.com/soteria-analysis/soteria/internal/ir"
 )
 
 // Outcome classifies the expected analysis result for an app.
@@ -122,50 +122,55 @@ type SuiteResult struct {
 // Run analyzes the whole suite: single apps alone, clustered apps as
 // environments, and scores the results against the ground truth.
 func Run() (*SuiteResult, error) {
-	opts := core.DefaultOptions()
+	return RunParallel(context.Background(), 1)
+}
 
-	// Pre-analyze clusters.
-	clusterViolations := map[string]map[string]bool{}
-	names := sortedKeys(Clusters())
+// RunParallel is Run with the cluster and single-app analyses fanned
+// out over a bounded batch worker pool. The scoring — and therefore
+// the suite result — is identical to the sequential run's.
+func RunParallel(ctx context.Context, parallel int) (*SuiteResult, error) {
+	// One batch item per cluster, then one per solo app.
+	clusters := Clusters()
+	names := sortedKeys(clusters)
+	var items []core.BatchItem
 	for _, cname := range names {
-		var apps []*ir.App
-		for _, id := range Clusters()[cname] {
+		var srcs []core.NamedSource
+		for _, id := range clusters[cname] {
 			a, _ := AppByID(id)
-			app, err := ir.BuildSource(a.Name, a.Source)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", a.ID, err)
-			}
-			apps = append(apps, app)
+			srcs = append(srcs, core.NamedSource{Name: a.Name, Source: a.Source})
 		}
-		an, err := core.AnalyzeApps(opts, apps...)
-		if err != nil {
-			return nil, fmt.Errorf("cluster %s: %w", cname, err)
+		items = append(items, core.BatchItem{Key: "cluster:" + cname, Sources: srcs})
+	}
+	for _, a := range suite {
+		if a.Cluster != "" {
+			continue
+		}
+		items = append(items, core.BatchItem{
+			Key:     a.ID,
+			Sources: []core.NamedSource{{Name: a.Name, Source: a.Source}},
+		})
+	}
+
+	bo := core.BatchOptions{Options: core.DefaultOptions(), Parallel: parallel}
+	violations := map[string]map[string]bool{}
+	for _, r := range core.AnalyzeBatch(ctx, bo, items...) {
+		if r.Err != nil {
+			return nil, fmt.Errorf("%s: %w", r.Key, r.Err)
 		}
 		set := map[string]bool{}
-		for _, id := range an.ViolatedIDs() {
+		for _, id := range r.Analysis.ViolatedIDs() {
 			set[id] = true
 		}
-		clusterViolations[cname] = set
+		violations[r.Key] = set
 	}
 
 	res := &SuiteResult{}
 	for _, a := range suite {
 		var reported map[string]bool
 		if a.Cluster != "" {
-			reported = clusterViolations[a.Cluster]
+			reported = violations["cluster:"+a.Cluster]
 		} else {
-			app, err := ir.BuildSource(a.Name, a.Source)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", a.ID, err)
-			}
-			an, err := core.AnalyzeApps(opts, app)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", a.ID, err)
-			}
-			reported = map[string]bool{}
-			for _, id := range an.ViolatedIDs() {
-				reported[id] = true
-			}
+			reported = violations[a.ID]
 		}
 
 		row := AppResult{App: a, Reported: sortedKeys(reported)}

@@ -1,7 +1,6 @@
 package properties
 
 import (
-	"fmt"
 	"strings"
 
 	"github.com/soteria-analysis/soteria/internal/capability"
@@ -598,55 +597,14 @@ type AppSpecificReport struct {
 	Incomplete bool
 }
 
-// CheckAppSpecificWith sweeps the catalogue, deciding each applicable
-// variant's formula with check. A variant failure is contained: the
-// property is marked undecided and the sweep continues, so the report
-// still carries verdicts for every other property.
+// CheckAppSpecificWith sweeps the whole catalogue sequentially,
+// deciding each applicable variant's formula with check. A variant
+// failure is contained: the property is marked undecided and the sweep
+// continues, so the report still carries verdicts for every other
+// property. See CheckAppSpecificOpts for property filtering and
+// parallel dispatch.
 func CheckAppSpecificWith(m *statemodel.Model, check PropertyChecker) AppSpecificReport {
-	var rep AppSpecificReport
-	appNames := make([]string, len(m.Apps))
-	for i, am := range m.Apps {
-		appNames[i] = am.App.Name
-	}
-	seen := map[string]bool{}
-	for _, prop := range Catalogue() {
-		applicable, decided := false, true
-		for _, variant := range prop.Variants {
-			if !variant.Applicable(m) {
-				continue
-			}
-			f, ok := variant.Build(m)
-			if !ok {
-				continue
-			}
-			applicable = true
-			out := check(prop.ID, f)
-			rep.Diagnostics = append(rep.Diagnostics, out.Diagnostics...)
-			if out.Err != nil {
-				decided = false
-				rep.Incomplete = true
-				continue
-			}
-			if out.Holds {
-				continue
-			}
-			detail := fmt.Sprintf("formula %s fails in %d state(s)", f, out.FailingStates)
-			if seen[prop.ID+"|"+detail] {
-				continue
-			}
-			seen[prop.ID+"|"+detail] = true
-			rep.Violations = append(rep.Violations, Violation{
-				ID: prop.ID, Kind: AppSpecific,
-				Description: prop.Description,
-				Detail:      detail,
-				Apps:        appNames, Counterexample: out.Counterexample,
-			})
-		}
-		if applicable && decided {
-			rep.Checked = append(rep.Checked, prop.ID)
-		}
-	}
-	return rep
+	return CheckAppSpecificOpts(m, check, SweepOptions{})
 }
 
 // ExplicitChecker returns an unbudgeted PropertyChecker backed by the

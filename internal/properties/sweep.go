@@ -1,0 +1,170 @@
+package properties
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/soteria-analysis/soteria/internal/ctl"
+	"github.com/soteria-analysis/soteria/internal/guard"
+	"github.com/soteria-analysis/soteria/internal/statemodel"
+)
+
+// SweepOptions configures a catalogue sweep.
+type SweepOptions struct {
+	// IDs restricts the sweep to the listed property IDs; nil or empty
+	// means the whole catalogue. Filtering happens before dispatch:
+	// unrequested properties are never built or checked, and they do
+	// not appear in the report's Checked list.
+	IDs []string
+	// Parallel is the number of concurrent property workers; values
+	// below 2 run the sweep sequentially. Workers share the model and
+	// Kripke structure read-only; each check call constructs its own
+	// engine state (BDD manager, explicit-checker memo tables), so the
+	// checker passed in must be safe to call concurrently.
+	Parallel int
+}
+
+// sweepTask is one (property, variant) formula to decide. Tasks are
+// enumerated in catalogue order; outcomes are merged back in that same
+// order, so the report is deterministic however the checks are
+// scheduled.
+type sweepTask struct {
+	prop    int // Catalogue() index
+	id      string
+	formula ctl.Formula
+}
+
+// CheckAppSpecificOpts sweeps the catalogue under SweepOptions,
+// deciding each applicable variant's formula with check. A variant
+// failure is contained: the property is marked undecided and the sweep
+// continues, so the report still carries verdicts for every other
+// property. With o.Parallel > 1 the variants are checked by a bounded
+// worker pool; the report (violations, Checked, diagnostics) is
+// identical to the sequential sweep's.
+func CheckAppSpecificOpts(m *statemodel.Model, check PropertyChecker, o SweepOptions) AppSpecificReport {
+	cat := Catalogue()
+
+	var want map[string]bool
+	if len(o.IDs) > 0 {
+		want = make(map[string]bool, len(o.IDs))
+		for _, id := range o.IDs {
+			want[id] = true
+		}
+	}
+
+	// Applicability and formula construction read the shared model;
+	// both are cheap, so they run serially up front to produce the
+	// dispatch list.
+	var tasks []sweepTask
+	for pi, prop := range cat {
+		if want != nil && !want[prop.ID] {
+			continue
+		}
+		for _, variant := range prop.Variants {
+			if !variant.Applicable(m) {
+				continue
+			}
+			f, ok := variant.Build(m)
+			if !ok {
+				continue
+			}
+			tasks = append(tasks, sweepTask{prop: pi, id: prop.ID, formula: f})
+		}
+	}
+
+	outcomes := make([]PropertyOutcome, len(tasks))
+	if workers := poolSize(o.Parallel, len(tasks)); workers > 1 {
+		var wg sync.WaitGroup
+		ch := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range ch {
+					outcomes[i] = checkContained(check, tasks[i].id, tasks[i].formula)
+				}
+			}()
+		}
+		for i := range tasks {
+			ch <- i
+		}
+		close(ch)
+		wg.Wait()
+	} else {
+		for i, task := range tasks {
+			outcomes[i] = checkContained(check, task.id, task.formula)
+		}
+	}
+
+	return mergeOutcomes(m, cat, tasks, outcomes)
+}
+
+// poolSize bounds the worker count by the task count.
+func poolSize(parallel, tasks int) int {
+	if parallel > tasks {
+		return tasks
+	}
+	return parallel
+}
+
+// checkContained runs one check inside a recovery boundary: a panic
+// escaping a (mis-implemented) checker undecides only that variant
+// instead of tearing down its sibling workers.
+func checkContained(check PropertyChecker, id string, f ctl.Formula) (out PropertyOutcome) {
+	err := guard.Run("property.dispatch", func() error {
+		out = check(id, f)
+		return nil
+	})
+	if err != nil {
+		out = PropertyOutcome{
+			Diagnostics: []guard.Diagnostic{guard.Diagnose("property.dispatch", id, "", err)},
+			Err:         err,
+		}
+	}
+	return out
+}
+
+// mergeOutcomes folds per-variant outcomes back into a report in
+// catalogue order — the exact aggregation the sequential sweep
+// performs, applied to the indexed results.
+func mergeOutcomes(m *statemodel.Model, cat []AppProperty, tasks []sweepTask, outcomes []PropertyOutcome) AppSpecificReport {
+	var rep AppSpecificReport
+	appNames := make([]string, len(m.Apps))
+	for i, am := range m.Apps {
+		appNames[i] = am.App.Name
+	}
+	seen := map[string]bool{}
+	ti := 0
+	for pi, prop := range cat {
+		applicable, decided := false, true
+		for ti < len(tasks) && tasks[ti].prop == pi {
+			out, f := outcomes[ti], tasks[ti].formula
+			ti++
+			applicable = true
+			rep.Diagnostics = append(rep.Diagnostics, out.Diagnostics...)
+			if out.Err != nil {
+				decided = false
+				rep.Incomplete = true
+				continue
+			}
+			if out.Holds {
+				continue
+			}
+			detail := fmt.Sprintf("formula %s fails in %d state(s)", f, out.FailingStates)
+			if seen[prop.ID+"|"+detail] {
+				continue
+			}
+			seen[prop.ID+"|"+detail] = true
+			rep.Violations = append(rep.Violations, Violation{
+				ID: prop.ID, Kind: AppSpecific,
+				Description: prop.Description,
+				Detail:      detail,
+				Apps:        appNames, Counterexample: out.Counterexample,
+			})
+		}
+		if applicable && decided {
+			rep.Checked = append(rep.Checked, prop.ID)
+		}
+	}
+	return rep
+}

@@ -246,6 +246,15 @@ func WithLimits(l Limits) Option {
 	return func(o *core.Options) { o.Limits = l.internal() }
 }
 
+// WithParallel checks properties with n concurrent workers (values
+// below 2 check sequentially). Parallel and sequential runs produce
+// identical results: workers share the Kripke structure read-only,
+// each check builds its own engine state, resource limits stay global,
+// and the report is merged in catalogue order.
+func WithParallel(n int) Option {
+	return func(o *core.Options) { o.Parallel = n }
+}
+
 // Analyze checks a single app against all properties. It never
 // panics: internal faults and budget exhaustion come back as a
 // partial Result with Incomplete set.
@@ -296,7 +305,17 @@ func AnalyzeEnvironmentContext(ctx context.Context, apps []*App, opts ...Option)
 	if err != nil {
 		return nil, err
 	}
-	res = &Result{
+	names := make([]string, len(apps))
+	for i, a := range apps {
+		names[i] = a.Name
+	}
+	return resultFrom(an, names), nil
+}
+
+// resultFrom converts a pipeline analysis into a public Result.
+func resultFrom(an *core.Analysis, appNames []string) *Result {
+	res := &Result{
+		Apps:       appNames,
 		Incomplete: an.Incomplete,
 		Checked:    append([]string{}, an.Checked...),
 		analysis:   an,
@@ -309,9 +328,6 @@ func AnalyzeEnvironmentContext(ctx context.Context, apps []*App, opts ...Option)
 	for _, d := range an.Diagnostics {
 		res.Diagnostics = append(res.Diagnostics, diagnosticOf(d))
 	}
-	for _, a := range apps {
-		res.Apps = append(res.Apps, a.Name)
-	}
 	for _, v := range an.Violations {
 		res.Violations = append(res.Violations, Violation{
 			ID:             v.ID,
@@ -322,7 +338,59 @@ func AnalyzeEnvironmentContext(ctx context.Context, apps []*App, opts ...Option)
 			Counterexample: v.Counterexample,
 		})
 	}
-	return res, nil
+	return res
+}
+
+// BatchItem is one unit of a batch analysis: a single app or a
+// multi-app environment, identified by Key in the results.
+type BatchItem struct {
+	Key  string
+	Apps []*App
+}
+
+// BatchResult pairs a batch item with its outcome. Exactly one of
+// Result and Err is set: hard failures land in Err, while contained
+// faults and exhausted budgets come back as a partial Result with
+// Incomplete set — the same contract as Analyze, preserved per item.
+type BatchResult struct {
+	Key    string
+	Result *Result
+	Err    error
+}
+
+// AnalyzeBatch analyzes many apps or environments concurrently with a
+// bounded worker pool (parallel caps in-flight analyses; values below
+// 2 run sequentially, 0 uses GOMAXPROCS). Results come back in input
+// order and are identical to running Analyze on each item in turn: a
+// panic or exhausted budget in one item degrades only that item's
+// result. Options apply to every item; combine with WithParallel to
+// additionally fan out property checks inside each item.
+func AnalyzeBatch(ctx context.Context, parallel int, items []BatchItem, opts ...Option) []BatchResult {
+	o := core.DefaultOptions()
+	for _, fn := range opts {
+		fn(&o)
+	}
+	coreItems := make([]core.BatchItem, len(items))
+	for i, it := range items {
+		irs := make([]*ir.App, len(it.Apps))
+		for j, a := range it.Apps {
+			irs[j] = a.ir
+		}
+		coreItems[i] = core.BatchItem{Key: it.Key, Apps: irs}
+	}
+	results := core.AnalyzeBatch(ctx, core.BatchOptions{Options: o, Parallel: parallel}, coreItems...)
+	out := make([]BatchResult, len(results))
+	for i, r := range results {
+		out[i] = BatchResult{Key: r.Key, Err: r.Err}
+		if r.Analysis != nil {
+			names := make([]string, len(items[i].Apps))
+			for j, a := range items[i].Apps {
+				names[j] = a.Name
+			}
+			out[i].Result = resultFrom(r.Analysis, names)
+		}
+	}
+	return out
 }
 
 func kindOf(k properties.Kind) ViolationKind {
