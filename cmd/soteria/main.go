@@ -29,6 +29,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -122,20 +123,17 @@ func main() {
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(struct {
-			Apps                  []string
-			States                int
-			StatesBeforeReduction int
-			Transitions           int
-			Violations            []soteria.Violation
-			Incomplete            bool
-			Diagnostics           []soteria.Diagnostic `json:",omitempty"`
-		}{res.Apps, res.States, res.StatesBeforeReduction, res.Transitions, res.Violations,
-			res.Incomplete, res.Diagnostics}); err != nil {
+		// The schema-versioned canonical record — the same bytes
+		// soteriad stores and serves, re-indented for the terminal.
+		data, err := res.JSON()
+		if err != nil {
 			fail("json: %v", err)
 		}
+		var buf bytes.Buffer
+		if err := json.Indent(&buf, data, "", "  "); err != nil {
+			fail("json: %v", err)
+		}
+		fmt.Println(buf.String())
 		os.Exit(exitCode(res))
 	}
 

@@ -1,0 +1,98 @@
+// Command soteriad runs the Soteria analyzer as a long-lived service:
+// an HTTP JSON API backed by a bounded job queue, per-job resource
+// budgets, and a persistent content-addressed result store.
+//
+// Usage:
+//
+//	soteriad [flags]
+//
+// Flags:
+//
+//	-addr A         listen address (default :8380)
+//	-store DIR      result store directory ("" disables persistence)
+//	-workers N      concurrent analysis workers (default GOMAXPROCS)
+//	-queue N        queued-job bound before 429 backpressure (default 64)
+//	-job-timeout D  wall-clock ceiling per job (default 60s)
+//	-parallel N     property-check workers per analysis (default 1)
+//	-max-states N   per-job state-model cap (0 = unlimited)
+//	-max-body N     request body cap in bytes (default 8 MiB)
+//	-drain-timeout D grace period for in-flight jobs on SIGTERM (default 30s)
+//
+// Endpoints: POST /v1/analyze, POST /v1/batch, GET /v1/jobs/{id},
+// GET /v1/results/{hash}, GET /healthz, GET /metrics. On SIGTERM or
+// SIGINT the daemon stops accepting work, drains queued and in-flight
+// jobs (up to -drain-timeout, after which their budgets are canceled
+// and they finish as partial results), then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/soteria-analysis/soteria"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8380", "listen address")
+		storeDir     = flag.String("store", "soteriad-store", "result store directory (empty disables persistence)")
+		workers      = flag.Int("workers", 0, "concurrent analysis workers (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "queued-job bound before 429 backpressure")
+		jobTimeout   = flag.Duration("job-timeout", 60*time.Second, "wall-clock ceiling per job")
+		parallel     = flag.Int("parallel", 1, "property-check workers per analysis")
+		maxStates    = flag.Int("max-states", 0, "per-job state-model cap (0 = unlimited)")
+		maxBody      = flag.Int64("max-body", 8<<20, "request body cap in bytes")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "soteriad: ", log.LstdFlags)
+
+	svc, err := soteria.NewService(soteria.ServiceConfig{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		JobTimeout:   *jobTimeout,
+		Parallel:     *parallel,
+		MaxBodyBytes: *maxBody,
+		Limits:       soteria.Limits{MaxStates: *maxStates},
+		StoreDir:     *storeDir,
+		Log:          logger,
+	})
+	if err != nil {
+		logger.Fatalf("starting service: %v", err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s (store %q, %d-deep queue)", *addr, *storeDir, *queue)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		logger.Fatalf("http server: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Drain: reject new jobs (and fail health checks) first, finish the
+	// queued and in-flight work, then close HTTP listeners.
+	logger.Printf("shutdown signal received, draining (up to %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Shutdown(drainCtx); err != nil {
+		logger.Printf("drain deadline passed, remaining jobs canceled: %v", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	logger.Printf("drained, exiting")
+	fmt.Fprintln(os.Stderr, "soteriad: stopped")
+}

@@ -2,8 +2,6 @@ package core
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"runtime"
 	"sync"
@@ -46,12 +44,21 @@ type BatchOptions struct {
 	// Parallel bounds the number of items analyzed concurrently;
 	// 0 defaults to GOMAXPROCS, values below 2 run sequentially.
 	Parallel int
-	// Cache, when non-nil, memoizes parsed IR per source and completed
-	// analyses per item (keyed by source hashes + options), so repeated
-	// audits — the same app in several groups, the same corpus across
-	// tables — reuse parsed IR and state models instead of rebuilding
-	// them.
-	Cache *Cache
+	// Cache, when non-nil, memoizes completed analyses per item (keyed
+	// by source hashes + options, see AnalysisKey), so repeated audits —
+	// the same app in several groups, the same corpus across tables —
+	// reuse whole analyses instead of rebuilding them. A *Cache
+	// additionally memoizes parsed IR per source; any other ResultCache
+	// (e.g. the persistent store's AnalysisCache) memoizes at the
+	// analysis level only, unless it also implements SourceParser.
+	Cache ResultCache
+}
+
+// SourceParser is the optional second level of a ResultCache: per-
+// source IR memoization. AnalyzeBatch parses through it when the
+// configured cache provides one.
+type SourceParser interface {
+	ParseSource(s NamedSource) (*ir.App, error)
 }
 
 // AnalyzeBatch analyzes the items with a bounded worker pool and
@@ -111,8 +118,8 @@ func analyzeItem(ctx context.Context, bo BatchOptions, it BatchItem) BatchResult
 
 	cacheKey := ""
 	if bo.Cache != nil && len(it.Apps) == 0 && len(it.Sources) > 0 {
-		cacheKey = bo.Cache.analysisKey(it.Sources, bo.Options)
-		if an, ok := bo.Cache.lookupAnalysis(cacheKey); ok {
+		cacheKey = AnalysisKey(it.Sources, bo.Options)
+		if an, ok := bo.Cache.LookupAnalysis(cacheKey); ok {
 			br.Analysis, br.Cached = an, true
 			return br
 		}
@@ -147,112 +154,14 @@ func analyzeItem(ctx context.Context, bo BatchOptions, it BatchItem) BatchResult
 		return br
 	}
 	if cacheKey != "" && br.Analysis != nil {
-		bo.Cache.storeAnalysis(cacheKey, br.Analysis)
+		bo.Cache.StoreAnalysis(cacheKey, br.Analysis)
 	}
 	return br
 }
 
-func parseCached(c *Cache, s NamedSource) (*ir.App, error) {
-	if c == nil {
-		return ir.BuildSource(s.Name, s.Source)
+func parseCached(c ResultCache, s NamedSource) (*ir.App, error) {
+	if p, ok := c.(SourceParser); ok {
+		return p.ParseSource(s)
 	}
-	return c.parseSource(s)
-}
-
-// ---------------------------------------------------------------------------
-// Cache
-
-// Cache memoizes batch work across items and across calls. It has two
-// levels, both keyed by content hashes so identical sources shared
-// between items (an app that is a member of several groups) or
-// repeated audits hit without coordination:
-//
-//   - an IR cache: source hash → parsed *ir.App,
-//   - an analysis cache: hash of all item sources + an options
-//     fingerprint → completed *Analysis.
-//
-// Cached values are shared, not copied: the IR and the Analysis (its
-// model, Kripke structure, and violations) are treated as immutable
-// after construction — which they are for every reader in this
-// repository (post-hoc checks build fresh budgets and engine state).
-// Callers that mutate results must not use a cache. All methods are
-// safe for concurrent use.
-type Cache struct {
-	mu sync.Mutex
-	ir map[string]irEntry
-	an map[string]*Analysis
-}
-
-type irEntry struct {
-	app *ir.App
-	err error
-}
-
-// NewCache creates an empty batch cache.
-func NewCache() *Cache {
-	return &Cache{ir: map[string]irEntry{}, an: map[string]*Analysis{}}
-}
-
-func sourceHash(s NamedSource) string {
-	h := sha256.New()
-	fmt.Fprintf(h, "%d:%s\x00%d:%s\x00", len(s.Name), s.Name, len(s.Source), s.Source)
-	return hex.EncodeToString(h.Sum(nil))
-}
-
-// parseSource parses through the IR cache. Errors are cached too:
-// re-auditing a corpus with one broken app does not re-parse it per
-// table. Parsing runs outside the lock; concurrent first parses of
-// the same source may race benignly (last write wins, same value).
-func (c *Cache) parseSource(s NamedSource) (*ir.App, error) {
-	key := sourceHash(s)
-	c.mu.Lock()
-	e, ok := c.ir[key]
-	c.mu.Unlock()
-	if ok {
-		return e.app, e.err
-	}
-	app, err := ir.BuildSource(s.Name, s.Source)
-	c.mu.Lock()
-	c.ir[key] = irEntry{app: app, err: err}
-	c.mu.Unlock()
-	return app, err
-}
-
-// analysisKey fingerprints an item's sources plus every option that
-// affects verdicts. Parallel is deliberately excluded: parallel and
-// sequential runs produce identical analyses, so they share entries.
-func (c *Cache) analysisKey(sources []NamedSource, o Options) string {
-	h := sha256.New()
-	for _, s := range sources {
-		fmt.Fprintf(h, "%s\x00", sourceHash(s))
-	}
-	fmt.Fprintf(h, "g=%t|a=%t|ids=%q|lim=%+v", o.General, o.AppSpecific, o.PropertyIDs, o.Limits)
-	return hex.EncodeToString(h.Sum(nil))
-}
-
-func (c *Cache) lookupAnalysis(key string) (*Analysis, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	an, ok := c.an[key]
-	return an, ok
-}
-
-// storeAnalysis memoizes a completed analysis. Partial results are
-// not cached: an Incomplete verdict reflects the budget or fault of
-// one run, not a property of the input.
-func (c *Cache) storeAnalysis(key string, an *Analysis) {
-	if an.Incomplete {
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.an[key] = an
-}
-
-// Len reports the number of cached IR and analysis entries, for tests
-// and instrumentation.
-func (c *Cache) Len() (irEntries, analyses int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.ir), len(c.an)
+	return ir.BuildSource(s.Name, s.Source)
 }

@@ -1,0 +1,42 @@
+package guard
+
+import "sync/atomic"
+
+// Gauge is a concurrency-safe instantaneous level — queue depth,
+// in-flight jobs — exposed by the serving tier's /metrics endpoint.
+// Like Budget, a Gauge is nil-safe: every method on a nil *Gauge is a
+// no-op (Value reports 0), so instrumentation can be threaded through
+// unconditionally and wired up only where someone is watching.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc raises the level by one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec lowers the level by one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Add moves the level by n (negative to lower).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Set replaces the level.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Value reports the current level (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}

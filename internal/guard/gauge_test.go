@@ -1,0 +1,54 @@
+package guard
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGaugeBasics(t *testing.T) {
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 1 {
+		t.Fatalf("Value() = %d, want 1", got)
+	}
+	g.Add(5)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("Value() after Add(5) = %d, want 6", got)
+	}
+	g.Set(42)
+	if got := g.Value(); got != 42 {
+		t.Fatalf("Value() after Set(42) = %d, want 42", got)
+	}
+}
+
+func TestGaugeNilSafe(t *testing.T) {
+	var g *Gauge
+	g.Inc()
+	g.Dec()
+	g.Add(3)
+	g.Set(9)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("nil Gauge Value() = %d, want 0", got)
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Fatalf("Value() after balanced inc/dec = %d, want 0", got)
+	}
+}

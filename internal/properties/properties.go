@@ -44,6 +44,18 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
+// KindFromString is the inverse of Kind.String, for decoding
+// persisted records; unknown names map to General.
+func KindFromString(s string) Kind {
+	switch s {
+	case "app-specific":
+		return AppSpecific
+	case "nondeterminism":
+		return Nondeterminism
+	}
+	return General
+}
+
 // Violation is one reported property violation.
 type Violation struct {
 	ID          string // "S.1", "P.30", "ND"

@@ -1,0 +1,162 @@
+// The Record type is the serving tier's wire and storage format: a
+// versioned, fully deterministic JSON encoding of an analysis result.
+// Determinism is load-bearing — records are stored content-addressed
+// (key = hash of sources + options), so two runs over the same input
+// must encode to the same bytes. To that end the schema contains no
+// maps (struct field order is fixed), all slices are in catalogue or
+// input order (the pipeline already sorts them), and run-varying data
+// (wall-clock timings, goroutine stacks) is excluded. Any maps added
+// to a future schema keep determinism for free: encoding/json sorts
+// map keys.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/soteria-analysis/soteria/internal/core"
+	"github.com/soteria-analysis/soteria/internal/guard"
+	"github.com/soteria-analysis/soteria/internal/properties"
+)
+
+// Schema is the current record schema version. Decode rejects records
+// with a different version (treated as a cache miss by the store), so
+// a schema change never serves mis-shaped results — it just re-analyzes.
+const Schema = 1
+
+// Record is one analysis result in schema-versioned form.
+type Record struct {
+	Schema int `json:"schema"`
+	// Apps names the analyzed apps, in input order.
+	Apps []string `json:"apps"`
+	// States/Transitions describe the (reduced) state model.
+	States                int `json:"states"`
+	StatesBeforeReduction int `json:"states_before_reduction"`
+	Transitions           int `json:"transitions"`
+	// Violations are in catalogue order (S.1–S.5, P.1–P.30, ND).
+	Violations []Violation `json:"violations"`
+	// Checked lists the fully decided app-specific property IDs.
+	Checked []string `json:"checked"`
+	// Incomplete marks partial results (budget, cancellation, contained
+	// fault); Diagnostics explain what was skipped.
+	Incomplete  bool         `json:"incomplete"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// Violation is one property violation in record form.
+type Violation struct {
+	ID             string   `json:"id"`
+	Kind           string   `json:"kind"`
+	Description    string   `json:"description"`
+	Detail         string   `json:"detail"`
+	Apps           []string `json:"apps,omitempty"`
+	Counterexample string   `json:"counterexample,omitempty"`
+}
+
+// Diagnostic is one contained failure in record form. Stacks are
+// deliberately dropped: they vary run to run (addresses, goroutine
+// IDs) and would break byte-stability.
+type Diagnostic struct {
+	Stage    string `json:"stage"`
+	Property string `json:"property,omitempty"`
+	Engine   string `json:"engine,omitempty"`
+	Kind     string `json:"kind"`
+	Message  string `json:"message"`
+}
+
+// FromAnalysis converts a pipeline analysis into its record form.
+func FromAnalysis(an *core.Analysis) *Record {
+	rec := &Record{
+		Schema:      Schema,
+		Apps:        []string{},
+		Violations:  []Violation{},
+		Checked:     append([]string{}, an.Checked...),
+		Incomplete:  an.Incomplete,
+		Diagnostics: []Diagnostic{},
+	}
+	for _, app := range an.Apps {
+		rec.Apps = append(rec.Apps, app.Name)
+	}
+	if an.Model != nil {
+		rec.States = len(an.Model.States)
+		rec.StatesBeforeReduction = an.Model.StatesBeforeReduction
+		rec.Transitions = len(an.Model.Transitions)
+	}
+	for _, v := range an.Violations {
+		rec.Violations = append(rec.Violations, Violation{
+			ID:             v.ID,
+			Kind:           v.Kind.String(),
+			Description:    v.Description,
+			Detail:         v.Detail,
+			Apps:           v.Apps,
+			Counterexample: v.Counterexample,
+		})
+	}
+	for _, d := range an.Diagnostics {
+		rec.Diagnostics = append(rec.Diagnostics, Diagnostic{
+			Stage:    d.Stage,
+			Property: d.Property,
+			Engine:   d.Engine,
+			Kind:     string(d.Kind),
+			Message:  d.Message,
+		})
+	}
+	return rec
+}
+
+// ToAnalysis rehydrates a record into a model-less core.Analysis:
+// verdict-level fields (Violations, Checked, Incomplete, Diagnostics)
+// are restored; the state model and Kripke structure are not persisted,
+// so post-hoc formula checks on a rehydrated analysis report "no
+// model". This is the fidelity a cross-restart cache can honestly
+// offer — in-process cache levels keep the full analysis.
+func ToAnalysis(rec *Record) *core.Analysis {
+	an := &core.Analysis{
+		Incomplete: rec.Incomplete,
+		Checked:    append([]string{}, rec.Checked...),
+	}
+	for _, v := range rec.Violations {
+		an.Violations = append(an.Violations, properties.Violation{
+			ID:             v.ID,
+			Kind:           properties.KindFromString(v.Kind),
+			Description:    v.Description,
+			Detail:         v.Detail,
+			Apps:           v.Apps,
+			Counterexample: v.Counterexample,
+		})
+	}
+	for _, d := range rec.Diagnostics {
+		an.Diagnostics = append(an.Diagnostics, guard.Diagnostic{
+			Stage:    d.Stage,
+			Property: d.Property,
+			Engine:   d.Engine,
+			Kind:     guard.DiagKind(d.Kind),
+			Message:  d.Message,
+		})
+	}
+	return an
+}
+
+// Encode renders a record as canonical JSON: compact, fixed field
+// order, trailing newline. Byte-equal for equal records.
+func Encode(rec *Record) ([]byte, error) {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("report: encoding record: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Decode parses and validates a record. A syntactically valid record
+// with the wrong schema version is an error too — callers (the store's
+// corruption-tolerant read path) treat any error as a miss.
+func Decode(data []byte) (*Record, error) {
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("report: decoding record: %w", err)
+	}
+	if rec.Schema != Schema {
+		return nil, fmt.Errorf("report: record schema %d, want %d", rec.Schema, Schema)
+	}
+	return &rec, nil
+}

@@ -1,0 +1,89 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/soteria-analysis/soteria/internal/core"
+	"github.com/soteria-analysis/soteria/internal/paperapps"
+)
+
+func analyzeOnce(t *testing.T) *core.Analysis {
+	t.Helper()
+	an, err := core.AnalyzeSources(core.DefaultOptions(),
+		core.NamedSource{Name: "smoke-alarm", Source: paperapps.SmokeAlarm})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return an
+}
+
+// TestRecordDeterministic analyzes the same app twice, in fresh
+// pipeline runs, and requires byte-identical encodings — the property
+// the content-addressed store depends on.
+func TestRecordDeterministic(t *testing.T) {
+	b1, err := Encode(FromAnalysis(analyzeOnce(t)))
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	b2, err := Encode(FromAnalysis(analyzeOnce(t)))
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("two runs encoded differently:\n%s\n---\n%s", b1, b2)
+	}
+	if !strings.Contains(string(b1), `"schema":1`) {
+		t.Fatalf("record is not versioned: %s", b1)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	an := analyzeOnce(t)
+	rec := FromAnalysis(an)
+	if rec.States == 0 || len(rec.Apps) != 1 || rec.Apps[0] != "smoke-alarm" {
+		t.Fatalf("unexpected record: %+v", rec)
+	}
+	b, err := Encode(rec)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	b2, err := Encode(got)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatalf("decode/encode is not stable:\n%s\n---\n%s", b, b2)
+	}
+
+	back := ToAnalysis(got)
+	if len(back.Violations) != len(an.Violations) {
+		t.Fatalf("rehydrated %d violations, want %d", len(back.Violations), len(an.Violations))
+	}
+	for i := range back.Violations {
+		if back.Violations[i].ID != an.Violations[i].ID ||
+			back.Violations[i].Kind != an.Violations[i].Kind {
+			t.Fatalf("violation %d mismatch: %+v vs %+v", i, back.Violations[i], an.Violations[i])
+		}
+	}
+	if got, want := back.Checked, an.Checked; len(got) != len(want) {
+		t.Fatalf("rehydrated Checked = %v, want %v", got, want)
+	}
+	if back.Model != nil || back.Kripke != nil {
+		t.Fatalf("rehydrated analysis should be model-less")
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	if _, err := Decode([]byte("{garbage")); err == nil {
+		t.Fatalf("Decode accepted malformed JSON")
+	}
+	if _, err := Decode([]byte(`{"schema":999}`)); err == nil {
+		t.Fatalf("Decode accepted unknown schema version")
+	}
+}

@@ -1,0 +1,249 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/soteria-analysis/soteria/internal/core"
+	"github.com/soteria-analysis/soteria/internal/report"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/analyze        analyze one app or a multi-app union
+//	POST /v1/batch          analyze many items in one job
+//	GET  /v1/jobs/{id}      poll an async job
+//	GET  /v1/results/{hash} look up a stored record by content address
+//	GET  /healthz           liveness (503 while draining)
+//	GET  /metrics           Prometheus text metrics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// jobResponse is the wire form of a job's state: the analyze and
+// batch endpoints and the jobs poll all speak it.
+type jobResponse struct {
+	JobID     string    `json:"job_id"`
+	Status    jobStatus `json:"status"`
+	Poll      string    `json:"poll,omitempty"`
+	ElapsedMS int64     `json:"elapsed_ms,omitempty"`
+	// Single-analysis fields.
+	Key    string         `json:"key,omitempty"`
+	Cached bool           `json:"cached,omitempty"`
+	Result *report.Record `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+	// Batch fields.
+	Results []batchItemResponse `json:"results,omitempty"`
+}
+
+type batchItemResponse struct {
+	Key    string         `json:"key"`
+	Store  string         `json:"store_key"`
+	Cached bool           `json:"cached"`
+	Result *report.Record `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// readBody reads a capped request body, mapping the cap to 413.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, *httpError) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, tooLarge("request body exceeds %d bytes", mbe.Limit)
+		}
+		return nil, badRequest("reading body: %v", err)
+	}
+	return data, nil
+}
+
+// rejectSubmit maps a submit error to its status code: 429 with a
+// Retry-After hint for a full queue, 503 while draining.
+func (s *Server) rejectSubmit(w http.ResponseWriter, err error) {
+	if errors.Is(err, errDraining) {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	secs := int64((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeError(w, http.StatusTooManyRequests, "job queue is full, retry after %ds", secs)
+}
+
+// respondJob renders a completed or polled job.
+func respondJob(w http.ResponseWriter, code int, j *job) {
+	status, results, elapsed := j.snapshot()
+	resp := jobResponse{JobID: j.id, Status: status, ElapsedMS: elapsed.Milliseconds()}
+	if status != statusDone && status != statusFailed {
+		resp.Poll = "/v1/jobs/" + j.id
+		writeJSON(w, code, resp)
+		return
+	}
+	if j.batch {
+		for _, it := range results {
+			resp.Results = append(resp.Results, batchItemResponse{
+				Key:    it.Key,
+				Store:  it.StoreKey,
+				Cached: it.Cached,
+				Result: it.Record,
+				Error:  it.Err,
+			})
+		}
+	} else if len(results) == 1 {
+		resp.Key = results[0].StoreKey
+		resp.Cached = results[0].Cached
+		resp.Result = results[0].Record
+		resp.Error = results[0].Err
+	}
+	writeJSON(w, code, resp)
+}
+
+// handleAnalyze serves POST /v1/analyze. The persistent store is
+// consulted before any queueing: a content hit answers immediately
+// without occupying a worker, so re-analyses of known apps are cheap
+// even under full load.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	data, herr := s.readBody(w, r)
+	if herr == nil {
+		var j *job
+		j, herr = s.parseAnalyze(data)
+		if herr == nil {
+			s.finishOrQueue(w, r, j)
+			return
+		}
+	}
+	writeError(w, herr.code, "%s", herr.msg)
+}
+
+// handleBatch serves POST /v1/batch.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	data, herr := s.readBody(w, r)
+	if herr == nil {
+		var j *job
+		j, herr = s.parseBatch(data)
+		if herr == nil {
+			s.finishOrQueue(w, r, j)
+			return
+		}
+	}
+	writeError(w, herr.code, "%s", herr.msg)
+}
+
+// finishOrQueue completes a job from the store when every item is a
+// hit, otherwise queues it — waiting for completion on sync requests,
+// returning 202 + poll URL on async ones.
+func (s *Server) finishOrQueue(w http.ResponseWriter, r *http.Request, j *job) {
+	j.id = newJobID()
+	if s.finishFromStore(j) {
+		s.registerJob(j)
+		respondJob(w, http.StatusOK, j)
+		return
+	}
+	if err := s.submit(j); err != nil {
+		s.rejectSubmit(w, err)
+		return
+	}
+	if j.async {
+		respondJob(w, http.StatusAccepted, j)
+		return
+	}
+	select {
+	case <-j.done:
+		code := http.StatusOK
+		if st, _, _ := j.snapshot(); st == statusFailed {
+			code = http.StatusUnprocessableEntity
+		}
+		respondJob(w, code, j)
+	case <-r.Context().Done():
+		// Client gone; the job keeps running and lands in the store,
+		// so a retried request becomes a cache hit.
+	}
+}
+
+// finishFromStore serves a whole job from the persistent store. All
+// items must hit; a partial hit set still queues the job (the worker's
+// cache reuses whatever is warm).
+func (s *Server) finishFromStore(j *job) bool {
+	if s.cfg.Store == nil {
+		return false
+	}
+	results := make([]itemResult, len(j.items))
+	for i, it := range j.items {
+		key := core.AnalysisKey(it.Sources, j.opts)
+		rec, ok := s.cfg.Store.Get(key)
+		if !ok {
+			return false
+		}
+		results[i] = itemResult{Key: it.Key, StoreKey: key, Cached: true, Record: rec}
+	}
+	s.jobsDone.Add(1)
+	j.mu.Lock()
+	j.status = statusDone
+	j.results = results
+	j.mu.Unlock()
+	close(j.done)
+	return true
+}
+
+// handleJob serves GET /v1/jobs/{id}.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	respondJob(w, http.StatusOK, j)
+}
+
+// handleResult serves GET /v1/results/{hash} straight from the store.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	rec, ok := s.cfg.Store.Get(hash)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no stored result for %q", hash)
+		return
+	}
+	data, err := report.Encode(rec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding record: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// handleHealth serves GET /healthz: 200 while serving, 503 once
+// draining so load balancers stop routing here before shutdown.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": int64(time.Since(s.started).Seconds()),
+		"workers":        s.cfg.Workers,
+	})
+}

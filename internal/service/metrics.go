@@ -1,0 +1,51 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format (hand-rendered; the serving tier is standard-library only).
+// Gauges come from the guard instrumentation, counters from the job
+// table, the persistent store, and the in-process analysis cache.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("soteriad_queue_depth", "Jobs queued and not yet running.", s.queueDepth.Value())
+	gauge("soteriad_inflight_jobs", "Jobs currently being analyzed.", s.inflight.Value())
+	draining := int64(0)
+	if s.Draining() {
+		draining = 1
+	}
+	gauge("soteriad_draining", "1 while the server drains for shutdown.", draining)
+
+	counter("soteriad_jobs_done_total", "Jobs completed successfully (including cache-served).", s.jobsDone.Load())
+	counter("soteriad_jobs_failed_total", "Jobs that ended in a hard input error.", s.jobsFailed.Load())
+	counter("soteriad_jobs_rejected_total", "Submissions rejected by backpressure or drain.", s.jobsRejected.Load())
+
+	cs := s.cache.Stats()
+	counter("soteriad_cache_hits_total", "Analysis cache hits (in-process + store).", cs.Hits)
+	counter("soteriad_cache_misses_total", "Analysis cache misses (in-process + store).", cs.Misses)
+	counter("soteriad_cache_evictions_total", "Analysis cache evictions (in-process + store front).", cs.Evictions)
+	gauge("soteriad_cache_analyses", "Analyses held in process.", int64(cs.Analyses))
+	gauge("soteriad_cache_ir_entries", "Parsed IR entries held in process.", int64(cs.IREntries))
+
+	ss := s.cfg.Store.Stats()
+	counter("soteriad_store_hits_total", "Persistent store hits (memory front + disk).", ss.Hits)
+	counter("soteriad_store_disk_hits_total", "Persistent store hits served from disk.", ss.DiskHits)
+	counter("soteriad_store_misses_total", "Persistent store misses.", ss.Misses)
+	counter("soteriad_store_puts_total", "Records written to the persistent store.", ss.Puts)
+	counter("soteriad_store_evictions_total", "Records evicted from the store's memory front.", ss.Evictions)
+	counter("soteriad_store_corrupt_total", "Corrupt records quarantined on read.", ss.Corrupt)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprint(w, b.String())
+}

@@ -1,0 +1,375 @@
+// Package service is soteriad's serving tier: an HTTP JSON API over
+// the core analysis pipeline, backed by a bounded job queue with
+// per-job deadlines and the persistent content-addressed result store.
+//
+// Request lifecycle:
+//
+//	POST /v1/analyze ──▶ validate ──▶ store lookup ──hit──▶ 200 (cached)
+//	                                      │miss
+//	                                      ▼
+//	                          bounded queue ──full──▶ 429 + Retry-After
+//	                                      │
+//	                                      ▼
+//	                   worker pool (guard budgets, panic isolation)
+//	                                      │
+//	                                      ▼
+//	                       store write-through ──▶ 200 / 202+poll
+//
+// Every analysis runs inside the resilience layer of PR 1 — resource
+// budgets, cooperative cancellation, recovery boundaries — so a
+// hostile or explosive app degrades one job, never the process. On
+// SIGTERM the daemon stops accepting work (503), drains queued and
+// in-flight jobs, and only then exits; a drain deadline cancels the
+// jobs' budgets so even explosive analyses exit promptly with partial
+// results.
+package service
+
+import (
+	"container/list"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/soteria-analysis/soteria/internal/core"
+	"github.com/soteria-analysis/soteria/internal/guard"
+	"github.com/soteria-analysis/soteria/internal/report"
+	"github.com/soteria-analysis/soteria/internal/store"
+)
+
+// Config configures a Server. The zero value is serviceable: defaults
+// fill in workers, queue depth, timeouts, and size caps; Store may be
+// nil for a purely in-memory (process-lifetime) cache.
+type Config struct {
+	// Workers is the number of concurrent analysis workers (default
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of queued (not yet running) jobs;
+	// past it, submissions are rejected with 429 (default 64).
+	QueueDepth int
+	// JobTimeout is the wall-clock ceiling per job; requests may ask
+	// for less, never more (default 60s).
+	JobTimeout time.Duration
+	// MaxBodyBytes caps the request body (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxSourceBytes caps one app's Groovy source (default 1 MiB).
+	MaxSourceBytes int
+	// MaxBatchItems caps items per batch request (default 64).
+	MaxBatchItems int
+	// Parallel is the per-analysis property-checking worker count
+	// passed through to the pipeline (default 1).
+	Parallel int
+	// Limits are the per-job resource limits (states, BDD nodes, SAT
+	// conflicts, formula depth); the zero value is unlimited. The
+	// wall clock is governed by JobTimeout.
+	Limits guard.Limits
+	// Store is the persistent result store; nil disables cross-restart
+	// memoization (in-process caching still applies).
+	Store *store.Store
+	// RetryAfter is the backoff hint attached to 429 responses
+	// (default 1s, rounded up to whole seconds).
+	RetryAfter time.Duration
+	// MaxJobRecords bounds the completed-job records retained for
+	// GET /v1/jobs (default 1024; oldest are dropped).
+	MaxJobRecords int
+	// Log receives request and job logs; nil discards them.
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 1 << 20
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 64
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxJobRecords <= 0 {
+		c.MaxJobRecords = 1024
+	}
+	return c
+}
+
+// jobStatus is a job's lifecycle state.
+type jobStatus string
+
+const (
+	statusQueued  jobStatus = "queued"
+	statusRunning jobStatus = "running"
+	statusDone    jobStatus = "done"
+	statusFailed  jobStatus = "failed"
+)
+
+// itemResult is one item's outcome inside a job.
+type itemResult struct {
+	Key      string         // caller's item key ("" for single analyses)
+	StoreKey string         // content address of the result
+	Cached   bool           // served from cache without re-analysis
+	Record   *report.Record // nil when Err != ""
+	Err      string
+}
+
+// job is one queued unit of work: a single analysis or a batch.
+type job struct {
+	id    string
+	batch bool
+	async bool
+	items []core.BatchItem
+	opts  core.Options
+
+	done chan struct{} // closed on completion
+
+	mu      sync.Mutex
+	status  jobStatus
+	results []itemResult
+	elapsed time.Duration
+}
+
+func (j *job) setStatus(s jobStatus) {
+	j.mu.Lock()
+	j.status = s
+	j.mu.Unlock()
+}
+
+// snapshot returns the job's current state under its lock.
+func (j *job) snapshot() (jobStatus, []itemResult, time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status, j.results, j.elapsed
+}
+
+// Server is the analysis service. Create one with New, mount
+// Handler() on an http.Server, and call Shutdown to drain.
+type Server struct {
+	cfg   Config
+	cache *store.AnalysisCache
+
+	queue    chan *job
+	quiesce  sync.RWMutex // submitters hold R; Shutdown holds W to close queue
+	draining atomic.Bool
+	workers  sync.WaitGroup
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+
+	queueDepth guard.Gauge
+	inflight   guard.Gauge
+
+	jobsDone, jobsFailed, jobsRejected atomic.Int64
+
+	jobsMu   sync.Mutex
+	jobs     map[string]*job
+	jobOrder *list.List // of job IDs, oldest at back
+
+	started time.Time
+}
+
+// testHookJobRunning, when set, is called by workers right after a
+// job transitions to running. Tests use it to hold workers in place
+// and exercise backpressure and drain deterministically. Atomic so a
+// test restoring it cannot race a worker still draining.
+var testHookJobRunning atomic.Pointer[func(*job)]
+
+// New creates and starts a Server: its worker pool is live on return.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Log == nil {
+		cfg.Log = log.New(discard{}, "", 0)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		cache:    store.NewAnalysisCache(cfg.Store),
+		queue:    make(chan *job, cfg.QueueDepth),
+		baseCtx:  ctx,
+		cancel:   cancel,
+		jobs:     map[string]*job{},
+		jobOrder: list.New(),
+		started:  time.Now(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// newJobID returns a 16-hex-char random job ID.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// math-free fallback: timestamp-derived, still unique enough
+		// for a local job table.
+		return fmt.Sprintf("t%015x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// errQueueFull and errDraining classify rejected submissions.
+var (
+	errQueueFull = fmt.Errorf("service: job queue is full")
+	errDraining  = fmt.Errorf("service: server is draining")
+)
+
+// submit enqueues a job, registering it in the job table. It never
+// blocks: a full queue or a draining server rejects immediately.
+func (s *Server) submit(j *job) error {
+	s.quiesce.RLock()
+	defer s.quiesce.RUnlock()
+	if s.draining.Load() {
+		s.jobsRejected.Add(1)
+		return errDraining
+	}
+	select {
+	case s.queue <- j:
+		s.queueDepth.Inc()
+		s.registerJob(j)
+		return nil
+	default:
+		s.jobsRejected.Add(1)
+		return errQueueFull
+	}
+}
+
+// registerJob retains j for /v1/jobs lookups, evicting the oldest
+// record past the bound.
+func (s *Server) registerJob(j *job) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	s.jobs[j.id] = j
+	s.jobOrder.PushFront(j.id)
+	for s.jobOrder.Len() > s.cfg.MaxJobRecords {
+		oldest := s.jobOrder.Back()
+		s.jobOrder.Remove(oldest)
+		delete(s.jobs, oldest.Value.(string))
+	}
+}
+
+// lookupJob returns the retained job with the given ID.
+func (s *Server) lookupJob(id string) (*job, bool) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.queueDepth.Dec()
+		s.inflight.Inc()
+		s.runJob(j)
+		s.inflight.Dec()
+	}
+}
+
+// runJob executes a job under its deadline. The pipeline's own
+// recovery boundaries contain panics and budget exhaustion per item;
+// anything that still escapes is a per-item Err, never a dead worker.
+func (s *Server) runJob(j *job) {
+	j.setStatus(statusRunning)
+	if hook := testHookJobRunning.Load(); hook != nil {
+		(*hook)(j)
+	}
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
+	defer cancel()
+
+	bo := core.BatchOptions{
+		Options:  j.opts,
+		Parallel: 1, // items of one job run sequentially; jobs are the unit of concurrency
+		Cache:    s.cache,
+	}
+	results := core.AnalyzeBatch(ctx, bo, j.items...)
+
+	out := make([]itemResult, len(results))
+	failed := false
+	for i, r := range results {
+		out[i] = itemResult{
+			Key:      j.items[i].Key,
+			StoreKey: core.AnalysisKey(j.items[i].Sources, j.opts),
+			Cached:   r.Cached,
+		}
+		if r.Err != nil {
+			out[i].Err = r.Err.Error()
+			failed = true
+			continue
+		}
+		out[i].Record = report.FromAnalysis(r.Analysis)
+	}
+
+	status := statusDone
+	if failed && !j.batch {
+		// A batch with some failing items is still "done" (per-item
+		// errors are in the results); a single analysis that failed is
+		// a failed job.
+		status = statusFailed
+	}
+	if status == statusFailed {
+		s.jobsFailed.Add(1)
+	} else {
+		s.jobsDone.Add(1)
+	}
+
+	j.mu.Lock()
+	j.status = status
+	j.results = out
+	j.elapsed = time.Since(start)
+	j.mu.Unlock()
+	close(j.done)
+	s.cfg.Log.Printf("job %s %s in %s (%d items)", j.id, status, time.Since(start).Round(time.Millisecond), len(j.items))
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown drains the service: new submissions are rejected with 503,
+// queued and in-flight jobs run to completion, then the worker pool
+// exits. If ctx expires first, the jobs' budgets are canceled so the
+// remaining analyses degrade to partial results and finish promptly;
+// Shutdown still waits for the workers before returning ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.draining.CompareAndSwap(false, true) {
+		// Wait out in-flight submitters, then close the queue so idle
+		// workers exit once it is drained.
+		s.quiesce.Lock()
+		close(s.queue)
+		s.quiesce.Unlock()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-done
+		return ctx.Err()
+	}
+}

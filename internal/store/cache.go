@@ -1,0 +1,93 @@
+package store
+
+import (
+	"github.com/soteria-analysis/soteria/internal/core"
+	"github.com/soteria-analysis/soteria/internal/ir"
+	"github.com/soteria-analysis/soteria/internal/report"
+)
+
+// AnalysisCache adapts a Store (plus an in-process core.Cache front)
+// to the core.ResultCache interface, upgrading PR 2's process-lifetime
+// memoization to cross-restart memoization:
+//
+//   - Lookup tries the in-process cache first — a hit there returns
+//     the original *core.Analysis with its full model, so post-hoc
+//     formula checks still work. On a miss it falls back to the disk
+//     store and rehydrates the persisted record into a model-less
+//     analysis (verdicts, checked set, diagnostics — see
+//     report.ToAnalysis for the fidelity contract).
+//   - Store writes through: the live analysis is kept in process, and
+//     its record form is persisted for the next process.
+//
+// It also forwards SourceParser to the in-process cache, so batch runs
+// keep per-source IR memoization.
+type AnalysisCache struct {
+	mem  *core.Cache
+	disk *Store
+}
+
+// NewAnalysisCache creates a write-through cache over disk. A nil disk
+// store degrades to in-process memoization only.
+func NewAnalysisCache(disk *Store) *AnalysisCache {
+	return &AnalysisCache{mem: core.NewCache(), disk: disk}
+}
+
+var _ core.ResultCache = (*AnalysisCache)(nil)
+var _ core.SourceParser = (*AnalysisCache)(nil)
+
+// LookupAnalysis implements core.ResultCache.
+func (c *AnalysisCache) LookupAnalysis(key string) (*core.Analysis, bool) {
+	if c == nil {
+		return nil, false
+	}
+	if an, ok := c.mem.LookupAnalysis(key); ok {
+		return an, true
+	}
+	if rec, ok := c.disk.Get(key); ok {
+		an := report.ToAnalysis(rec)
+		// Keep the rehydrated analysis in process so repeated lookups
+		// skip the disk read and decode.
+		c.mem.StoreAnalysis(key, an)
+		return an, true
+	}
+	return nil, false
+}
+
+// StoreAnalysis implements core.ResultCache. Partial analyses are not
+// persisted (an Incomplete verdict reflects one run's budget, not the
+// input); the in-process level applies the same rule.
+func (c *AnalysisCache) StoreAnalysis(key string, an *core.Analysis) {
+	if c == nil || an == nil || an.Incomplete {
+		return
+	}
+	c.mem.StoreAnalysis(key, an)
+	// Persistence is best-effort: a full disk degrades the store to
+	// process-lifetime caching rather than failing analyses.
+	_ = c.disk.Put(key, report.FromAnalysis(an))
+}
+
+// Stats implements core.ResultCache, merging both levels: hit/miss/
+// eviction counters come from the in-process front plus the disk
+// store, entry counts from the in-process level.
+func (c *AnalysisCache) Stats() core.CacheStats {
+	if c == nil {
+		return core.CacheStats{}
+	}
+	st := c.mem.Stats()
+	ds := c.disk.Stats()
+	return core.CacheStats{
+		Hits:      st.Hits + ds.Hits,
+		Misses:    st.Misses + ds.Misses,
+		Evictions: st.Evictions + ds.Evictions,
+		IREntries: st.IREntries,
+		Analyses:  st.Analyses,
+	}
+}
+
+// ParseSource implements core.SourceParser via the in-process cache.
+func (c *AnalysisCache) ParseSource(s core.NamedSource) (*ir.App, error) {
+	if c == nil {
+		return ir.BuildSource(s.Name, s.Source)
+	}
+	return c.mem.ParseSource(s)
+}

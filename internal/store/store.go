@@ -1,0 +1,252 @@
+// Package store is the persistent, content-addressed result store of
+// the serving tier. It maps an analysis key — the hash of an item's
+// sources plus every verdict-affecting option (core.AnalysisKey) — to
+// a schema-versioned report.Record on disk, with an in-memory LRU
+// front for hot keys.
+//
+// Guarantees:
+//
+//   - Atomic writes: a record is written to a temp file in the store
+//     directory and renamed into place, so readers (including readers
+//     in other processes) never observe a partial record, and a crash
+//     mid-write leaves only a temp file that the next Open sweeps away.
+//   - Corruption tolerance: a record that fails to decode — truncated,
+//     hand-edited, or written by a different schema version — is
+//     counted, quarantined (removed), and reported as a miss; the
+//     caller simply re-analyzes and overwrites it. Corruption is never
+//     an error surfaced to the serving path.
+//   - Determinism: records are canonical JSON (report.Encode), so a
+//     re-analysis of the same input rewrites byte-identical content.
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/soteria-analysis/soteria/internal/report"
+)
+
+// Options configures a store.
+type Options struct {
+	// MaxMemEntries bounds the in-memory LRU front (0 = DefaultMemEntries).
+	// Evicting from the front never loses data — the record stays on disk.
+	MaxMemEntries int
+}
+
+// DefaultMemEntries is the LRU front capacity when Options doesn't set one.
+const DefaultMemEntries = 256
+
+// Stats are the store's monotonic counters, for /metrics and tests.
+type Stats struct {
+	// Hits = MemHits + DiskHits; Misses counts absent or quarantined keys.
+	Hits, MemHits, DiskHits, Misses int64
+	// Puts counts successful writes; Evictions counts LRU-front drops
+	// (the records remain on disk); Corrupt counts quarantined records.
+	Puts, Evictions, Corrupt int64
+}
+
+// Store is a disk-backed record store with an LRU front. All methods
+// are safe for concurrent use. A nil *Store is inert: Get misses, Put
+// drops, Stats is zero — so an optional store can be threaded through
+// unconditionally.
+type Store struct {
+	dir string
+	max int
+
+	mu   sync.Mutex
+	mem  map[string]*list.Element
+	lru  *list.List // of *memEntry, front = most recently used
+	hits struct{ mem, disk atomic.Int64 }
+
+	misses, puts, evictions, corrupt atomic.Int64
+}
+
+type memEntry struct {
+	key string
+	rec *report.Record
+}
+
+// Open creates or reopens a store rooted at dir, creating the
+// directory as needed and sweeping temp files left by a crashed
+// writer.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	tmps, _ := filepath.Glob(filepath.Join(dir, ".tmp-*"))
+	for _, t := range tmps {
+		os.Remove(t)
+	}
+	max := opts.MaxMemEntries
+	if max <= 0 {
+		max = DefaultMemEntries
+	}
+	return &Store{
+		dir: dir,
+		max: max,
+		mem: map[string]*list.Element{},
+		lru: list.New(),
+	}, nil
+}
+
+// ValidKey reports whether key is a well-formed content address
+// (lowercase hex, 16–128 chars). Used both internally and by the HTTP
+// layer to reject path-traversal attempts before they reach the disk.
+func ValidKey(key string) bool {
+	if len(key) < 16 || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+// Get returns the record stored under key. Missing, invalid, and
+// corrupt entries are all misses.
+func (s *Store) Get(key string) (*report.Record, bool) {
+	if s == nil || !ValidKey(key) {
+		s.countMiss()
+		return nil, false
+	}
+	s.mu.Lock()
+	if el, ok := s.mem[key]; ok {
+		s.lru.MoveToFront(el)
+		rec := el.Value.(*memEntry).rec
+		s.mu.Unlock()
+		s.hits.mem.Add(1)
+		return rec, true
+	}
+	s.mu.Unlock()
+
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	rec, err := report.Decode(data)
+	if err != nil {
+		// Quarantine: a record we cannot trust must not shadow a
+		// re-analysis. Removal is best-effort — a concurrent Put may
+		// already have replaced the file.
+		os.Remove(s.path(key))
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.promote(key, rec)
+	s.hits.disk.Add(1)
+	return rec, true
+}
+
+// Put stores a record under key: atomic write to disk, then promotion
+// into the LRU front.
+func (s *Store) Put(key string, rec *report.Record) error {
+	if s == nil {
+		return nil
+	}
+	if !ValidKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	data, err := report.Encode(rec)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), s.path(key))
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing %s: %w", key, werr)
+	}
+	s.promote(key, rec)
+	s.puts.Add(1)
+	return nil
+}
+
+// promote inserts or refreshes key at the front of the LRU, evicting
+// past the capacity bound.
+func (s *Store) promote(key string, rec *report.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.mem[key]; ok {
+		el.Value.(*memEntry).rec = rec
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.mem[key] = s.lru.PushFront(&memEntry{key: key, rec: rec})
+	for s.lru.Len() > s.max {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.mem, oldest.Value.(*memEntry).key)
+		s.evictions.Add(1)
+	}
+}
+
+func (s *Store) countMiss() {
+	if s != nil {
+		s.misses.Add(1)
+	}
+}
+
+// Stats reports the store's counters.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	mem, disk := s.hits.mem.Load(), s.hits.disk.Load()
+	return Stats{
+		Hits:      mem + disk,
+		MemHits:   mem,
+		DiskHits:  disk,
+		Misses:    s.misses.Load(),
+		Puts:      s.puts.Load(),
+		Evictions: s.evictions.Load(),
+		Corrupt:   s.corrupt.Load(),
+	}
+}
+
+// Len reports the LRU-front entry count and the number of records on
+// disk (the latter by directory scan — diagnostics, not a hot path).
+func (s *Store) Len() (mem, disk int) {
+	if s == nil {
+		return 0, 0
+	}
+	s.mu.Lock()
+	mem = len(s.mem)
+	s.mu.Unlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return mem, 0
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".json") {
+			disk++
+		}
+	}
+	return mem, disk
+}

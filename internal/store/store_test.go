@@ -1,0 +1,259 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/soteria-analysis/soteria/internal/core"
+	"github.com/soteria-analysis/soteria/internal/paperapps"
+	"github.com/soteria-analysis/soteria/internal/report"
+)
+
+func testRecord(n int) *report.Record {
+	return &report.Record{
+		Schema: report.Schema,
+		Apps:   []string{fmt.Sprintf("app-%d", n)},
+		States: n,
+	}
+}
+
+// key returns a distinct valid content address per index.
+func key(n int) string {
+	return fmt.Sprintf("%064x", n+1)
+}
+
+func open(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestStoreRoundTripAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	if err := s.Put(key(1), testRecord(7)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	rec, ok := s.Get(key(1))
+	if !ok || rec.States != 7 {
+		t.Fatalf("Get after Put = %+v, %v", rec, ok)
+	}
+	if st := s.Stats(); st.MemHits != 1 || st.Puts != 1 {
+		t.Fatalf("stats after warm get: %+v", st)
+	}
+
+	// A fresh store over the same directory — a restarted process —
+	// serves the same record from disk.
+	s2 := open(t, dir, Options{})
+	rec, ok = s2.Get(key(1))
+	if !ok || rec.States != 7 || rec.Apps[0] != "app-7" {
+		t.Fatalf("Get after reopen = %+v, %v", rec, ok)
+	}
+	if st := s2.Stats(); st.DiskHits != 1 || st.MemHits != 0 {
+		t.Fatalf("stats after cold get: %+v", st)
+	}
+	// Second read is served by the promoted front.
+	if _, ok = s2.Get(key(1)); !ok {
+		t.Fatalf("promoted Get missed")
+	}
+	if st := s2.Stats(); st.MemHits != 1 {
+		t.Fatalf("stats after promoted get: %+v", st)
+	}
+}
+
+func TestStoreMissAndInvalidKeys(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	if _, ok := s.Get(key(9)); ok {
+		t.Fatalf("Get of absent key hit")
+	}
+	for _, bad := range []string{"", "short", "../../etc/passwd", strings.Repeat("Z", 64), key(1) + "/x"} {
+		if _, ok := s.Get(bad); ok {
+			t.Fatalf("Get(%q) hit", bad)
+		}
+		if err := s.Put(bad, testRecord(1)); err == nil {
+			t.Fatalf("Put(%q) accepted", bad)
+		}
+	}
+	if st := s.Stats(); st.Misses == 0 || st.Hits != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestStoreCorruptionQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	if err := s.Put(key(1), testRecord(1)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Corrupt the record behind the store's back, then read it with a
+	// cold front (fresh store): the read must miss, count the
+	// corruption, and remove the file.
+	path := filepath.Join(dir, key(1)+".json")
+	if err := os.WriteFile(path, []byte(`{"schema":1,"truncated`), 0o644); err != nil {
+		t.Fatalf("corrupting: %v", err)
+	}
+	s2 := open(t, dir, Options{})
+	if _, ok := s2.Get(key(1)); ok {
+		t.Fatalf("Get served a corrupt record")
+	}
+	if st := s2.Stats(); st.Corrupt != 1 || st.Misses != 1 {
+		t.Fatalf("stats after corrupt read: %+v", st)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt record was not quarantined: %v", err)
+	}
+	// Wrong schema version is equally untrusted.
+	if err := os.WriteFile(path, []byte(`{"schema":999}`+"\n"), 0o644); err != nil {
+		t.Fatalf("writing: %v", err)
+	}
+	if _, ok := s2.Get(key(1)); ok {
+		t.Fatalf("Get served a wrong-schema record")
+	}
+	// The key is re-writable after quarantine.
+	if err := s2.Put(key(1), testRecord(2)); err != nil {
+		t.Fatalf("Put after quarantine: %v", err)
+	}
+	if rec, ok := s2.Get(key(1)); !ok || rec.States != 2 {
+		t.Fatalf("Get after re-Put = %+v, %v", rec, ok)
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{MaxMemEntries: 2})
+	for i := 0; i < 5; i++ {
+		if err := s.Put(key(i), testRecord(i)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	mem, disk := s.Len()
+	if mem != 2 || disk != 5 {
+		t.Fatalf("Len = (%d, %d), want (2, 5)", mem, disk)
+	}
+	if st := s.Stats(); st.Evictions != 3 {
+		t.Fatalf("evictions = %d, want 3", st.Evictions)
+	}
+	// Evicted entries are still served — from disk.
+	if rec, ok := s.Get(key(0)); !ok || rec.States != 0 {
+		t.Fatalf("Get of evicted key = %+v, %v", rec, ok)
+	}
+	if st := s.Stats(); st.DiskHits != 1 {
+		t.Fatalf("stats after evicted get: %+v", st)
+	}
+}
+
+func TestOpenSweepsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, ".tmp-crashed")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatalf("writing temp: %v", err)
+	}
+	open(t, dir, Options{})
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("Open left crashed temp file: %v", err)
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := open(t, t.TempDir(), Options{MaxMemEntries: 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := key(i % 10)
+				if i%2 == 0 {
+					if err := s.Put(k, testRecord(i%10)); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+				} else if rec, ok := s.Get(k); ok && rec.States != i%10 {
+					t.Errorf("Get(%s) = states %d, want %d", k, rec.States, i%10)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestNilStoreInert(t *testing.T) {
+	var s *Store
+	if _, ok := s.Get(key(1)); ok {
+		t.Fatalf("nil store hit")
+	}
+	if err := s.Put(key(1), testRecord(1)); err != nil {
+		t.Fatalf("nil store Put: %v", err)
+	}
+	if st := s.Stats(); st.Puts != 0 {
+		t.Fatalf("nil store stats: %+v", st)
+	}
+}
+
+// TestAnalysisCacheCrossRestart runs a batch through an AnalysisCache,
+// then repeats it in a "new process" (fresh AnalysisCache, same
+// directory) and requires the analysis to be served from disk with the
+// same verdicts.
+func TestAnalysisCacheCrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	item := core.BatchItem{
+		Key:     "smoke",
+		Sources: []core.NamedSource{{Name: "smoke-alarm", Source: paperapps.SmokeAlarm}},
+	}
+	run := func() core.BatchResult {
+		cache := NewAnalysisCache(open(t, dir, Options{}))
+		bo := core.BatchOptions{Options: core.DefaultOptions(), Cache: cache}
+		return core.AnalyzeBatch(context.Background(), bo, item)[0]
+	}
+	first := run()
+	if first.Err != nil || first.Cached {
+		t.Fatalf("first run: err=%v cached=%v", first.Err, first.Cached)
+	}
+	second := run()
+	if second.Err != nil || !second.Cached {
+		t.Fatalf("second run: err=%v cached=%v", second.Err, second.Cached)
+	}
+	want := first.Analysis.ViolatedIDs()
+	got := second.Analysis.ViolatedIDs()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("rehydrated verdicts %v, want %v", got, want)
+	}
+	if fmt.Sprint(second.Analysis.Checked) != fmt.Sprint(first.Analysis.Checked) {
+		t.Fatalf("rehydrated Checked %v, want %v", second.Analysis.Checked, first.Analysis.Checked)
+	}
+	// Rehydrated analyses are model-less by contract.
+	if second.Analysis.Model != nil {
+		t.Fatalf("rehydrated analysis has a model")
+	}
+}
+
+func TestAnalysisCacheStats(t *testing.T) {
+	cache := NewAnalysisCache(open(t, t.TempDir(), Options{}))
+	k := key(1)
+	if _, ok := cache.LookupAnalysis(k); ok {
+		t.Fatalf("empty cache hit")
+	}
+	cache.StoreAnalysis(k, &core.Analysis{Checked: []string{"P.1"}})
+	if an, ok := cache.LookupAnalysis(k); !ok || len(an.Checked) != 1 {
+		t.Fatalf("lookup after store: %v", ok)
+	}
+	st := cache.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("merged stats: %+v", st)
+	}
+	// Incomplete analyses must not be persisted.
+	k2 := key(2)
+	cache.StoreAnalysis(k2, &core.Analysis{Incomplete: true})
+	if _, ok := cache.LookupAnalysis(k2); ok {
+		t.Fatalf("incomplete analysis was cached")
+	}
+}

@@ -1,0 +1,24 @@
+// Command smokereq prints a POST /v1/analyze request body for the
+// paper's Smoke-Alarm app. The CI smoke script feeds it to a running
+// soteriad to check the serve-and-cache path end to end.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/soteria-analysis/soteria/internal/paperapps"
+)
+
+func main() {
+	body, err := json.Marshal(map[string]string{
+		"name":   "smoke-alarm",
+		"source": paperapps.SmokeAlarm,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(body)
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# CI smoke test for the soteriad daemon: build it, start it with a
+# persistent store, analyze a paper app over HTTP, assert the repeated
+# request is served from the store, and check SIGTERM drains cleanly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+addr=127.0.0.1:8391
+base="http://$addr"
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/soteriad" ./cmd/soteriad
+go run ./scripts/smokereq > "$workdir/req.json"
+
+"$workdir/soteriad" -addr "$addr" -store "$workdir/store" &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+for _ in $(seq 1 50); do
+    curl -fsS "$base/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -fsS "$base/healthz" >/dev/null
+
+first=$(curl -fsS -X POST --data-binary @"$workdir/req.json" "$base/v1/analyze")
+echo "$first" | grep -q '"schema":1' || { echo "no schema-1 record in: $first"; exit 1; }
+if echo "$first" | grep -q '"cached":true'; then
+    echo "first request unexpectedly cached: $first"; exit 1
+fi
+
+second=$(curl -fsS -X POST --data-binary @"$workdir/req.json" "$base/v1/analyze")
+echo "$second" | grep -q '"cached":true' || { echo "repeat not served from store: $second"; exit 1; }
+
+curl -fsS "$base/metrics" | grep -Eq 'soteriad_store_hits_total [1-9]' \
+    || { echo "store hit counter did not increment"; exit 1; }
+
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+if [ "$status" -ne 0 ]; then
+    echo "soteriad exited $status on SIGTERM"; exit 1
+fi
+trap 'rm -rf "$workdir"' EXIT
+echo "soteriad smoke OK"

@@ -29,12 +29,16 @@ package soteria
 import (
 	"context"
 	"fmt"
+	"log"
 	"time"
 
 	"github.com/soteria-analysis/soteria/internal/core"
 	"github.com/soteria-analysis/soteria/internal/guard"
 	"github.com/soteria-analysis/soteria/internal/ir"
 	"github.com/soteria-analysis/soteria/internal/properties"
+	"github.com/soteria-analysis/soteria/internal/report"
+	"github.com/soteria-analysis/soteria/internal/service"
+	"github.com/soteria-analysis/soteria/internal/store"
 )
 
 // App is a parsed SmartThings app.
@@ -497,6 +501,88 @@ func (r *Result) Violated(id string) bool {
 		}
 	}
 	return false
+}
+
+// JSON renders the result as the schema-versioned canonical record —
+// the same encoding soteriad stores and serves (deterministic: equal
+// results encode to equal bytes; `"schema": 1`).
+func (r *Result) JSON() ([]byte, error) {
+	if r.analysis != nil {
+		return report.Encode(report.FromAnalysis(r.analysis))
+	}
+	// A result without a pipeline analysis (last-resort recovery path)
+	// still renders from its public fields.
+	rec := &report.Record{
+		Schema:      report.Schema,
+		Apps:        append([]string{}, r.Apps...),
+		Violations:  []report.Violation{},
+		Checked:     append([]string{}, r.Checked...),
+		Incomplete:  r.Incomplete,
+		Diagnostics: []report.Diagnostic{},
+	}
+	for _, d := range r.Diagnostics {
+		rec.Diagnostics = append(rec.Diagnostics, report.Diagnostic{
+			Stage: d.Stage, Property: d.Property, Engine: d.Engine,
+			Kind: string(d.Kind), Message: d.Message,
+		})
+	}
+	return report.Encode(rec)
+}
+
+// Service is a running analysis service: the soteriad serving tier —
+// HTTP JSON API, bounded job queue, persistent content-addressed
+// result store — embeddable in any program. Mount Handler() on an
+// http.Server and call Shutdown to drain.
+type Service = service.Server
+
+// ServiceConfig configures NewService. The zero value is serviceable:
+// sensible defaults fill in workers, queue depth, timeouts, and size
+// caps; an empty StoreDir disables cross-restart persistence.
+type ServiceConfig struct {
+	// Workers is the number of concurrent analysis workers
+	// (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds queued jobs; past it, submissions are rejected
+	// with HTTP 429 and a Retry-After hint (0 = 64).
+	QueueDepth int
+	// JobTimeout is the per-job wall-clock ceiling; requests may ask
+	// for less, never more (0 = 60s).
+	JobTimeout time.Duration
+	// MaxBodyBytes caps request bodies (0 = 8 MiB).
+	MaxBodyBytes int64
+	// Parallel is the per-analysis property-check worker count (0 = 1).
+	Parallel int
+	// Limits are per-job resource limits; the zero value is unlimited.
+	Limits Limits
+	// StoreDir roots the persistent result store; "" keeps memoization
+	// in-process only.
+	StoreDir string
+	// Log receives service logs; nil discards them.
+	Log *log.Logger
+}
+
+// NewService starts an analysis service (its worker pool is live on
+// return). Every analysis runs inside the resilience layer: resource
+// budgets, cooperative cancellation, and panic isolation per job.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	var st *store.Store
+	if cfg.StoreDir != "" {
+		var err error
+		st, err = store.Open(cfg.StoreDir, store.Options{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return service.New(service.Config{
+		Workers:      cfg.Workers,
+		QueueDepth:   cfg.QueueDepth,
+		JobTimeout:   cfg.JobTimeout,
+		MaxBodyBytes: cfg.MaxBodyBytes,
+		Parallel:     cfg.Parallel,
+		Limits:       cfg.Limits.internal(),
+		Store:        st,
+		Log:          cfg.Log,
+	})
 }
 
 // PropertyIDs returns the full app-specific catalogue IDs with
