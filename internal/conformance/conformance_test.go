@@ -1,0 +1,120 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/soteria-analysis/soteria/internal/ctl"
+	"github.com/soteria-analysis/soteria/internal/ltl"
+)
+
+// TestDeterministicSlice is the short conformance slice wired into go
+// test: a seeded run across all engines must come back with zero
+// disagreements and zero replay failures. The randomized soak (more
+// cases, bigger models) runs in CI via cmd/soteria-conform.
+func TestDeterministicSlice(t *testing.T) {
+	rep := Run(Options{Seed: 1, Count: 200, Engines: AllEngines(), Shrink: true})
+	if rep.Cases != 200 {
+		t.Fatalf("ran %d cases, want 200", rep.Cases)
+	}
+	for _, m := range rep.Mismatches {
+		t.Errorf("engine disagreement:\n%s", m.Error())
+	}
+	if rep.ReplayedPaths == 0 {
+		t.Fatal("no paths were replayed; the slice is not exercising witnesses")
+	}
+	if rep.EngineRuns < 2*rep.Cases {
+		t.Fatalf("only %d engine runs for %d cases; BDD cross-check not engaged", rep.EngineRuns, rep.Cases)
+	}
+}
+
+// TestRunDeterminism: equal seeds generate equal case sequences and
+// equal statistics.
+func TestRunDeterminism(t *testing.T) {
+	a := Run(Options{Seed: 77, Count: 60, Engines: AllEngines()})
+	b := Run(Options{Seed: 77, Count: 60, Engines: AllEngines()})
+	if a.EngineRuns != b.EngineRuns || a.ReplayedPaths != b.ReplayedPaths || len(a.Mismatches) != len(b.Mismatches) {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestGenCaseShape: generated specs build, translate to left-total
+// Kripke structures, and draw formulas over real atoms.
+func TestGenCaseShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := DefaultGenConfig()
+	for i := 0; i < 100; i++ {
+		c := GenCase(rng, cfg, i)
+		if c.K.N == 0 {
+			t.Fatal("empty Kripke structure")
+		}
+		for s := 0; s < c.K.N; s++ {
+			if len(c.K.Succs[s]) == 0 {
+				t.Fatalf("case %d: state %d has no successor (relation not left-total)", i, s)
+			}
+		}
+		if len(c.K.Init) != c.K.N {
+			t.Fatalf("case %d: %d initial states for %d states", i, len(c.K.Init), c.K.N)
+		}
+		props := map[string]bool{}
+		for _, p := range c.K.Props() {
+			props[p] = true
+		}
+		for _, name := range ctl.Props(c.F) {
+			if !props[name] {
+				t.Fatalf("case %d: formula atom %q not a structure proposition", i, name)
+			}
+		}
+	}
+}
+
+// TestGenCaseDeterminism: the generator is a pure function of the rng
+// stream.
+func TestGenCaseDeterminism(t *testing.T) {
+	a := GenCase(rand.New(rand.NewSource(9)), DefaultGenConfig(), 0)
+	b := GenCase(rand.New(rand.NewSource(9)), DefaultGenConfig(), 0)
+	if a.Spec.String() != b.Spec.String() || a.F.String() != b.F.String() {
+		t.Fatalf("same seed generated different cases:\n%s%s\nvs\n%s%s",
+			a.Spec, a.F, b.Spec, b.F)
+	}
+}
+
+// TestGenFormulaStringsParse: every generated corpus seed is a valid
+// formula of its logic.
+func TestGenFormulaStringsParse(t *testing.T) {
+	for _, s := range GenFormulaStrings(1, 200) {
+		if _, err := ctl.Parse(s); err != nil {
+			t.Errorf("generated CTL seed does not parse: %q: %v", s, err)
+		}
+	}
+	for _, s := range GenLTLFormulaStrings(1, 200) {
+		if _, err := ltl.Parse(s); err != nil {
+			t.Errorf("generated LTL seed does not parse: %q: %v", s, err)
+		}
+	}
+}
+
+// TestParseEngineSet covers the CLI's engine-subset flag.
+func TestParseEngineSet(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want string
+		err  bool
+	}{
+		{"", "explicit,bdd,bmc", false},
+		{"explicit", "explicit", false},
+		{"explicit,bdd", "explicit,bdd", false},
+		{"bmc", "explicit,bmc", false},
+		{"bdd,bmc", "explicit,bdd,bmc", false},
+		{"nusmv", "", true},
+	} {
+		es, err := ParseEngineSet(tc.in)
+		if tc.err != (err != nil) {
+			t.Errorf("ParseEngineSet(%q): err=%v, want err=%v", tc.in, err, tc.err)
+			continue
+		}
+		if err == nil && es.String() != tc.want {
+			t.Errorf("ParseEngineSet(%q) = %s, want %s", tc.in, es.String(), tc.want)
+		}
+	}
+}

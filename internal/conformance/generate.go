@@ -1,0 +1,362 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/soteria-analysis/soteria/internal/ctl"
+	"github.com/soteria-analysis/soteria/internal/kripke"
+	"github.com/soteria-analysis/soteria/internal/pathcond"
+	"github.com/soteria-analysis/soteria/internal/statemodel"
+)
+
+// GenConfig bounds the generated models and formulas.
+type GenConfig struct {
+	// MaxVars is the maximum number of state variables (≥ 1).
+	MaxVars int
+	// MaxValues is the maximum domain size per variable (≥ 2).
+	MaxValues int
+	// MaxStates caps the number of product states kept in a model.
+	MaxStates int
+	// Density is the probability of a transition between any ordered
+	// state pair (0..1). Deadlocked states still become left-total
+	// via the Kripke translation's stutter self-loops.
+	Density float64
+	// MaxFormulaDepth bounds the generated CTL formula's operator
+	// nesting.
+	MaxFormulaDepth int
+}
+
+// DefaultGenConfig mirrors the scale of the paper's app models:
+// a few variables with small enumerated domains, tens of states.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		MaxVars:         3,
+		MaxValues:       3,
+		MaxStates:       12,
+		Density:         0.18,
+		MaxFormulaDepth: 5,
+	}
+}
+
+// IsZero reports an unset config.
+func (c GenConfig) IsZero() bool { return c == GenConfig{} }
+
+// VarSpec is one generated state variable.
+type VarSpec struct {
+	Key    string
+	Values []string
+}
+
+// TransSpec is one generated transition: From/To index ModelSpec.States,
+// EvVar indexes Vars, EvVal is the event value.
+type TransSpec struct {
+	From, To int
+	EvVar    int
+	EvVal    string
+}
+
+// ModelSpec is the declarative form of a generated model — the unit
+// the shrinker mutates and the reproducer renders. Build turns it
+// into a real state model and Kripke structure.
+type ModelSpec struct {
+	Vars   []VarSpec
+	States [][]int // domain indices per state, in variable order
+	Trans  []TransSpec
+}
+
+// Build constructs the state model and its Kripke translation.
+func (sp *ModelSpec) Build() (*statemodel.Model, *kripke.Structure, error) {
+	vars := make([]*statemodel.Var, len(sp.Vars))
+	for i, v := range sp.Vars {
+		key := v.Key
+		dot := strings.Index(key, ".")
+		capName, attr := key, ""
+		if dot >= 0 {
+			capName, attr = key[:dot], key[dot+1:]
+		}
+		vars[i] = &statemodel.Var{Key: key, Cap: capName, Attr: attr, Values: v.Values}
+	}
+	m, err := statemodel.NewSynthetic(vars)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := make([]int, len(sp.States))
+	for i, st := range sp.States {
+		id, err := m.AddState(st)
+		if err != nil {
+			return nil, nil, err
+		}
+		ids[i] = id
+	}
+	for _, t := range sp.Trans {
+		if t.From < 0 || t.From >= len(ids) || t.To < 0 || t.To >= len(ids) {
+			return nil, nil, fmt.Errorf("conformance: transition %d->%d out of range", t.From, t.To)
+		}
+		ev := statemodel.DeviceEvent(sp.Vars[t.EvVar].Key, t.EvVal)
+		if err := m.AddTransition(ids[t.From], ids[t.To], ev, pathcond.True()); err != nil {
+			return nil, nil, err
+		}
+	}
+	return m, kripke.FromModel(m), nil
+}
+
+// String renders the spec as a reproducer block.
+func (sp *ModelSpec) String() string {
+	var sb strings.Builder
+	for _, v := range sp.Vars {
+		fmt.Fprintf(&sb, "var %s : {%s}\n", v.Key, strings.Join(v.Values, ", "))
+	}
+	for i, st := range sp.States {
+		parts := make([]string, len(st))
+		for vi, x := range st {
+			parts[vi] = sp.Vars[vi].Key + "=" + sp.Vars[vi].Values[x]
+		}
+		fmt.Fprintf(&sb, "state %d: [%s]\n", i, strings.Join(parts, ", "))
+	}
+	for _, t := range sp.Trans {
+		fmt.Fprintf(&sb, "trans %d -> %d on %s.%s\n", t.From, t.To, sp.Vars[t.EvVar].Key, t.EvVal)
+	}
+	return sb.String()
+}
+
+// Case is one generated (model, formula) pair under oracle scrutiny.
+type Case struct {
+	// Index is the case's position in its run.
+	Index int
+	Spec  *ModelSpec
+	Model *statemodel.Model
+	K     *kripke.Structure
+	F     ctl.Formula
+
+	// replayed / engineRuns are bookkeeping filled by CheckCase.
+	replayed   int
+	engineRuns int
+}
+
+// GenModelSpec draws a random model spec: variables with small
+// enumerated domains, a random subset of the product states, and
+// random event-labeled transitions.
+func GenModelSpec(rng *rand.Rand, cfg GenConfig) *ModelSpec {
+	sp := &ModelSpec{}
+	nv := 1 + rng.Intn(cfg.MaxVars)
+	for i := 0; i < nv; i++ {
+		ndom := 2 + rng.Intn(cfg.MaxValues-1)
+		vals := make([]string, ndom)
+		for j := range vals {
+			vals[j] = fmt.Sprintf("v%d", j)
+		}
+		sp.Vars = append(sp.Vars, VarSpec{Key: fmt.Sprintf("dev%d.attr", i), Values: vals})
+	}
+	// Enumerate the full product, keep a random subset.
+	var all [][]int
+	idx := make([]int, nv)
+	for {
+		cp := make([]int, nv)
+		copy(cp, idx)
+		all = append(all, cp)
+		j := nv - 1
+		for j >= 0 {
+			idx[j]++
+			if idx[j] < len(sp.Vars[j].Values) {
+				break
+			}
+			idx[j] = 0
+			j--
+		}
+		if j < 0 {
+			break
+		}
+	}
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	n := 1 + rng.Intn(min(cfg.MaxStates, len(all)))
+	sp.States = all[:n]
+	// Keep reproducers readable: states in a deterministic order.
+	sort.Slice(sp.States, func(a, b int) bool {
+		for i := range sp.States[a] {
+			if sp.States[a][i] != sp.States[b][i] {
+				return sp.States[a][i] < sp.States[b][i]
+			}
+		}
+		return false
+	})
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			if rng.Float64() >= cfg.Density {
+				continue
+			}
+			vi := rng.Intn(nv)
+			// The event value usually matches the target state's value
+			// for the variable (a device event driving the change), and
+			// occasionally an arbitrary domain value — both occur in
+			// extracted models.
+			val := sp.Vars[vi].Values[sp.States[to][vi]]
+			if rng.Intn(4) == 0 {
+				val = sp.Vars[vi].Values[rng.Intn(len(sp.Vars[vi].Values))]
+			}
+			sp.Trans = append(sp.Trans, TransSpec{From: from, To: to, EvVar: vi, EvVal: val})
+		}
+	}
+	return sp
+}
+
+// GenCase draws a model and a formula over its atoms. It panics only
+// on internal generator bugs (specs it emits always build). One case
+// in four gets an AG formula over a propositional body — the shape
+// Soteria's safety catalogue uses and the only one the BMC engine
+// decides, so the SAT backend sees real differential traffic.
+func GenCase(rng *rand.Rand, cfg GenConfig, index int) *Case {
+	sp := GenModelSpec(rng, cfg)
+	m, k, err := sp.Build()
+	if err != nil {
+		panic(fmt.Sprintf("conformance: generated spec does not build: %v", err))
+	}
+	atoms := k.Props()
+	var f ctl.Formula
+	if rng.Intn(4) == 0 {
+		f = ctl.AG{X: GenPropositional(rng, atoms, cfg.MaxFormulaDepth-1)}
+	} else {
+		f = GenFormula(rng, atoms, cfg.MaxFormulaDepth)
+	}
+	return &Case{Index: index, Spec: sp, Model: m, K: k, F: f}
+}
+
+// GenPropositional draws a random boolean (temporal-operator-free)
+// formula over the atoms — AG bodies in the BMC engine's fragment.
+func GenPropositional(rng *rand.Rand, atoms []string, depth int) ctl.Formula {
+	if depth <= 0 || len(atoms) == 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(10) {
+		case 0:
+			return ctl.TrueF{}
+		case 1:
+			return ctl.FalseF{}
+		default:
+			if len(atoms) == 0 {
+				return ctl.TrueF{}
+			}
+			return ctl.Prop{Name: atoms[rng.Intn(len(atoms))]}
+		}
+	}
+	sub := func() ctl.Formula { return GenPropositional(rng, atoms, depth-1) }
+	switch rng.Intn(4) {
+	case 0:
+		return ctl.Not{X: sub()}
+	case 1:
+		return ctl.And{L: sub(), R: sub()}
+	case 2:
+		return ctl.Or{L: sub(), R: sub()}
+	default:
+		return ctl.Implies{L: sub(), R: sub()}
+	}
+}
+
+// GenFormula draws a random well-typed CTL formula over the given
+// atomic propositions, nested at most depth operators deep.
+func GenFormula(rng *rand.Rand, atoms []string, depth int) ctl.Formula {
+	if depth <= 0 || len(atoms) == 0 || rng.Intn(8) == 0 {
+		switch rng.Intn(10) {
+		case 0:
+			return ctl.TrueF{}
+		case 1:
+			return ctl.FalseF{}
+		default:
+			if len(atoms) == 0 {
+				return ctl.TrueF{}
+			}
+			return ctl.Prop{Name: atoms[rng.Intn(len(atoms))]}
+		}
+	}
+	sub := func() ctl.Formula { return GenFormula(rng, atoms, depth-1) }
+	switch rng.Intn(12) {
+	case 0:
+		return ctl.Not{X: sub()}
+	case 1:
+		return ctl.And{L: sub(), R: sub()}
+	case 2:
+		return ctl.Or{L: sub(), R: sub()}
+	case 3:
+		return ctl.Implies{L: sub(), R: sub()}
+	case 4:
+		return ctl.EX{X: sub()}
+	case 5:
+		return ctl.AX{X: sub()}
+	case 6:
+		return ctl.EF{X: sub()}
+	case 7:
+		return ctl.AF{X: sub()}
+	case 8:
+		return ctl.EG{X: sub()}
+	case 9:
+		return ctl.AG{X: sub()}
+	case 10:
+		return ctl.EU{A: sub(), B: sub()}
+	default:
+		return ctl.AU{A: sub(), B: sub()}
+	}
+}
+
+// GenFormulaStrings renders count seeded formulas over a fixed
+// device-style atom set — corpus seeds for the CTL parser fuzz target.
+func GenFormulaStrings(seed int64, count int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	atoms := []string{
+		"dev0.attr=v0", "dev0.attr=v1", "dev1.attr=v0",
+		"ev:dev0.attr.v1", "ev:dev1.attr.v0",
+	}
+	out := make([]string, count)
+	for i := range out {
+		out[i] = GenFormula(rng, atoms, 4).String()
+	}
+	return out
+}
+
+// GenLTLFormulaStrings renders count seeded LTL formulas (G/F/X/U/R
+// over the same atom set) — corpus seeds for the LTL parser fuzz
+// target. The LTL package has its own AST, so this generates text.
+func GenLTLFormulaStrings(seed int64, count int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	atoms := []string{
+		"dev0.attr=v0", "dev0.attr=v1", "dev1.attr=v0",
+		"ev:dev0.attr.v1", "ev:dev1.attr.v0",
+	}
+	var gen func(depth int) string
+	gen = func(depth int) string {
+		if depth <= 0 || rng.Intn(8) == 0 {
+			switch rng.Intn(10) {
+			case 0:
+				return "true"
+			case 1:
+				return "false"
+			default:
+				return fmt.Sprintf("%q", atoms[rng.Intn(len(atoms))])
+			}
+		}
+		switch rng.Intn(10) {
+		case 0:
+			return "!" + gen(depth-1)
+		case 1:
+			return "(" + gen(depth-1) + " & " + gen(depth-1) + ")"
+		case 2:
+			return "(" + gen(depth-1) + " | " + gen(depth-1) + ")"
+		case 3:
+			return "(" + gen(depth-1) + " -> " + gen(depth-1) + ")"
+		case 4:
+			return "X " + gen(depth-1)
+		case 5:
+			return "F " + gen(depth-1)
+		case 6:
+			return "G " + gen(depth-1)
+		case 7:
+			return "(" + gen(depth-1) + " U " + gen(depth-1) + ")"
+		default:
+			return "(" + gen(depth-1) + " R " + gen(depth-1) + ")"
+		}
+	}
+	out := make([]string, count)
+	for i := range out {
+		out[i] = gen(4)
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package conformance
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden verdict file")
+
+// TestGoldenCorpus locks the verdict of every paper property (S.1–S.5,
+// P.1–P.30) across the paperapps corpus. Any engine, translation, or
+// property-catalogue change that flips a verdict fails here; if the
+// flip is intended, regenerate with
+//
+//	go test ./internal/conformance -run TestGoldenCorpus -update
+func TestGoldenCorpus(t *testing.T) {
+	got, err := GoldenReport()
+	if err != nil {
+		t.Fatalf("GoldenReport: %v", err)
+	}
+	path := filepath.Join("testdata", "paperapps.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (regenerate with -update): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		g, w := "", ""
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Errorf("golden verdicts diverge at line %d:\n  got:  %q\n  want: %q", i+1, g, w)
+		}
+	}
+}

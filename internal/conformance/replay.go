@@ -1,0 +1,219 @@
+package conformance
+
+import (
+	"fmt"
+
+	"github.com/soteria-analysis/soteria/internal/bmc"
+	"github.com/soteria-analysis/soteria/internal/ctl"
+	"github.com/soteria-analysis/soteria/internal/kripke"
+	"github.com/soteria-analysis/soteria/internal/modelcheck"
+)
+
+// ValidatePath checks that path is an actual path of k: non-empty,
+// every state in range, and every consecutive pair an edge of the
+// transition relation.
+func ValidatePath(k *kripke.Structure, path []int) error {
+	if len(path) == 0 {
+		return fmt.Errorf("empty path")
+	}
+	for i, s := range path {
+		if s < 0 || s >= k.N {
+			return fmt.Errorf("step %d: state %d out of range [0,%d)", i, s, k.N)
+		}
+	}
+	for i := 1; i < len(path); i++ {
+		if !hasEdge(k, path[i-1], path[i]) {
+			return fmt.Errorf("step %d: no edge %d -> %d", i, path[i-1], path[i])
+		}
+	}
+	return nil
+}
+
+func hasEdge(k *kripke.Structure, from, to int) bool {
+	for _, t := range k.Succs[from] {
+		if t == to {
+			return true
+		}
+	}
+	return false
+}
+
+// satOf evaluates a subformula's satisfaction set with the reference
+// engine — the semantic yardstick replay judges paths against.
+func satOf(k *kripke.Structure, f ctl.Formula) []bool {
+	return modelcheck.Check(k, f).Sat
+}
+
+// ValidateCounterexample checks that the counterexample attached to a
+// failed modelcheck result really demonstrates the violation: the
+// path must exist in k, start at the reported failing state, and
+// refute the formula per CTL semantics for the universal shapes the
+// checker explains (AG, AF, AX, guarded implications/conjunctions);
+// other shapes fall back to the single offending state.
+func ValidateCounterexample(k *kripke.Structure, f ctl.Formula, r *modelcheck.Result) error {
+	if r.Holds {
+		return fmt.Errorf("result holds; no counterexample expected")
+	}
+	if len(r.Counterexample) == 0 {
+		return fmt.Errorf("failed result carries no counterexample")
+	}
+	if len(r.FailingStates) == 0 {
+		return fmt.Errorf("failed result lists no failing states")
+	}
+	if err := ValidatePath(k, r.Counterexample); err != nil {
+		return fmt.Errorf("counterexample: %w", err)
+	}
+	s := r.FailingStates[0]
+	if r.Counterexample[0] != s {
+		return fmt.Errorf("counterexample starts at %d, not the failing state %d", r.Counterexample[0], s)
+	}
+	return validateRefutation(k, f, r.Counterexample, r.CounterexampleLoop)
+}
+
+// validateRefutation checks the path refutes f at path[0] for the
+// explained shapes.
+func validateRefutation(k *kripke.Structure, f ctl.Formula, path []int, loop int) error {
+	switch x := f.(type) {
+	case ctl.AG:
+		// A path from s to a ¬x state.
+		bad := satOf(k, ctl.Not{X: x.X})
+		last := path[len(path)-1]
+		if !bad[last] {
+			return fmt.Errorf("AG counterexample ends at %d where the body still holds", last)
+		}
+		return nil
+	case ctl.AF:
+		// A lasso staying in ¬x throughout.
+		bad := satOf(k, ctl.Not{X: x.X})
+		for i, s := range path {
+			if !bad[s] {
+				return fmt.Errorf("AF counterexample step %d (state %d) satisfies the body", i, s)
+			}
+		}
+		if loop < 0 || loop >= len(path) {
+			return fmt.Errorf("AF counterexample has no valid lasso loop index (%d)", loop)
+		}
+		if !hasEdge(k, path[len(path)-1], path[loop]) {
+			return fmt.Errorf("AF counterexample lasso does not close: no edge %d -> %d", path[len(path)-1], path[loop])
+		}
+		return nil
+	case ctl.AX:
+		if len(path) != 2 {
+			return fmt.Errorf("AX counterexample must be one step, got %d states", len(path))
+		}
+		bad := satOf(k, ctl.Not{X: x.X})
+		if !bad[path[1]] {
+			return fmt.Errorf("AX counterexample successor %d satisfies the body", path[1])
+		}
+		return nil
+	case ctl.Implies:
+		// The checker explains the consequent when the antecedent
+		// holds at the failing state; otherwise it falls back to the
+		// single state.
+		if satOf(k, x.L)[path[0]] {
+			return validateRefutation(k, x.R, path, loop)
+		}
+		return validateSingleState(k, f, path)
+	case ctl.And:
+		if !satOf(k, x.L)[path[0]] {
+			return validateRefutation(k, x.L, path, loop)
+		}
+		return validateRefutation(k, x.R, path, loop)
+	}
+	return validateSingleState(k, f, path)
+}
+
+// validateSingleState accepts the fallback explanation: the offending
+// state itself, which must genuinely violate the formula.
+func validateSingleState(k *kripke.Structure, f ctl.Formula, path []int) error {
+	if len(path) != 1 {
+		return fmt.Errorf("fallback counterexample for %T must be a single state, got %d", f, len(path))
+	}
+	if satOf(k, f)[path[0]] {
+		return fmt.Errorf("fallback counterexample state %d satisfies the formula", path[0])
+	}
+	return nil
+}
+
+// ValidateWitness checks a path returned by modelcheck.Witness for an
+// existential formula at state s: it must be a real path from s whose
+// shape proves the formula per CTL semantics.
+func ValidateWitness(k *kripke.Structure, f ctl.Formula, s int, path []int, loop int) error {
+	if err := ValidatePath(k, path); err != nil {
+		return fmt.Errorf("witness: %w", err)
+	}
+	if path[0] != s {
+		return fmt.Errorf("witness starts at %d, not %d", path[0], s)
+	}
+	switch x := f.(type) {
+	case ctl.EX:
+		if len(path) != 2 {
+			return fmt.Errorf("EX witness must be one step, got %d states", len(path))
+		}
+		if !satOf(k, x.X)[path[1]] {
+			return fmt.Errorf("EX witness successor %d does not satisfy the body", path[1])
+		}
+		return nil
+	case ctl.EF:
+		if !satOf(k, x.X)[path[len(path)-1]] {
+			return fmt.Errorf("EF witness does not end in a satisfying state")
+		}
+		return nil
+	case ctl.EU:
+		a, b := satOf(k, x.A), satOf(k, x.B)
+		last := len(path) - 1
+		if !b[path[last]] {
+			return fmt.Errorf("EU witness does not end in a B-state")
+		}
+		for i := 0; i < last; i++ {
+			if !a[path[i]] {
+				return fmt.Errorf("EU witness step %d (state %d) leaves the A-set", i, path[i])
+			}
+		}
+		return nil
+	case ctl.EG:
+		sat := satOf(k, x.X)
+		for i, st := range path {
+			if !sat[st] {
+				return fmt.Errorf("EG witness step %d (state %d) leaves the body set", i, st)
+			}
+		}
+		if loop < 0 || loop >= len(path) {
+			return fmt.Errorf("EG witness has no valid lasso loop index (%d)", loop)
+		}
+		if !hasEdge(k, path[len(path)-1], path[loop]) {
+			return fmt.Errorf("EG witness lasso does not close: no edge %d -> %d", path[len(path)-1], path[loop])
+		}
+		return nil
+	}
+	return fmt.Errorf("witness for non-existential shape %T", f)
+}
+
+// ValidateBMCTrace checks a bounded-model-checking counterexample for
+// AG body: a real path from an initial state to a state violating the
+// body.
+func ValidateBMCTrace(k *kripke.Structure, body ctl.Formula, r *bmc.Result) error {
+	if !r.Violated {
+		return fmt.Errorf("BMC result not violated; no trace expected")
+	}
+	if err := ValidatePath(k, r.Path); err != nil {
+		return fmt.Errorf("BMC trace: %w", err)
+	}
+	initial := false
+	for _, s := range k.Init {
+		if s == r.Path[0] {
+			initial = true
+			break
+		}
+	}
+	if !initial {
+		return fmt.Errorf("BMC trace starts at non-initial state %d", r.Path[0])
+	}
+	if satOf(k, body)[r.Path[len(r.Path)-1]] {
+		return fmt.Errorf("BMC trace ends at %d where the body still holds", r.Path[len(r.Path)-1])
+	}
+	if len(r.Path) != r.Depth+1 {
+		return fmt.Errorf("BMC trace length %d does not match reported depth %d", len(r.Path), r.Depth)
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package conformance
+
+import (
+	"github.com/soteria-analysis/soteria/internal/ctl"
+)
+
+// maxShrinkAttempts caps the number of candidate rebuilds per
+// mismatch so shrinking stays bounded even on large cases.
+const maxShrinkAttempts = 4000
+
+// ShrinkMismatch greedily minimizes a disagreeing case: it removes
+// transitions and states from the model spec and simplifies the
+// formula, keeping each reduction only while the oracle still
+// disagrees (on any dimension). The result is a small reproducer to
+// attach to a bug report.
+func ShrinkMismatch(m *Mismatch, es EngineSet) *Mismatch {
+	return shrinkWith(m, func(c *Case) *Mismatch { return CheckCase(c, es) })
+}
+
+// shrinkWith is ShrinkMismatch under a pluggable oracle — the seam
+// the package tests use to exercise the reducer with synthetic
+// disagreements a healthy engine never produces.
+func shrinkWith(m *Mismatch, oracle func(*Case) *Mismatch) *Mismatch {
+	cur := m
+	attempts := 0
+	// tryCase rebuilds and re-runs the oracle; it returns the new
+	// mismatch when the reduction preserves the disagreement.
+	tryCase := func(sp *ModelSpec, f ctl.Formula) *Mismatch {
+		if attempts >= maxShrinkAttempts {
+			return nil
+		}
+		attempts++
+		model, k, err := sp.Build()
+		if err != nil {
+			return nil
+		}
+		c := &Case{Index: cur.Case.Index, Spec: sp, Model: model, K: k, F: f}
+		return oracle(c)
+	}
+
+	for {
+		next := shrinkOnce(cur, tryCase)
+		if next == nil {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// shrinkOnce applies the first successful single reduction, or nil
+// when the case is minimal (under this reduction set).
+func shrinkOnce(m *Mismatch, tryCase func(*ModelSpec, ctl.Formula) *Mismatch) *Mismatch {
+	sp, f := m.Case.Spec, m.Case.F
+
+	// Drop one transition.
+	for i := range sp.Trans {
+		cand := &ModelSpec{Vars: sp.Vars, States: sp.States}
+		cand.Trans = append(append([]TransSpec{}, sp.Trans[:i]...), sp.Trans[i+1:]...)
+		if next := tryCase(cand, f); next != nil {
+			return next
+		}
+	}
+
+	// Drop one state (with every transition touching it, remapping
+	// the survivors' indices).
+	if len(sp.States) > 1 {
+		for i := range sp.States {
+			cand := &ModelSpec{Vars: sp.Vars}
+			cand.States = append(append([][]int{}, sp.States[:i]...), sp.States[i+1:]...)
+			for _, t := range sp.Trans {
+				if t.From == i || t.To == i {
+					continue
+				}
+				nt := t
+				if nt.From > i {
+					nt.From--
+				}
+				if nt.To > i {
+					nt.To--
+				}
+				cand.Trans = append(cand.Trans, nt)
+			}
+			if next := tryCase(cand, f); next != nil {
+				return next
+			}
+		}
+	}
+
+	// Simplify the formula by one node.
+	for _, cand := range simplifications(f) {
+		if next := tryCase(sp, cand); next != nil {
+			return next
+		}
+	}
+	return nil
+}
+
+// simplifications returns every formula obtained from f by one local
+// reduction: replacing some node with one of its children or a
+// boolean constant.
+func simplifications(f ctl.Formula) []ctl.Formula {
+	var out []ctl.Formula
+	add := func(c ctl.Formula) { out = append(out, c) }
+
+	// Root replacements: constants, then children.
+	switch f.(type) {
+	case ctl.TrueF:
+		// nothing below a constant
+		return nil
+	case ctl.FalseF:
+		add(ctl.TrueF{})
+		return out
+	default:
+		add(ctl.TrueF{})
+		add(ctl.FalseF{})
+	}
+
+	// rebuilders lift a child's simplification back into f.
+	unary := func(child ctl.Formula, wrap func(ctl.Formula) ctl.Formula) {
+		add(child)
+		for _, c := range simplifications(child) {
+			add(wrap(c))
+		}
+	}
+	binary := func(l, r ctl.Formula, wrap func(l, r ctl.Formula) ctl.Formula) {
+		add(l)
+		add(r)
+		for _, c := range simplifications(l) {
+			add(wrap(c, r))
+		}
+		for _, c := range simplifications(r) {
+			add(wrap(l, c))
+		}
+	}
+
+	switch x := f.(type) {
+	case ctl.Not:
+		unary(x.X, func(c ctl.Formula) ctl.Formula { return ctl.Not{X: c} })
+	case ctl.And:
+		binary(x.L, x.R, func(l, r ctl.Formula) ctl.Formula { return ctl.And{L: l, R: r} })
+	case ctl.Or:
+		binary(x.L, x.R, func(l, r ctl.Formula) ctl.Formula { return ctl.Or{L: l, R: r} })
+	case ctl.Implies:
+		binary(x.L, x.R, func(l, r ctl.Formula) ctl.Formula { return ctl.Implies{L: l, R: r} })
+	case ctl.EX:
+		unary(x.X, func(c ctl.Formula) ctl.Formula { return ctl.EX{X: c} })
+	case ctl.AX:
+		unary(x.X, func(c ctl.Formula) ctl.Formula { return ctl.AX{X: c} })
+	case ctl.EF:
+		unary(x.X, func(c ctl.Formula) ctl.Formula { return ctl.EF{X: c} })
+	case ctl.AF:
+		unary(x.X, func(c ctl.Formula) ctl.Formula { return ctl.AF{X: c} })
+	case ctl.EG:
+		unary(x.X, func(c ctl.Formula) ctl.Formula { return ctl.EG{X: c} })
+	case ctl.AG:
+		unary(x.X, func(c ctl.Formula) ctl.Formula { return ctl.AG{X: c} })
+	case ctl.EU:
+		binary(x.A, x.B, func(l, r ctl.Formula) ctl.Formula { return ctl.EU{A: l, B: r} })
+	case ctl.AU:
+		binary(x.A, x.B, func(l, r ctl.Formula) ctl.Formula { return ctl.AU{A: l, B: r} })
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/soteria-analysis/soteria/internal/ctl"
+)
+
+func containsProp(f ctl.Formula, name string) bool {
+	for _, p := range ctl.Props(f) {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestShrinkWith drives the reducer with a synthetic oracle (a healthy
+// engine never disagrees, so the real one cannot exercise it): the
+// injected bug fires whenever the model has at least one transition
+// and the formula mentions a chosen atom. Greedy shrinking must strip
+// the case down to that essence.
+func TestShrinkWith(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := DefaultGenConfig()
+	var c *Case
+	for {
+		c = GenCase(rng, cfg, 0)
+		if len(c.Spec.Trans) >= 3 && len(c.Spec.States) >= 3 {
+			break
+		}
+	}
+	atom := c.K.Props()[0]
+	target := ctl.Prop{Name: atom}
+	// Bury the essential atom under removable structure.
+	c.F = ctl.And{
+		L: ctl.EF{X: target},
+		R: ctl.AG{X: ctl.Or{L: target, R: ctl.TrueF{}}},
+	}
+
+	oracle := func(cand *Case) *Mismatch {
+		if len(cand.Spec.Trans) >= 1 && containsProp(cand.F, atom) {
+			return &Mismatch{Case: cand, Kind: "synthetic", Engines: "test", Detail: "injected"}
+		}
+		return nil
+	}
+	start := oracle(c)
+	if start == nil {
+		t.Fatal("synthetic oracle does not fire on the starting case")
+	}
+
+	small := shrinkWith(start, oracle)
+	if got := oracle(small.Case); got == nil {
+		t.Fatal("shrinking lost the disagreement")
+	}
+	if n := len(small.Case.Spec.Trans); n != 1 {
+		t.Errorf("shrunk model keeps %d transitions, want 1", n)
+	}
+	if n := len(small.Case.Spec.States); n > 2 {
+		t.Errorf("shrunk model keeps %d states, want <= 2", n)
+	}
+	if got := small.Case.F.String(); got != target.String() {
+		t.Errorf("shrunk formula is %s, want the bare atom %s", got, target.String())
+	}
+}
+
+// TestShrinkWithMinimalFixpoint: a case the reduction set cannot
+// improve comes back unchanged.
+func TestShrinkWithMinimalFixpoint(t *testing.T) {
+	sp := &ModelSpec{
+		Vars:   []VarSpec{{Key: "dev0.attr", Values: []string{"v0", "v1"}}},
+		States: [][]int{{0}},
+		Trans:  []TransSpec{{From: 0, To: 0, EvVar: 0, EvVal: "v0"}},
+	}
+	model, k, err := sp.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ctl.Prop{Name: "dev0.attr=v0"}
+	c := &Case{Spec: sp, Model: model, K: k, F: f}
+	oracle := func(cand *Case) *Mismatch {
+		if len(cand.Spec.Trans) >= 1 && containsProp(cand.F, f.Name) {
+			return &Mismatch{Case: cand, Kind: "synthetic", Engines: "test", Detail: "injected"}
+		}
+		return nil
+	}
+	start := oracle(c)
+	small := shrinkWith(start, oracle)
+	if small.Case.Spec.String() != sp.String() || small.Case.F.String() != f.String() {
+		t.Errorf("minimal case changed under shrinking:\n%s%s", small.Case.Spec, small.Case.F)
+	}
+}

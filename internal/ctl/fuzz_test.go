@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/soteria-analysis/soteria/internal/conformance"
 	"github.com/soteria-analysis/soteria/internal/ctl"
 	"github.com/soteria-analysis/soteria/internal/ir"
 	"github.com/soteria-analysis/soteria/internal/paperapps"
@@ -50,6 +51,12 @@ func catalogueSeeds() []string {
 // accepted formula round-trips through its rendering.
 func FuzzParse(f *testing.F) {
 	for _, s := range catalogueSeeds() {
+		f.Add(s)
+	}
+	// Seeded random formulas from the conformance generator — every CTL
+	// constructor over device-style atoms, shapes the catalogue never
+	// produces.
+	for _, s := range conformance.GenFormulaStrings(1, 64) {
 		f.Add(s)
 	}
 	seeds := []string{

@@ -1,8 +1,11 @@
-package ltl
+package ltl_test
 
 import (
 	"strings"
 	"testing"
+
+	"github.com/soteria-analysis/soteria/internal/conformance"
+	"github.com/soteria-analysis/soteria/internal/ltl"
 )
 
 // FuzzParse drives the LTL parser with arbitrary input. The
@@ -31,12 +34,17 @@ func FuzzParse(f *testing.F) {
 	for _, s := range seeds {
 		f.Add(s)
 	}
+	// Seeded random formulas from the conformance generator — every LTL
+	// constructor over device-style atoms.
+	for _, s := range conformance.GenLTLFormulaStrings(1, 64) {
+		f.Add(s)
+	}
 	f.Fuzz(func(t *testing.T, src string) {
-		f1, err := Parse(src)
+		f1, err := ltl.Parse(src)
 		if err != nil {
 			return
 		}
-		f2, err := Parse(f1.String())
+		f2, err := ltl.Parse(f1.String())
 		if err != nil {
 			t.Fatalf("rendering of accepted formula does not reparse: %q: %v", f1.String(), err)
 		}

@@ -1,0 +1,137 @@
+package audit
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/soteria-analysis/soteria/internal/core"
+	"github.com/soteria-analysis/soteria/internal/market"
+	"github.com/soteria-analysis/soteria/internal/properties"
+)
+
+// spyCache wraps a real cache and counts the audit's interactions with
+// it.
+type spyCache struct {
+	inner   core.ResultCache
+	mu      sync.Mutex
+	lookups int
+	stores  int
+}
+
+func (s *spyCache) LookupAnalysis(key string) (*core.Analysis, bool) {
+	s.mu.Lock()
+	s.lookups++
+	s.mu.Unlock()
+	return s.inner.LookupAnalysis(key)
+}
+
+func (s *spyCache) StoreAnalysis(key string, an *core.Analysis) {
+	s.mu.Lock()
+	s.stores++
+	s.mu.Unlock()
+	s.inner.StoreAnalysis(key, an)
+}
+
+func (s *spyCache) Stats() core.CacheStats { return s.inner.Stats() }
+
+func fingerprint(r *Report) string {
+	var sb []byte
+	for _, es := range [][]Entry{r.Apps, r.Groups} {
+		for _, e := range es {
+			sb = fmt.Appendf(sb, "%s=%v/%v/%v;", e.ID, e.Violated, e.Incomplete, e.Err != nil)
+		}
+	}
+	return string(sb)
+}
+
+func TestRunCacheInteraction(t *testing.T) {
+	items := len(market.All()) + len(market.Groups())
+	spy := &spyCache{inner: core.NewCache()}
+
+	first := Run(context.Background(), 4, spy)
+	if got := len(first.Apps) + len(first.Groups); got != items {
+		t.Fatalf("audit produced %d entries, corpus has %d items", got, items)
+	}
+	if spy.lookups != items {
+		t.Errorf("first audit made %d analysis lookups, want one per item (%d)", spy.lookups, items)
+	}
+	if spy.stores != items {
+		t.Errorf("first audit stored %d analyses, want %d", spy.stores, items)
+	}
+	if h := spy.Stats().Hits; h != 0 {
+		t.Errorf("first audit hit a cold cache %d times", h)
+	}
+
+	second := Run(context.Background(), 4, spy)
+	if hits := spy.Stats().Hits; hits < int64(items) {
+		t.Errorf("second audit only hit the cache %d times, want >= %d", hits, items)
+	}
+	if spy.stores != items {
+		t.Errorf("second audit re-stored analyses (%d stores total, want %d)", spy.stores, items)
+	}
+	if fingerprint(first) != fingerprint(second) {
+		t.Error("cached audit differs from the cold one")
+	}
+
+	// The cache is optional: a nil cache must not change the verdicts.
+	uncached := Run(context.Background(), 4, nil)
+	if fingerprint(first) != fingerprint(uncached) {
+		t.Error("uncached audit differs from the cached one")
+	}
+}
+
+func TestRunViolationOrdering(t *testing.T) {
+	rep := Run(context.Background(), 4, nil)
+
+	apps := market.All()
+	if len(rep.Apps) != len(apps) {
+		t.Fatalf("%d app entries for %d corpus apps", len(rep.Apps), len(apps))
+	}
+	for i, e := range rep.Apps {
+		if e.ID != apps[i].ID {
+			t.Errorf("entry %d is %s, corpus order says %s", i, e.ID, apps[i].ID)
+		}
+		if e.Members != nil {
+			t.Errorf("individual app %s carries group members %v", e.ID, e.Members)
+		}
+	}
+	groups := market.Groups()
+	if len(rep.Groups) != len(groups) {
+		t.Fatalf("%d group entries for %d groups", len(rep.Groups), len(groups))
+	}
+	for i, e := range rep.Groups {
+		if e.ID != groups[i].ID {
+			t.Errorf("group entry %d is %s, want %s", i, e.ID, groups[i].ID)
+		}
+		if len(e.Members) == 0 {
+			t.Errorf("group %s lists no members", e.ID)
+		}
+	}
+
+	someViolations := false
+	for _, es := range [][]Entry{rep.Apps, rep.Groups} {
+		for _, e := range es {
+			if e.Err != nil {
+				t.Errorf("%s: hard failure: %v", e.ID, e.Err)
+				continue
+			}
+			seen := map[string]bool{}
+			for j, id := range e.Violated {
+				someViolations = true
+				if seen[id] {
+					t.Errorf("%s: duplicate violated ID %s", e.ID, id)
+				}
+				seen[id] = true
+				if j > 0 && properties.IDRank(e.Violated[j-1]) > properties.IDRank(id) {
+					t.Errorf("%s: violations out of catalogue order: %s before %s",
+						e.ID, e.Violated[j-1], id)
+				}
+			}
+		}
+	}
+	if !someViolations {
+		t.Error("no entry in the whole market audit reports a violation; corpus wiring broken")
+	}
+}

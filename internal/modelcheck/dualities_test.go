@@ -6,6 +6,7 @@ import (
 
 	"github.com/soteria-analysis/soteria/internal/ctl"
 	"github.com/soteria-analysis/soteria/internal/kripke"
+	"github.com/soteria-analysis/soteria/internal/symbolic"
 )
 
 // randomStructure builds a total Kripke structure with random edges
@@ -55,6 +56,42 @@ func TestCTLDualities(t *testing.T) {
 			for s := 0; s < k.N; s++ {
 				if a.Sat[s] != b.Sat[s] {
 					t.Fatalf("trial %d: %s and %s disagree at state %d", trial, pair[0], pair[1], s)
+				}
+			}
+		}
+	}
+}
+
+// TestCTLDualitiesBDD pins the same dualities on the BDD-symbolic
+// engine, and cross-checks its satisfaction sets against the explicit
+// engine's state by state. The conformance oracle covers this ground
+// with random formulas; these fixed pairs keep the invariant pinned
+// here as a regression test next to the fixpoint code it guards.
+func TestCTLDualitiesBDD(t *testing.T) {
+	pairs := [][2]string{
+		{`AG "p"`, `!EF !"p"`},
+		{`AF "p"`, `!EG !"p"`},
+		{`AX "p"`, `!EX !"p"`},
+		{`EF "p"`, `E[true U "p"]`},
+		{`A["p" U "q"]`, `!(E[!"q" U (!"p" & !"q")] | EG !"q")`},
+		{`EG "p"`, `!AF !"p"`},
+		{`"p" -> "q"`, `!"p" | "q"`},
+	}
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 40; trial++ {
+		k := randomStructure(rng, 2+rng.Intn(12))
+		eng := symbolic.New(k)
+		for _, pair := range pairs {
+			fa, fb := ctl.MustParse(pair[0]), ctl.MustParse(pair[1])
+			a := eng.Check(fa)
+			b := eng.Check(fb)
+			ref := Check(k, fa)
+			for s := 0; s < k.N; s++ {
+				if a.Sat[s] != b.Sat[s] {
+					t.Fatalf("trial %d: BDD engine: %s and %s disagree at state %d", trial, pair[0], pair[1], s)
+				}
+				if a.Sat[s] != ref.Sat[s] {
+					t.Fatalf("trial %d: %s: BDD and explicit engines disagree at state %d", trial, pair[0], s)
 				}
 			}
 		}

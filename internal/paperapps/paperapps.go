@@ -4,6 +4,24 @@
 // They are used by tests, examples, and the benchmark harness.
 package paperapps
 
+// App pairs an app's name with its Groovy source.
+type App struct {
+	Name   string
+	Source string
+}
+
+// Corpus returns the paper's example apps in a stable order — the
+// iteration set for the conformance golden-corpus runner and the
+// package tests.
+func Corpus() []App {
+	return []App{
+		{Name: "Smoke-Alarm", Source: SmokeAlarm},
+		{Name: "Buggy-Smoke-Alarm", Source: BuggySmokeAlarm},
+		{Name: "Water-Leak-Detector", Source: WaterLeakDetector},
+		{Name: "Thermostat-Energy-Control", Source: ThermostatEnergyControl},
+	}
+}
+
 // SmokeAlarm is Appendix A.1 (Listing 1): sounds the alarm and opens
 // the water valve when smoke is detected, turns both off when smoke is
 // clear, and turns on a switch when the detector battery is low.

@@ -1,0 +1,64 @@
+package smv_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/soteria-analysis/soteria/internal/conformance"
+	"github.com/soteria-analysis/soteria/internal/ctl"
+	"github.com/soteria-analysis/soteria/internal/ir"
+	"github.com/soteria-analysis/soteria/internal/paperapps"
+	"github.com/soteria-analysis/soteria/internal/smv"
+	"github.com/soteria-analysis/soteria/internal/statemodel"
+)
+
+// FuzzParse drives the SMV module parser with arbitrary input. The
+// invariants are totality (no panic) and emission idempotence: any
+// accepted module must re-emit, re-parse, and re-emit byte-identically.
+func FuzzParse(f *testing.F) {
+	// Real emitter outputs: every paper app, plus seeded random models
+	// from the conformance generator.
+	for _, app := range paperapps.Corpus() {
+		a, err := ir.BuildSource(app.Name, app.Source)
+		if err != nil {
+			continue
+		}
+		m, err := statemodel.Build(a)
+		if err != nil {
+			continue
+		}
+		f.Add(smv.Emit(m, nil))
+		f.Add(smv.Emit(m, []ctl.Formula{ctl.MustParse(`AG "alarm.alarm=siren"`)}))
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 8; i++ {
+		sp := conformance.GenModelSpec(rng, conformance.DefaultGenConfig())
+		m, _, err := sp.Build()
+		if err != nil {
+			continue
+		}
+		f.Add(smv.Emit(m, nil))
+	}
+	// Malformed shapes.
+	f.Add("")
+	f.Add("MODULE main")
+	f.Add("MODULE main\nVAR\n  a : {v0};\n\nINIT\n  a = v0\n\nTRANS\n  (a = v0\n")
+	f.Add(strings.Repeat("(", 4096))
+	f.Add("MODULE main\nVAR\n" + strings.Repeat("  a : {v0};\n", 50))
+
+	f.Fuzz(func(t *testing.T, src string) {
+		mod, err := smv.Parse(src)
+		if err != nil {
+			return
+		}
+		out := mod.Emit()
+		mod2, err := smv.Parse(out)
+		if err != nil {
+			t.Fatalf("emission of accepted module does not re-parse: %v\n%s", err, out)
+		}
+		if out2 := mod2.Emit(); out2 != out {
+			t.Fatalf("emission not idempotent:\n--- first ---\n%s\n--- second ---\n%s", out, out2)
+		}
+	})
+}

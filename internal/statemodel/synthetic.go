@@ -1,0 +1,73 @@
+package statemodel
+
+import (
+	"fmt"
+
+	"github.com/soteria-analysis/soteria/internal/ir"
+	"github.com/soteria-analysis/soteria/internal/pathcond"
+)
+
+// NewSynthetic constructs an empty model over the given variables
+// without running the extraction pipeline. It exists for harnesses
+// that need models with a known shape — the conformance generators
+// feed synthetic models through the Kripke translation, the SMV
+// emitter, and all model-checking engines — and for tests.
+//
+// Each variable needs a non-empty Key and a non-empty value domain;
+// duplicate keys are rejected. States and transitions are added with
+// AddState and AddTransition.
+func NewSynthetic(vars []*Var) (*Model, error) {
+	m := &Model{
+		varIdx:   map[string]int{},
+		stateIdx: map[string]bool{},
+		stateID:  map[string]int{},
+	}
+	for _, v := range vars {
+		if v.Key == "" {
+			return nil, fmt.Errorf("statemodel: synthetic variable with empty key")
+		}
+		if len(v.Values) == 0 {
+			return nil, fmt.Errorf("statemodel: synthetic variable %s has an empty domain", v.Key)
+		}
+		if _, dup := m.varIdx[v.Key]; dup {
+			return nil, fmt.Errorf("statemodel: duplicate synthetic variable %s", v.Key)
+		}
+		m.varIdx[v.Key] = len(m.Vars)
+		m.Vars = append(m.Vars, v)
+	}
+	return m, nil
+}
+
+// AddState interns the state with the given domain indices (one per
+// model variable, in variable order) and returns its ID. Re-adding an
+// existing assignment returns the original ID.
+func (m *Model) AddState(idx []int) (int, error) {
+	if len(idx) != len(m.Vars) {
+		return -1, fmt.Errorf("statemodel: state has %d indices for %d variables", len(idx), len(m.Vars))
+	}
+	for vi, i := range idx {
+		if i < 0 || i >= len(m.Vars[vi].Values) {
+			return -1, fmt.Errorf("statemodel: index %d out of domain for %s", i, m.Vars[vi].Key)
+		}
+	}
+	return m.internState(idx), nil
+}
+
+// AddTransition appends a labeled edge between two interned states.
+// The event's VarKey/Value become the transition label; a zero guard
+// means the transition is unconditional.
+func (m *Model) AddTransition(from, to int, ev Event, g pathcond.Cond) error {
+	if from < 0 || from >= len(m.States) || to < 0 || to >= len(m.States) {
+		return fmt.Errorf("statemodel: transition %d->%d out of range (%d states)", from, to, len(m.States))
+	}
+	m.Transitions = append(m.Transitions, Transition{
+		From: from, To: to, Event: ev, Guard: g,
+	})
+	return nil
+}
+
+// DeviceEvent builds a device-attribute event label for synthetic
+// transitions ("capability.attribute" changing to value).
+func DeviceEvent(varKey, value string) Event {
+	return Event{VarKey: varKey, Value: value, Kind: ir.DeviceEvent}
+}

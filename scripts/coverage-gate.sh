@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Coverage gate: fail when total statement coverage drops below the
+# floor. The floor trails the measured baseline (79.3% at the time the
+# conformance subsystem landed) by a little over a point to absorb
+# counting noise; ratchet it up when coverage grows.
+set -euo pipefail
+
+FLOOR="${COVERAGE_FLOOR:-78.0}"
+PROFILE="${1:-coverage.out}"
+
+go test -coverprofile="$PROFILE" ./...
+TOTAL=$(go tool cover -func="$PROFILE" | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')
+
+echo "total coverage: ${TOTAL}% (floor: ${FLOOR}%)"
+awk -v t="$TOTAL" -v f="$FLOOR" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || {
+    echo "coverage ${TOTAL}% is below the ${FLOOR}% floor" >&2
+    exit 1
+}
