@@ -8,8 +8,9 @@
 //	soteria-bench -fig 11a|11b|union|verify
 //	soteria-bench -ablation predicates|merging
 //	soteria-bench -parallel N     # fan experiment analyses out over N workers
-//	soteria-bench -parallel-bench # time sequential vs parallel corpus audit,
-//	                              # write BENCH_parallel.json
+//	soteria-bench -parallel-bench # time sequential vs parallel corpus audit
+//	                              # at each GOMAXPROCS in -parallel-bench-procs
+//	                              # (default 1,4,8), write BENCH_parallel.json
 package main
 
 import (
@@ -19,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/soteria-analysis/soteria/internal/experiments"
@@ -32,12 +35,13 @@ func main() {
 	parallel := flag.Int("parallel", 1, "fan batch analyses out over this many workers (outputs are identical at any setting)")
 	parallelBench := flag.Bool("parallel-bench", false, "benchmark a sequential vs parallel market audit and write BENCH_parallel.json")
 	benchOut := flag.String("parallel-bench-out", "BENCH_parallel.json", "output path for -parallel-bench")
+	benchProcs := flag.String("parallel-bench-procs", "1,4,8", "comma-separated GOMAXPROCS settings to sweep in -parallel-bench")
 	flag.Parse()
 
 	experiments.Parallel = *parallel
 
 	if *parallelBench {
-		if err := runParallelBench(*parallel, *benchOut); err != nil {
+		if err := runParallelBench(*benchProcs, *benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "soteria-bench: parallel-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -164,13 +168,11 @@ func main() {
 	}
 }
 
-// parallelBenchResult is the machine-readable record -parallel-bench
-// emits: sequential vs parallel wall time for a cold full-corpus audit
-// (65 individual apps + the Table 4 groups), and whether the two runs
-// produced identical verdicts.
-type parallelBenchResult struct {
-	CorpusApps        int     `json:"corpus_apps"`
-	Groups            int     `json:"groups"`
+// parallelBenchPoint is one setting in the -parallel-bench sweep:
+// sequential vs parallel wall time for a cold full-corpus audit (65
+// individual apps + the Table 4 groups) at a fixed GOMAXPROCS, and
+// whether the two runs produced identical verdicts.
+type parallelBenchPoint struct {
 	GOMAXPROCS        int     `json:"gomaxprocs"`
 	Parallel          int     `json:"parallel"`
 	SequentialMS      float64 `json:"sequential_ms"`
@@ -179,38 +181,63 @@ type parallelBenchResult struct {
 	VerdictsIdentical bool    `json:"verdicts_identical"`
 }
 
-// runParallelBench times two cold audits of the whole market corpus —
-// workers=1, then workers=parallel — and writes the comparison as
-// JSON. Each audit gets a fresh (nil) cache so the parallel run cannot
-// borrow the sequential run's work; with GOMAXPROCS=1 the speedup
-// honestly reports ~1x, scaling with available cores.
-func runParallelBench(parallel int, out string) error {
-	if parallel < 2 {
-		parallel = runtime.GOMAXPROCS(0)
+// parallelBenchResult is the machine-readable trajectory
+// -parallel-bench emits: one point per GOMAXPROCS setting, so the
+// scaling curve (and its ceiling on a small host) is visible in a
+// single artifact. HostCPUs records the physical budget: points with
+// gomaxprocs above it can only show oversubscription, never speedup.
+type parallelBenchResult struct {
+	CorpusApps int                  `json:"corpus_apps"`
+	Groups     int                  `json:"groups"`
+	HostCPUs   int                  `json:"host_cpus"`
+	Points     []parallelBenchPoint `json:"points"`
+}
+
+// runParallelBench sweeps the GOMAXPROCS settings in procs, timing two
+// cold audits of the whole market corpus at each — workers=1, then
+// workers=gomaxprocs (4 when the setting is 1, so the 1-proc point
+// honestly shows fan-out without cores buys ~1x). Each audit gets a
+// fresh (nil) cache so no run borrows another's work.
+func runParallelBench(procs, out string) error {
+	ctx := context.Background()
+	restore := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(restore)
+
+	res := parallelBenchResult{HostCPUs: runtime.NumCPU()}
+	for _, field := range strings.Split(procs, ",") {
+		maxprocs, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || maxprocs < 1 {
+			return fmt.Errorf("bad -parallel-bench-procs entry %q", field)
+		}
+		runtime.GOMAXPROCS(maxprocs)
+		parallel := maxprocs
 		if parallel < 2 {
 			parallel = 4
 		}
+
+		t0 := time.Now()
+		seq := audit.Run(ctx, 1, nil)
+		seqDur := time.Since(t0)
+
+		t1 := time.Now()
+		par := audit.Run(ctx, parallel, nil)
+		parDur := time.Since(t1)
+
+		res.CorpusApps = len(seq.Apps)
+		res.Groups = len(seq.Groups)
+		pt := parallelBenchPoint{
+			GOMAXPROCS:        maxprocs,
+			Parallel:          parallel,
+			SequentialMS:      float64(seqDur.Microseconds()) / 1000,
+			ParallelMS:        float64(parDur.Microseconds()) / 1000,
+			Speedup:           seqDur.Seconds() / parDur.Seconds(),
+			VerdictsIdentical: identicalVerdicts(seq, par),
+		}
+		res.Points = append(res.Points, pt)
+		fmt.Printf("parallel bench @GOMAXPROCS=%d: sequential %.1fms, parallel(%d) %.1fms, speedup %.2fx, verdicts identical: %t\n",
+			pt.GOMAXPROCS, pt.SequentialMS, pt.Parallel, pt.ParallelMS, pt.Speedup, pt.VerdictsIdentical)
 	}
-	ctx := context.Background()
 
-	t0 := time.Now()
-	seq := audit.Run(ctx, 1, nil)
-	seqDur := time.Since(t0)
-
-	t1 := time.Now()
-	par := audit.Run(ctx, parallel, nil)
-	parDur := time.Since(t1)
-
-	res := parallelBenchResult{
-		CorpusApps:        len(seq.Apps),
-		Groups:            len(seq.Groups),
-		GOMAXPROCS:        runtime.GOMAXPROCS(0),
-		Parallel:          parallel,
-		SequentialMS:      float64(seqDur.Microseconds()) / 1000,
-		ParallelMS:        float64(parDur.Microseconds()) / 1000,
-		Speedup:           seqDur.Seconds() / parDur.Seconds(),
-		VerdictsIdentical: identicalVerdicts(seq, par),
-	}
 	f, err := os.Create(out)
 	if err != nil {
 		return err
@@ -221,8 +248,7 @@ func runParallelBench(parallel int, out string) error {
 	if err := enc.Encode(res); err != nil {
 		return err
 	}
-	fmt.Printf("parallel bench: sequential %.1fms, parallel(%d) %.1fms, speedup %.2fx, verdicts identical: %t → %s\n",
-		res.SequentialMS, res.Parallel, res.ParallelMS, res.Speedup, res.VerdictsIdentical, out)
+	fmt.Printf("parallel bench trajectory (%d points) → %s\n", len(res.Points), out)
 	return nil
 }
 

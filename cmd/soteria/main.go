@@ -22,6 +22,15 @@
 //	-max-states N cap state-model enumeration at N states
 //	-json      emit the analysis result as JSON
 //	-list      list the property catalogue and exit
+//	-remote URL analyze via a soteriad instance instead of locally
+//	-idempotency-key K dedupe key for -remote resubmissions
+//
+// With -remote the apps are submitted to a running soteriad over its
+// HTTP API through the resilient client: transient failures retry with
+// backoff honoring Retry-After, and an idempotency key (auto-generated
+// unless -idempotency-key is given) keeps retries from analyzing
+// twice — even across a daemon crash and restart. The model/trace
+// flags (-ir, -dot, -smv, -formula, -ltl, -witness) are local-only.
 //
 // Exit codes: 0 — analysis complete, no violations; 1 — violations
 // found; 2 — usage or input errors; 3 — analysis incomplete (resource
@@ -56,6 +65,8 @@ func main() {
 		parallel  = flag.Int("parallel", 1, "check properties with this many concurrent workers (results are identical at any setting)")
 		timeout   = flag.Duration("timeout", 0, "abort the analysis after this wall-clock duration (0 = no limit)")
 		maxStates = flag.Int("max-states", 0, "cap state-model enumeration at this many states (0 = no limit)")
+		remote    = flag.String("remote", "", "analyze via the soteriad instance at this base URL instead of locally")
+		idemKey   = flag.String("idempotency-key", "", "idempotency key for -remote submissions (default: auto-generated)")
 	)
 	flag.Parse()
 
@@ -78,6 +89,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: soteria [flags] app.groovy [app2.groovy ...]")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+
+	if *remote != "" {
+		if *showIR || *showDot || *showSMV || *formula != "" || *ltlProp != "" || *witness != "" {
+			fail("-ir, -dot, -smv, -formula, -ltl, and -witness are local-only (not with -remote)")
+		}
+		os.Exit(runRemote(remoteRun{
+			baseURL:   *remote,
+			idemKey:   *idemKey,
+			paths:     flag.Args(),
+			general:   *general,
+			specific:  *specific,
+			parallel:  *parallel,
+			timeout:   *timeout,
+			maxStates: *maxStates,
+			jsonOut:   *jsonOut,
+		}))
 	}
 
 	var apps []*soteria.App

@@ -10,6 +10,7 @@
 //
 //	-addr A         listen address (default :8380)
 //	-store DIR      result store directory ("" disables persistence)
+//	-journal PATH   durable job journal ("" disables crash recovery)
 //	-workers N      concurrent analysis workers (default GOMAXPROCS)
 //	-queue N        queued-job bound before 429 backpressure (default 64)
 //	-job-timeout D  wall-clock ceiling per job (default 60s)
@@ -17,6 +18,16 @@
 //	-max-states N   per-job state-model cap (0 = unlimited)
 //	-max-body N     request body cap in bytes (default 8 MiB)
 //	-drain-timeout D grace period for in-flight jobs on SIGTERM (default 30s)
+//
+// With -journal, every accepted job is fsynced into an append-only
+// journal before the client sees its acknowledgment; on restart the
+// journal is replayed, incomplete jobs re-enqueue under their original
+// IDs, and client idempotency keys dedupe resubmissions — so a crash
+// (SIGKILL, OOM, power cut) never loses an acknowledged job.
+//
+// Setting SOTERIAD_CHAOS_FS=1 in the environment fragments and delays
+// store/journal writes to widen crash windows; it exists for the
+// kill-restart test harness, never for production.
 //
 // Endpoints: POST /v1/analyze, POST /v1/batch, GET /v1/jobs/{id},
 // GET /v1/results/{hash}, GET /healthz, GET /metrics. On SIGTERM or
@@ -44,6 +55,7 @@ func main() {
 	var (
 		addr         = flag.String("addr", ":8380", "listen address")
 		storeDir     = flag.String("store", "soteriad-store", "result store directory (empty disables persistence)")
+		journalPath  = flag.String("journal", "", "durable job journal path (empty disables crash recovery)")
 		workers      = flag.Int("workers", 0, "concurrent analysis workers (0 = GOMAXPROCS)")
 		queue        = flag.Int("queue", 64, "queued-job bound before 429 backpressure")
 		jobTimeout   = flag.Duration("job-timeout", 60*time.Second, "wall-clock ceiling per job")
@@ -55,6 +67,10 @@ func main() {
 	flag.Parse()
 	logger := log.New(os.Stderr, "soteriad: ", log.LstdFlags)
 
+	chaosFS := os.Getenv("SOTERIAD_CHAOS_FS") != ""
+	if chaosFS {
+		logger.Printf("SOTERIAD_CHAOS_FS set: store/journal writes fragmented and delayed (test harness mode)")
+	}
 	svc, err := soteria.NewService(soteria.ServiceConfig{
 		Workers:      *workers,
 		QueueDepth:   *queue,
@@ -63,6 +79,8 @@ func main() {
 		MaxBodyBytes: *maxBody,
 		Limits:       soteria.Limits{MaxStates: *maxStates},
 		StoreDir:     *storeDir,
+		JournalPath:  *journalPath,
+		ChaosFS:      chaosFS,
 		Log:          logger,
 	})
 	if err != nil {
@@ -72,7 +90,7 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	logger.Printf("listening on %s (store %q, %d-deep queue)", *addr, *storeDir, *queue)
+	logger.Printf("listening on %s (store %q, journal %q, %d-deep queue)", *addr, *storeDir, *journalPath, *queue)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,8 @@
+// Package chaos is soteriad's kill-restart test harness. It holds no
+// production code: the tests build the real daemon binary, run it as a
+// subprocess with SOTERIAD_CHAOS_FS widening its write windows, SIGKILL
+// it mid-job and mid-write, restart it over the same store and journal,
+// and assert the crash-safety contract — no accepted job lost, job IDs
+// stable across the restart, idempotent resubmission answered by the
+// original job, and no torn record ever served.
+package chaos

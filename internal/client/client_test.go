@@ -1,0 +1,321 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeTime is an injectable clock + sleep recorder: sleeps advance the
+// clock instantly and are logged for assertion.
+type fakeTime struct {
+	mu     sync.Mutex
+	now    time.Time
+	slept  []time.Duration
+	refuse bool // make sleep fail like a canceled context
+}
+
+func (f *fakeTime) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeTime) Sleep(ctx context.Context, d time.Duration) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.refuse {
+		return context.Canceled
+	}
+	f.slept = append(f.slept, d)
+	f.now = f.now.Add(d)
+	return nil
+}
+
+func (f *fakeTime) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+}
+
+func (f *fakeTime) Slept() []time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Duration{}, f.slept...)
+}
+
+// newTestClient wires a client to ts with a deterministic clock and
+// jitter pinned to the maximum (jitter() == 1 − ε ≈ full ceiling).
+func newTestClient(t *testing.T, ts *httptest.Server, mutate func(*Config)) (*Client, *fakeTime) {
+	t.Helper()
+	ft := &fakeTime{now: time.Unix(1700000000, 0)}
+	cfg := Config{
+		BaseURL: ts.URL,
+		now:     ft.Now,
+		sleep:   ft.Sleep,
+		jitter:  func() float64 { return 1.0 },
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c, ft
+}
+
+// scripted serves canned status codes in order, then the last one
+// forever, capturing request bodies.
+type scripted struct {
+	mu     sync.Mutex
+	codes  []int
+	calls  int
+	bodies []string
+	hdr    map[string]string
+}
+
+func (s *scripted) handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		i := s.calls
+		s.calls++
+		if i >= len(s.codes) {
+			i = len(s.codes) - 1
+		}
+		code := s.codes[i]
+		var body []byte
+		if r.Body != nil {
+			buf := make([]byte, 64<<10)
+			n, _ := r.Body.Read(buf)
+			body = buf[:n]
+		}
+		s.bodies = append(s.bodies, string(body))
+		hdr := s.hdr
+		s.mu.Unlock()
+		for k, v := range hdr {
+			w.Header().Set(k, v)
+		}
+		if code >= 400 {
+			w.WriteHeader(code)
+			w.Write([]byte(`{"error":"scripted failure"}`))
+			return
+		}
+		w.WriteHeader(code)
+		w.Write([]byte(`{"job_id":"j1","status":"done"}`))
+	}
+}
+
+func (s *scripted) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+func TestRetriesTransientThenSucceeds(t *testing.T) {
+	sc := &scripted{codes: []int{500, 503, 200}}
+	ts := httptest.NewServer(sc.handler())
+	defer ts.Close()
+	c, ft := newTestClient(t, ts, nil)
+
+	j, err := c.Analyze(context.Background(), AnalyzeRequest{Apps: []App{{Name: "a", Source: "x"}}})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if j.JobID != "j1" || !j.Terminal() {
+		t.Fatalf("job: %+v", j)
+	}
+	if sc.count() != 3 {
+		t.Fatalf("attempts = %d, want 3", sc.count())
+	}
+	// Exponential schedule at full jitter: base, 2*base.
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}
+	got := ft.Slept()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("backoffs = %v, want %v", got, want)
+	}
+}
+
+func TestIdempotencyKeyStableAcrossRetries(t *testing.T) {
+	sc := &scripted{codes: []int{500, 200}}
+	ts := httptest.NewServer(sc.handler())
+	defer ts.Close()
+	c, _ := newTestClient(t, ts, nil)
+
+	if _, err := c.Analyze(context.Background(), AnalyzeRequest{Apps: []App{{Name: "a", Source: "x"}}}); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(sc.bodies) != 2 {
+		t.Fatalf("bodies = %d", len(sc.bodies))
+	}
+	keys := make([]string, 2)
+	for i, b := range sc.bodies {
+		var req struct {
+			IdempotencyKey string `json:"idempotency_key"`
+		}
+		if err := json.Unmarshal([]byte(b), &req); err != nil {
+			t.Fatalf("body %d: %v", i, err)
+		}
+		keys[i] = req.IdempotencyKey
+	}
+	if keys[0] == "" || keys[0] != keys[1] {
+		t.Fatalf("idempotency keys across retries: %q vs %q", keys[0], keys[1])
+	}
+}
+
+func TestHonorsRetryAfterFloor(t *testing.T) {
+	sc := &scripted{codes: []int{429, 200}, hdr: map[string]string{"Retry-After": "3"}}
+	ts := httptest.NewServer(sc.handler())
+	defer ts.Close()
+	c, ft := newTestClient(t, ts, nil)
+
+	if _, err := c.Analyze(context.Background(), AnalyzeRequest{Apps: []App{{Name: "a", Source: "x"}}}); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	got := ft.Slept()
+	if len(got) != 1 || got[0] != 3*time.Second {
+		t.Fatalf("backoffs = %v, want [3s] (Retry-After floor over 100ms schedule)", got)
+	}
+}
+
+func TestNoRetryOnClientError(t *testing.T) {
+	sc := &scripted{codes: []int{400}}
+	ts := httptest.NewServer(sc.handler())
+	defer ts.Close()
+	c, _ := newTestClient(t, ts, nil)
+
+	_, err := c.Analyze(context.Background(), AnalyzeRequest{Apps: []App{{Name: "a", Source: "x"}}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 400 {
+		t.Fatalf("err = %v, want 400 APIError", err)
+	}
+	if sc.count() != 1 {
+		t.Fatalf("400 was retried: %d attempts", sc.count())
+	}
+}
+
+func TestDeadlineAwareBackoff(t *testing.T) {
+	sc := &scripted{codes: []int{500}}
+	ts := httptest.NewServer(sc.handler())
+	defer ts.Close()
+	c, ft := newTestClient(t, ts, func(cfg *Config) {
+		cfg.BaseBackoff = 2 * time.Second // first backoff exceeds the deadline budget
+	})
+	// The real deadline also governs the HTTP attempt, so the fake
+	// clock must track real time for this test.
+	ft.mu.Lock()
+	ft.now = time.Now()
+	ft.mu.Unlock()
+
+	// Deadline 1s out; the first backoff would be 2s — the client must
+	// give up immediately instead of sleeping into a dead context.
+	ctx, cancel := context.WithDeadline(context.Background(), ft.Now().Add(time.Second))
+	defer cancel()
+	_, err := c.Analyze(ctx, AnalyzeRequest{Apps: []App{{Name: "a", Source: "x"}}})
+	if err == nil {
+		t.Fatalf("expected error")
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 500 {
+		t.Fatalf("deadline abort must surface the last server error, got %v", err)
+	}
+	if len(ft.Slept()) != 0 {
+		t.Fatalf("slept %v with no room before deadline", ft.Slept())
+	}
+	if sc.count() != 1 {
+		t.Fatalf("attempts = %d, want 1", sc.count())
+	}
+}
+
+func TestCircuitBreakerOpensAndRecovers(t *testing.T) {
+	sc := &scripted{codes: []int{500, 500, 200}}
+	ts := httptest.NewServer(sc.handler())
+	defer ts.Close()
+	c, ft := newTestClient(t, ts, func(cfg *Config) {
+		cfg.MaxAttempts = 1
+		cfg.BreakerThreshold = 2
+		cfg.BreakerCooldown = 10 * time.Second
+	})
+	ctx := context.Background()
+	req := AnalyzeRequest{Apps: []App{{Name: "a", Source: "x"}}}
+
+	for i := 0; i < 2; i++ {
+		if _, err := c.Analyze(ctx, req); err == nil {
+			t.Fatalf("call %d unexpectedly succeeded", i)
+		}
+	}
+	// Threshold reached: the next call must fail fast, no HTTP attempt.
+	before := sc.count()
+	_, err := c.Analyze(ctx, req)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if sc.count() != before {
+		t.Fatalf("open circuit still sent a request")
+	}
+
+	// After the cooldown one half-open probe goes through; the healthy
+	// response closes the circuit.
+	ft.Advance(11 * time.Second)
+	if _, err := c.Analyze(ctx, req); err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	if _, err := c.Analyze(ctx, req); err != nil {
+		t.Fatalf("closed circuit: %v", err)
+	}
+}
+
+func TestWaitPollsToTerminal(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		status := "running"
+		if calls >= 3 {
+			status = "done"
+		}
+		json.NewEncoder(w).Encode(map[string]any{"job_id": "j7", "status": status})
+	}))
+	defer ts.Close()
+	c, ft := newTestClient(t, ts, nil)
+
+	j, err := c.Wait(context.Background(), "j7")
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if j.Status != "done" || calls != 3 {
+		t.Fatalf("status=%s after %d polls", j.Status, calls)
+	}
+	for _, d := range ft.Slept() {
+		if d != 250*time.Millisecond {
+			t.Fatalf("poll pacing: %v", ft.Slept())
+		}
+	}
+}
+
+func TestNetworkErrorRetries(t *testing.T) {
+	// A server that is immediately closed: every attempt is a transport
+	// error, which must retry and count toward the breaker.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close()
+	ft := &fakeTime{now: time.Unix(1700000000, 0)}
+	c, err := New(Config{
+		BaseURL: url, MaxAttempts: 3,
+		now: ft.Now, sleep: ft.Sleep, jitter: func() float64 { return 1.0 },
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	_, aerr := c.Analyze(context.Background(), AnalyzeRequest{Apps: []App{{Name: "a", Source: "x"}}})
+	if aerr == nil {
+		t.Fatalf("expected transport failure")
+	}
+	if got := len(ft.Slept()); got != 2 {
+		t.Fatalf("backoffs = %d, want 2 (3 attempts)", got)
+	}
+}

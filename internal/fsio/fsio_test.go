@@ -1,0 +1,150 @@
+package fsio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/soteria-analysis/soteria/internal/guard/faultinject"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var fs FS = OS{}
+	f, err := fs.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		t.Fatalf("CreateTemp: %v", err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	final := filepath.Join(dir, "final")
+	if err := fs.Rename(f.Name(), final); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	data, err := fs.ReadFile(final)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	entries, err := fs.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("ReadDir = %v, %v", entries, err)
+	}
+}
+
+func TestOSOpenAppend(t *testing.T) {
+	name := filepath.Join(t.TempDir(), "log")
+	var fs FS = OS{}
+	for _, chunk := range []string{"a", "b"} {
+		f, err := fs.OpenAppend(name)
+		if err != nil {
+			t.Fatalf("OpenAppend: %v", err)
+		}
+		if _, err := f.Write([]byte(chunk)); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+	data, _ := os.ReadFile(name)
+	if string(data) != "ab" {
+		t.Fatalf("appended file = %q, want ab", data)
+	}
+}
+
+func TestFaultyShortWrite(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	var fs FS = Faulty{Inner: OS{}}
+	f, err := fs.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		t.Fatalf("CreateTemp: %v", err)
+	}
+	boom := errors.New("disk full")
+	faultinject.ArmError(faultinject.SiteFSWrite, filepath.Base(f.Name()), boom)
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, boom) {
+		t.Fatalf("Write error = %v, want injected", err)
+	}
+	if n != 5 {
+		t.Fatalf("short write wrote %d bytes, want 5", n)
+	}
+	faultinject.Disarm(faultinject.SiteFSWrite)
+	data, _ := os.ReadFile(f.Name())
+	if string(data) != "01234" {
+		t.Fatalf("torn file holds %q", data)
+	}
+}
+
+func TestFaultySyncRenameSyncDir(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	var fs FS = Faulty{Inner: OS{}}
+	f, _ := fs.CreateTemp(dir, ".tmp-*")
+	boom := errors.New("io error")
+
+	faultinject.ArmError(faultinject.SiteFSSync, "", boom)
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("Sync error = %v, want injected", err)
+	}
+	faultinject.Disarm(faultinject.SiteFSSync)
+	f.Close()
+
+	faultinject.ArmError(faultinject.SiteFSRename, "final", boom)
+	if err := fs.Rename(f.Name(), filepath.Join(dir, "final")); !errors.Is(err, boom) {
+		t.Fatalf("Rename error = %v, want injected", err)
+	}
+	// A different target is untouched by the keyed fault.
+	if err := fs.Rename(f.Name(), filepath.Join(dir, "other")); err != nil {
+		t.Fatalf("Rename of unkeyed target: %v", err)
+	}
+	faultinject.Disarm(faultinject.SiteFSRename)
+
+	faultinject.ArmError(faultinject.SiteFSSyncDir, "", boom)
+	if err := fs.SyncDir(dir); !errors.Is(err, boom) {
+		t.Fatalf("SyncDir error = %v, want injected", err)
+	}
+}
+
+func TestFaultyErrorAfterFuse(t *testing.T) {
+	defer faultinject.Reset()
+	boom := errors.New("later")
+	faultinject.ArmErrorAfter(faultinject.SiteFSSync, "", boom, 2)
+	for i := 0; i < 2; i++ {
+		if err := faultinject.Err(faultinject.SiteFSSync, "x"); err != nil {
+			t.Fatalf("fuse fired early on hit %d: %v", i, err)
+		}
+	}
+	if err := faultinject.Err(faultinject.SiteFSSync, "x"); !errors.Is(err, boom) {
+		t.Fatalf("fuse did not fire: %v", err)
+	}
+}
+
+func TestChaosChunkedWrite(t *testing.T) {
+	dir := t.TempDir()
+	var fs FS = Chaos{Inner: OS{}, Chunk: 3, Delay: 1}
+	f, err := fs.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		t.Fatalf("CreateTemp: %v", err)
+	}
+	payload := []byte("0123456789")
+	if n, err := f.Write(payload); n != len(payload) || err != nil {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	f.Close()
+	data, _ := os.ReadFile(f.Name())
+	if string(data) != string(payload) {
+		t.Fatalf("chunked write produced %q", data)
+	}
+}

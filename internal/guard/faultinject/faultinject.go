@@ -45,6 +45,17 @@ const (
 	// HitKey passes the item key, so tests can fault exactly one app
 	// of a batch and assert the others survive.
 	SiteBatchItem = "batch.item"
+	// SiteFSCreate, SiteFSWrite, SiteFSSync, SiteFSRename, and
+	// SiteFSSyncDir are the filesystem boundaries of the storage tier
+	// (internal/fsio). They are error sites — armed with ArmError and
+	// consulted with Err — so tests can simulate short writes, fsync
+	// failures, and crashed renames without panicking through the
+	// serving path. Err's key is the base name of the file involved.
+	SiteFSCreate  = "fsio.create"
+	SiteFSWrite   = "fsio.write"
+	SiteFSSync    = "fsio.sync"
+	SiteFSRename  = "fsio.rename"
+	SiteFSSyncDir = "fsio.syncdir"
 )
 
 // Sites returns every canonical injection site, for exhaustive
@@ -58,17 +69,26 @@ func Sites() []string {
 	}
 }
 
+// ErrSites returns the filesystem error-injection sites consulted via
+// Err rather than Hit.
+func ErrSites() []string {
+	return []string{SiteFSCreate, SiteFSWrite, SiteFSSync, SiteFSRename, SiteFSSyncDir}
+}
+
 type faultKind int
 
 const (
 	faultPanic faultKind = iota
 	faultBudget
+	faultError
 )
 
 type fault struct {
 	kind     faultKind
 	key      string // match key; "" matches every key
 	resource string // for faultBudget
+	err      error  // for faultError
+	after    int    // matching hits to let through before firing
 }
 
 var (
@@ -89,6 +109,22 @@ func ArmPanic(site, key string) { arm(site, fault{kind: faultPanic, key: key}) }
 // constructing a genuinely explosive input.
 func ArmBudget(site, key, resource string) {
 	arm(site, fault{kind: faultBudget, key: key, resource: resource})
+}
+
+// ArmError arms an error site: matching Err calls return err instead
+// of nil. Unlike ArmPanic this flavor never unwinds the stack — it is
+// made for I/O boundaries (internal/fsio), where the calling code must
+// handle the error like any real disk failure.
+func ArmError(site, key string, err error) {
+	arm(site, fault{kind: faultError, key: key, err: err})
+}
+
+// ArmErrorAfter is ArmError with a fuse: the first n matching Err
+// calls pass (return nil), the rest fail. Tests use it to let a write
+// protocol get partway — e.g. the data file synced but the directory
+// not — before the simulated crash.
+func ArmErrorAfter(site, key string, err error, n int) {
+	arm(site, fault{kind: faultError, key: key, err: err, after: n})
 }
 
 func arm(site string, f fault) {
@@ -144,6 +180,38 @@ func TakeCounts() map[string]int {
 	return out
 }
 
+// Err reports the error armed at site for key, nil when the site is
+// disarmed, armed for a different key, or still burning its
+// ArmErrorAfter fuse. A panic- or budget-armed site behaves exactly as
+// if HitKey were called, so error sites compose with the existing
+// sweep machinery. Disarmed, Err costs one atomic load (plus the
+// counting path shared with Hit).
+func Err(site, key string) error {
+	countHit(site, key)
+	if !enabled.Load() {
+		return nil
+	}
+	mu.Lock()
+	f, ok := armed[site]
+	if ok && f.kind == faultError && (f.key == "" || f.key == key) && f.after > 0 {
+		f.after--
+		armed[site] = f
+		ok = false
+	}
+	mu.Unlock()
+	if !ok || (f.key != "" && f.key != key) {
+		return nil
+	}
+	switch f.kind {
+	case faultError:
+		return f.err
+	case faultBudget:
+		panic(&guard.BudgetError{Resource: f.resource, Stage: site, Injected: true})
+	default:
+		panic(fmt.Sprintf("faultinject: injected panic at %s (key %q)", site, key))
+	}
+}
+
 // Hit triggers any fault armed at site. Disarmed, it costs one atomic
 // load.
 func Hit(site string) { HitKey(site, "") }
@@ -152,17 +220,7 @@ func Hit(site string) { HitKey(site, "") }
 // key. Sites that check one property at a time pass the property ID
 // so tests can fault a single property.
 func HitKey(site, key string) {
-	if counting.Load() {
-		k := site
-		if key != "" {
-			k += "|" + key
-		}
-		mu.Lock()
-		if counts != nil {
-			counts[k]++
-		}
-		mu.Unlock()
-	}
+	countHit(site, key)
 	if !enabled.Load() {
 		return
 	}
@@ -173,9 +231,29 @@ func HitKey(site, key string) {
 		return
 	}
 	switch f.kind {
+	case faultError:
+		// An error fault hit through the panic API still fires, as a
+		// panic — the site was armed, the boundary must not pass clean.
+		panic(fmt.Sprintf("faultinject: injected error-fault at %s (key %q): %v", site, key, f.err))
 	case faultBudget:
 		panic(&guard.BudgetError{Resource: f.resource, Stage: site, Injected: true})
 	default:
 		panic(fmt.Sprintf("faultinject: injected panic at %s (key %q)", site, key))
 	}
+}
+
+// countHit records one dispatch at site/key when counting is enabled.
+func countHit(site, key string) {
+	if !counting.Load() {
+		return
+	}
+	k := site
+	if key != "" {
+		k += "|" + key
+	}
+	mu.Lock()
+	if counts != nil {
+		counts[k]++
+	}
+	mu.Unlock()
 }

@@ -51,20 +51,38 @@ type requestOptions struct {
 }
 
 // analyzeRequest is the POST /v1/analyze body: one app (name+source)
-// or a multi-app union (apps).
+// or a multi-app union (apps). IdempotencyKey (or the Idempotency-Key
+// header) makes resubmissions safe: the key's first accepted job
+// answers every retry instead of running again.
 type analyzeRequest struct {
-	Name    string         `json:"name,omitempty"`
-	Source  string         `json:"source,omitempty"`
-	Apps    []appSource    `json:"apps,omitempty"`
-	Options requestOptions `json:"options,omitempty"`
-	Async   bool           `json:"async,omitempty"`
+	Name           string         `json:"name,omitempty"`
+	Source         string         `json:"source,omitempty"`
+	Apps           []appSource    `json:"apps,omitempty"`
+	Options        requestOptions `json:"options,omitempty"`
+	Async          bool           `json:"async,omitempty"`
+	IdempotencyKey string         `json:"idempotency_key,omitempty"`
 }
 
 // batchRequest is the POST /v1/batch body.
 type batchRequest struct {
-	Items   []batchRequestItem `json:"items"`
-	Options requestOptions     `json:"options,omitempty"`
-	Async   bool               `json:"async,omitempty"`
+	Items          []batchRequestItem `json:"items"`
+	Options        requestOptions     `json:"options,omitempty"`
+	Async          bool               `json:"async,omitempty"`
+	IdempotencyKey string             `json:"idempotency_key,omitempty"`
+}
+
+// validateIdemKey bounds a client-supplied idempotency key: visible
+// ASCII, at most 128 bytes — it is journaled and indexed verbatim.
+func validateIdemKey(k string) *httpError {
+	if len(k) > 128 {
+		return badRequest("idempotency key is %d bytes (limit 128)", len(k))
+	}
+	for i := 0; i < len(k); i++ {
+		if k[i] < 0x21 || k[i] > 0x7e {
+			return badRequest("idempotency key must be visible ASCII")
+		}
+	}
+	return nil
 }
 
 // batchRequestItem is one unit of a batch: an app or multi-app union.
@@ -187,16 +205,20 @@ func (s *Server) parseAnalyze(data []byte) (*job, *httpError) {
 	if herr != nil {
 		return nil, herr
 	}
+	if herr := validateIdemKey(req.IdempotencyKey); herr != nil {
+		return nil, herr
+	}
 	sources := make([]core.NamedSource, len(apps))
 	for i, a := range apps {
 		sources[i] = core.NamedSource{Name: a.Name, Source: a.Source}
 	}
 	return &job{
-		items:  []core.BatchItem{{Sources: sources}},
-		opts:   opts,
-		async:  req.Async,
-		status: statusQueued,
-		done:   make(chan struct{}),
+		idemKey: req.IdempotencyKey,
+		items:   []core.BatchItem{{Sources: sources}},
+		opts:    opts,
+		async:   req.Async,
+		status:  statusQueued,
+		done:    make(chan struct{}),
 	}, nil
 }
 
@@ -211,6 +233,9 @@ func (s *Server) parseBatch(data []byte) (*job, *httpError) {
 	}
 	if len(req.Items) > s.cfg.MaxBatchItems {
 		return nil, tooLarge("batch: %d items (limit %d)", len(req.Items), s.cfg.MaxBatchItems)
+	}
+	if herr := validateIdemKey(req.IdempotencyKey); herr != nil {
+		return nil, herr
 	}
 	opts, herr := s.coreOptions(req.Options)
 	if herr != nil {
@@ -237,11 +262,12 @@ func (s *Server) parseBatch(data []byte) (*job, *httpError) {
 		items[i] = core.BatchItem{Key: key, Sources: sources}
 	}
 	return &job{
-		batch:  true,
-		items:  items,
-		opts:   opts,
-		async:  req.Async,
-		status: statusQueued,
-		done:   make(chan struct{}),
+		idemKey: req.IdempotencyKey,
+		batch:   true,
+		items:   items,
+		opts:    opts,
+		async:   req.Async,
+		status:  statusQueued,
+		done:    make(chan struct{}),
 	}, nil
 }

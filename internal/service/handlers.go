@@ -120,6 +120,24 @@ func respondJob(w http.ResponseWriter, code int, j *job) {
 	writeJSON(w, code, resp)
 }
 
+// applyIdemHeader merges the Idempotency-Key header into a parsed
+// job. The body field wins when both are present and equal; differing
+// values are a client bug worth surfacing.
+func applyIdemHeader(j *job, r *http.Request) *httpError {
+	h := r.Header.Get("Idempotency-Key")
+	if h == "" {
+		return nil
+	}
+	if herr := validateIdemKey(h); herr != nil {
+		return herr
+	}
+	if j.idemKey != "" && j.idemKey != h {
+		return badRequest("idempotency_key %q and Idempotency-Key header %q differ", j.idemKey, h)
+	}
+	j.idemKey = h
+	return nil
+}
+
 // handleAnalyze serves POST /v1/analyze. The persistent store is
 // consulted before any queueing: a content hit answers immediately
 // without occupying a worker, so re-analyses of known apps are cheap
@@ -129,6 +147,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if herr == nil {
 		var j *job
 		j, herr = s.parseAnalyze(data)
+		if herr == nil {
+			herr = applyIdemHeader(j, r)
+		}
 		if herr == nil {
 			s.finishOrQueue(w, r, j)
 			return
@@ -144,6 +165,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		var j *job
 		j, herr = s.parseBatch(data)
 		if herr == nil {
+			herr = applyIdemHeader(j, r)
+		}
+		if herr == nil {
 			s.finishOrQueue(w, r, j)
 			return
 		}
@@ -154,14 +178,49 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // finishOrQueue completes a job from the store when every item is a
 // hit, otherwise queues it — waiting for completion on sync requests,
 // returning 202 + poll URL on async ones.
+//
+// Ordering for durability: the idempotency claim is taken first (so
+// concurrent resubmissions cannot both run), then the accepted entry
+// is fsynced into the journal, and only then is the job queued and
+// acknowledged. A crash before the ack can at worst re-run a job the
+// client never saw accepted; a crash after it cannot lose the job.
 func (s *Server) finishOrQueue(w http.ResponseWriter, r *http.Request, j *job) {
 	j.id = newJobID()
+	if j.idemKey != "" {
+		if prev, claimed := s.claimIdem(j.idemKey, j); !claimed {
+			// Resubmission: the key's original job answers, whatever
+			// state it is in — terminal jobs return their results
+			// without re-running the analysis, in-flight ones a poll
+			// handle.
+			s.idemHits.Add(1)
+			code := http.StatusOK
+			if st, _, _ := prev.snapshot(); st != statusDone && st != statusFailed {
+				code = http.StatusAccepted
+			}
+			respondJob(w, code, prev)
+			return
+		}
+	}
 	if s.finishFromStore(j) {
 		s.registerJob(j)
 		respondJob(w, http.StatusOK, j)
 		return
 	}
+	if err := s.journal.append(acceptedEvent(j)); err != nil {
+		// Durability cannot be promised; better a retryable 503 than an
+		// acknowledged job a crash would silently lose.
+		s.releaseIdem(j.idemKey, j)
+		s.cfg.Log.Printf("journal: accepted append for job %s: %v", j.id, err)
+		writeError(w, http.StatusServiceUnavailable, "job journal write failed")
+		return
+	}
 	if err := s.submit(j); err != nil {
+		// Withdraw the accepted entry so a restart does not resurrect a
+		// job the client was told to retry, and free its key.
+		if jerr := s.journal.append(journalEvent{Op: opRejected, Job: j.id, Idem: j.idemKey}); jerr != nil {
+			s.cfg.Log.Printf("journal: rejected append for job %s: %v", j.id, jerr)
+		}
+		s.releaseIdem(j.idemKey, j)
 		s.rejectSubmit(w, err)
 		return
 	}

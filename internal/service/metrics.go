@@ -31,6 +31,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("soteriad_jobs_failed_total", "Jobs that ended in a hard input error.", s.jobsFailed.Load())
 	counter("soteriad_jobs_rejected_total", "Submissions rejected by backpressure or drain.", s.jobsRejected.Load())
 
+	counter("soteriad_idempotency_hits_total", "Resubmissions answered by an idempotency key's first job.", s.idemHits.Load())
+	counter("soteriad_jobs_replayed", "Jobs rebuilt from the journal at startup.", s.jobsReplayed.Load())
+	counter("soteriad_jobs_reenqueued", "Replayed jobs re-enqueued because they never reached a terminal state.", s.jobsReenqueued.Load())
+	counter("soteriad_journal_dup_keys", "Duplicate idempotency keys collapsed during journal replay.", s.journalDupKeys.Load())
+	if s.journal != nil {
+		counter("soteriad_journal_appends_total", "Entries appended to the job journal.", s.journal.stats.appends.Load())
+		counter("soteriad_journal_syncs_total", "fsyncs issued by the job journal (group commit batches appends).", s.journal.stats.syncs.Load())
+		counter("soteriad_journal_truncated_bytes", "Torn-tail bytes truncated when the journal was opened.", int64(s.journal.replay.TruncatedBytes))
+	}
+
 	cs := s.cache.Stats()
 	counter("soteriad_cache_hits_total", "Analysis cache hits (in-process + store).", cs.Hits)
 	counter("soteriad_cache_misses_total", "Analysis cache misses (in-process + store).", cs.Misses)

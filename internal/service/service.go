@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"github.com/soteria-analysis/soteria/internal/core"
+	"github.com/soteria-analysis/soteria/internal/fsio"
 	"github.com/soteria-analysis/soteria/internal/guard"
 	"github.com/soteria-analysis/soteria/internal/report"
 	"github.com/soteria-analysis/soteria/internal/store"
@@ -71,6 +72,15 @@ type Config struct {
 	// Store is the persistent result store; nil disables cross-restart
 	// memoization (in-process caching still applies).
 	Store *store.Store
+	// JournalPath enables the durable job journal ("" disables): every
+	// accepted job is journaled and fsynced before its acknowledgment,
+	// and on restart the journal is replayed — incomplete jobs
+	// re-enqueue under their original IDs, terminal jobs rebuild the
+	// /v1/jobs table, and idempotency keys dedupe resubmissions.
+	JournalPath string
+	// FS overrides the journal's filesystem (nil = fsio.OS{}); tests
+	// inject fsio.Faulty, the chaos harness fsio.Chaos.
+	FS fsio.FS
 	// RetryAfter is the backoff hint attached to 429 responses
 	// (default 1s, rounded up to whole seconds).
 	RetryAfter time.Duration
@@ -130,11 +140,12 @@ type itemResult struct {
 
 // job is one queued unit of work: a single analysis or a batch.
 type job struct {
-	id    string
-	batch bool
-	async bool
-	items []core.BatchItem
-	opts  core.Options
+	id      string
+	idemKey string // client-supplied idempotency key ("" = none)
+	batch   bool
+	async   bool
+	items   []core.BatchItem
+	opts    core.Options
 
 	done chan struct{} // closed on completion
 
@@ -175,9 +186,16 @@ type Server struct {
 
 	jobsDone, jobsFailed, jobsRejected atomic.Int64
 
+	// journal is the durable job log (nil when Config.JournalPath is
+	// empty — every append is then a no-op).
+	journal *journal
+	// Restart-recovery and idempotency counters for /metrics.
+	jobsReplayed, jobsReenqueued, idemHits, journalDupKeys atomic.Int64
+
 	jobsMu   sync.Mutex
 	jobs     map[string]*job
-	jobOrder *list.List // of job IDs, oldest at back
+	jobOrder *list.List      // of job IDs, oldest at back
+	idem     map[string]*job // idempotency key → accepted job
 
 	started time.Time
 }
@@ -189,6 +207,10 @@ type Server struct {
 var testHookJobRunning atomic.Pointer[func(*job)]
 
 // New creates and starts a Server: its worker pool is live on return.
+// With a journal configured, New first replays it — rebuilding the job
+// table and idempotency index, truncating any torn tail, compacting
+// completed history — and re-enqueues every job that was accepted but
+// not yet terminal when the previous process died.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Log == nil {
@@ -198,18 +220,188 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		cache:    store.NewAnalysisCache(cfg.Store),
-		queue:    make(chan *job, cfg.QueueDepth),
 		baseCtx:  ctx,
 		cancel:   cancel,
 		jobs:     map[string]*job{},
 		jobOrder: list.New(),
+		idem:     map[string]*job{},
 		started:  time.Now(),
 	}
+
+	queueCap := cfg.QueueDepth
+	var requeue []*job
+	if cfg.JournalPath != "" {
+		jr, events, err := openJournal(cfg.JournalPath, cfg.FS)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.journal = jr
+		out := replayEvents(events, cfg.Store)
+		s.jobsReplayed.Store(int64(len(out.jobs)))
+		s.journalDupKeys.Store(int64(out.dupKeys))
+		for _, j := range out.jobs { // oldest first, so newest ends in front
+			s.registerJob(j)
+		}
+		for k, j := range out.idem {
+			s.idem[k] = j
+		}
+		requeue = out.requeue
+		// Re-enqueued jobs must not consume the fresh process's
+		// backpressure budget: grow the queue to hold them all.
+		queueCap += len(requeue)
+		if err := jr.compact(compactEvents(out)); err != nil {
+			cancel()
+			return nil, err
+		}
+		if len(events) > 0 || jr.replay.TruncatedBytes > 0 {
+			cfg.Log.Printf("journal: replayed %d events (%d jobs, %d re-enqueued, %d duplicate keys, %d torn bytes truncated)",
+				len(events), len(out.jobs), len(requeue), out.dupKeys, jr.replay.TruncatedBytes)
+		}
+	}
+
+	s.queue = make(chan *job, queueCap)
+	for _, j := range requeue {
+		j.setStatus(statusQueued)
+		s.queue <- j
+		s.queueDepth.Inc()
+	}
+	s.jobsReenqueued.Store(int64(len(requeue)))
+
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+// replayOutcome is the state rebuilt from a journal's events.
+type replayOutcome struct {
+	jobs    []*job // accepted order, oldest first (rejected ones dropped)
+	idem    map[string]*job
+	requeue []*job // accepted but not terminal: run them again
+	dupKeys int
+}
+
+// replayEvents folds journal events into jobs. Terminal results are
+// rehydrated from the content-addressed store when it still holds the
+// record (a missing record leaves the result's store key and status —
+// the verdict bytes are re-derivable by resubmission).
+func replayEvents(events []journalEvent, st *store.Store) replayOutcome {
+	out := replayOutcome{idem: map[string]*job{}}
+	byID := map[string]*job{}
+	rejected := map[string]bool{}
+	for _, ev := range events {
+		switch ev.Op {
+		case opAccepted:
+			if byID[ev.Job] != nil {
+				continue // duplicate accepted entry
+			}
+			if ev.Idem != "" && out.idem[ev.Idem] != nil {
+				// A resubmission journaled inside a crash window: the
+				// first accepted job answers for the key; running the
+				// duplicate would analyze the same content twice.
+				out.dupKeys++
+				continue
+			}
+			j := jobFromAccepted(ev)
+			byID[ev.Job] = j
+			out.jobs = append(out.jobs, j)
+			if j.idemKey != "" {
+				out.idem[j.idemKey] = j
+			}
+		case opRejected:
+			if j := byID[ev.Job]; j != nil {
+				rejected[ev.Job] = true
+				if j.idemKey != "" && out.idem[j.idemKey] == j {
+					delete(out.idem, j.idemKey)
+				}
+			}
+		case opDone, opFailed:
+			j := byID[ev.Job]
+			if j == nil {
+				// Done-after-crash ordering: the terminal entry landed
+				// (or survived compaction) without its accepted entry.
+				// Surface the terminal state; there is nothing to re-run.
+				j = &job{
+					id: ev.Job, idemKey: ev.Idem, batch: ev.Batch,
+					async: true, done: make(chan struct{}),
+				}
+				byID[ev.Job] = j
+				out.jobs = append(out.jobs, j)
+				if ev.Idem != "" && out.idem[ev.Idem] == nil {
+					out.idem[ev.Idem] = j
+				}
+			}
+			if j.status == statusDone || j.status == statusFailed {
+				continue // duplicate terminal entry
+			}
+			j.status = statusDone
+			if ev.Op == opFailed {
+				j.status = statusFailed
+			}
+			j.elapsed = time.Duration(ev.ElapsedMS) * time.Millisecond
+			for _, r := range ev.Results {
+				ir := itemResult{Key: r.Key, StoreKey: r.StoreKey, Cached: r.Cached, Err: r.Err}
+				if r.Err == "" && r.StoreKey != "" {
+					if rec, ok := st.Get(r.StoreKey); ok {
+						ir.Record = rec
+					}
+				}
+				j.results = append(j.results, ir)
+			}
+			close(j.done)
+		}
+	}
+	kept := out.jobs[:0]
+	for _, j := range out.jobs {
+		if rejected[j.id] {
+			continue
+		}
+		kept = append(kept, j)
+		if j.status == statusQueued && len(j.items) > 0 {
+			out.requeue = append(out.requeue, j)
+		}
+	}
+	out.jobs = kept
+	return out
+}
+
+// compactEvents renders replayed state back to a minimal journal:
+// full accepted entries for jobs that still need to run, slim
+// accepted+terminal pairs for completed ones (their payloads live in
+// the store, not the journal).
+func compactEvents(out replayOutcome) []journalEvent {
+	var evs []journalEvent
+	for _, j := range out.jobs {
+		switch j.status {
+		case statusDone, statusFailed:
+			evs = append(evs,
+				journalEvent{Op: opAccepted, Job: j.id, Idem: j.idemKey, Batch: j.batch},
+				terminalEvent(j, j.status, j.results, j.elapsed))
+		default:
+			evs = append(evs, acceptedEvent(j))
+		}
+	}
+	return evs
+}
+
+// terminalEvent renders a job's completion for the journal.
+func terminalEvent(j *job, status jobStatus, results []itemResult, elapsed time.Duration) journalEvent {
+	op := opDone
+	if status == statusFailed {
+		op = opFailed
+	}
+	ev := journalEvent{
+		Op: op, Job: j.id, Idem: j.idemKey, Batch: j.batch,
+		ElapsedMS: elapsed.Milliseconds(),
+	}
+	for _, r := range results {
+		ev.Results = append(ev.Results, journalResult{
+			Key: r.Key, StoreKey: r.StoreKey, Cached: r.Cached, Err: r.Err,
+		})
+	}
+	return ev
 }
 
 type discard struct{}
@@ -254,7 +446,7 @@ func (s *Server) submit(j *job) error {
 }
 
 // registerJob retains j for /v1/jobs lookups, evicting the oldest
-// record past the bound.
+// record — and its idempotency claim — past the bound.
 func (s *Server) registerJob(j *job) {
 	s.jobsMu.Lock()
 	defer s.jobsMu.Unlock()
@@ -263,7 +455,11 @@ func (s *Server) registerJob(j *job) {
 	for s.jobOrder.Len() > s.cfg.MaxJobRecords {
 		oldest := s.jobOrder.Back()
 		s.jobOrder.Remove(oldest)
-		delete(s.jobs, oldest.Value.(string))
+		id := oldest.Value.(string)
+		if old := s.jobs[id]; old != nil && old.idemKey != "" && s.idem[old.idemKey] == old {
+			delete(s.idem, old.idemKey)
+		}
+		delete(s.jobs, id)
 	}
 }
 
@@ -273,6 +469,32 @@ func (s *Server) lookupJob(id string) (*job, bool) {
 	defer s.jobsMu.Unlock()
 	j, ok := s.jobs[id]
 	return j, ok
+}
+
+// claimIdem makes j the holder of an idempotency key, or returns the
+// job already holding it. Claims are taken before the accepted entry
+// is journaled, so two concurrent resubmissions cannot both run.
+func (s *Server) claimIdem(key string, j *job) (existing *job, claimed bool) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	if prev, ok := s.idem[key]; ok {
+		return prev, false
+	}
+	s.idem[key] = j
+	return nil, true
+}
+
+// releaseIdem withdraws a claim — the submission it covered was
+// rejected, so a retry with the same key must be allowed to run.
+func (s *Server) releaseIdem(key string, j *job) {
+	if key == "" {
+		return
+	}
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	if s.idem[key] == j {
+		delete(s.idem, key)
+	}
 }
 
 // worker drains the queue until Shutdown closes it.
@@ -334,13 +556,21 @@ func (s *Server) runJob(j *job) {
 		s.jobsDone.Add(1)
 	}
 
+	elapsed := time.Since(start)
 	j.mu.Lock()
 	j.status = status
 	j.results = out
-	j.elapsed = time.Since(start)
+	j.elapsed = elapsed
 	j.mu.Unlock()
 	close(j.done)
-	s.cfg.Log.Printf("job %s %s in %s (%d items)", j.id, status, time.Since(start).Round(time.Millisecond), len(j.items))
+	// The terminal entry is appended after the results landed in the
+	// store, so replay never sees "done" without its record bytes. A
+	// failed append degrades durability of this one completion (the
+	// job would re-run after a crash — and hit the store), not the job.
+	if err := s.journal.append(terminalEvent(j, status, out, elapsed)); err != nil {
+		s.cfg.Log.Printf("journal: terminal append for job %s: %v", j.id, err)
+	}
+	s.cfg.Log.Printf("job %s %s in %s (%d items)", j.id, status, elapsed.Round(time.Millisecond), len(j.items))
 }
 
 // Draining reports whether Shutdown has begun.
@@ -366,10 +596,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if err := s.journal.close(); err != nil {
+			s.cfg.Log.Printf("journal: close: %v", err)
+		}
 		return nil
 	case <-ctx.Done():
 		s.cancel()
 		<-done
+		if err := s.journal.close(); err != nil {
+			s.cfg.Log.Printf("journal: close: %v", err)
+		}
 		return ctx.Err()
 	}
 }

@@ -1,0 +1,103 @@
+package store
+
+import (
+	"testing"
+
+	"github.com/soteria-analysis/soteria/internal/core"
+)
+
+// TestAnalysisCacheDiskFallbackAndPromotion drives the two-level
+// lookup path: a fresh AnalysisCache over a warm store directory must
+// miss in process, hit on disk, and promote so the next lookup is a
+// memory hit — all visible in the merged Stats.
+func TestAnalysisCacheDiskFallbackAndPromotion(t *testing.T) {
+	dir := t.TempDir()
+	warm := NewAnalysisCache(open(t, dir, Options{}))
+	warm.StoreAnalysis(key(1), &core.Analysis{Checked: []string{"P.1"}})
+
+	cold := NewAnalysisCache(open(t, dir, Options{}))
+	an, ok := cold.LookupAnalysis(key(1))
+	if !ok || len(an.Checked) != 1 || an.Checked[0] != "P.1" {
+		t.Fatalf("disk fallback lookup = %+v, %v", an, ok)
+	}
+	if st := cold.disk.Stats(); st.DiskHits != 1 {
+		t.Fatalf("disk stats after fallback: %+v", st)
+	}
+	// The rehydrated analysis was promoted into the process cache: the
+	// repeat lookup must not touch the disk store again.
+	before := cold.disk.Stats()
+	if _, ok := cold.LookupAnalysis(key(1)); !ok {
+		t.Fatalf("promoted lookup missed")
+	}
+	if after := cold.disk.Stats(); after.Hits != before.Hits {
+		t.Fatalf("promoted lookup read disk: %+v → %+v", before, after)
+	}
+}
+
+// TestAnalysisCacheEvictionInterplay bounds the store's memory front
+// far below the working set: evictions must show up in the merged
+// Stats, and every evicted record must still be served (from disk)
+// through the cache.
+func TestAnalysisCacheEvictionInterplay(t *testing.T) {
+	dir := t.TempDir()
+	const n = 8
+	c := NewAnalysisCache(open(t, dir, Options{MaxMemEntries: 2}))
+	for i := 0; i < n; i++ {
+		if err := c.disk.Put(key(i), testRecord(i)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if st := c.Stats(); st.Evictions != n-2 {
+		t.Fatalf("merged evictions = %d, want %d (full stats %+v)", st.Evictions, n-2, st)
+	}
+	for i := 0; i < n; i++ {
+		if an, ok := c.LookupAnalysis(key(i)); !ok || an == nil {
+			t.Fatalf("evicted record %d not served through cache", i)
+		}
+	}
+	// Rehydration promotes into the in-process level, whose entry count
+	// the merged Stats reports.
+	if st := c.Stats(); st.Analyses != n {
+		t.Fatalf("in-process analyses = %d, want %d", st.Analyses, n)
+	}
+}
+
+// TestAnalysisCacheStatsMergeBothLevels checks the Stats contract
+// field by field: in-process counters plus disk counters, entry counts
+// from the in-process level only.
+func TestAnalysisCacheStatsMergeBothLevels(t *testing.T) {
+	c := NewAnalysisCache(open(t, t.TempDir(), Options{}))
+	c.StoreAnalysis(key(1), &core.Analysis{Checked: []string{"P.1"}})
+
+	c.LookupAnalysis(key(1)) // mem hit
+	c.LookupAnalysis(key(2)) // mem miss + disk miss
+
+	ms, ds := c.mem.Stats(), c.disk.Stats()
+	got := c.Stats()
+	if got.Hits != ms.Hits+ds.Hits {
+		t.Fatalf("merged Hits = %d, want %d+%d", got.Hits, ms.Hits, ds.Hits)
+	}
+	if got.Misses != ms.Misses+ds.Misses {
+		t.Fatalf("merged Misses = %d, want %d+%d", got.Misses, ms.Misses, ds.Misses)
+	}
+	if got.Analyses != ms.Analyses || got.IREntries != ms.IREntries {
+		t.Fatalf("entry counts not from in-process level: %+v vs %+v", got, ms)
+	}
+	// The disk store counted the write and the miss.
+	if ds.Puts != 1 || ds.Misses == 0 {
+		t.Fatalf("disk stats: %+v", ds)
+	}
+}
+
+// TestAnalysisCacheNilDiskDegrades runs the cache with no persistent
+// level: lookups and stores must work purely in process.
+func TestAnalysisCacheNilDiskDegrades(t *testing.T) {
+	c := NewAnalysisCache(nil)
+	c.StoreAnalysis(key(1), &core.Analysis{Checked: []string{"P.2"}})
+	if an, ok := c.LookupAnalysis(key(1)); !ok || an.Checked[0] != "P.2" {
+		t.Fatalf("in-process only lookup = %+v, %v", an, ok)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Analyses != 1 {
+		t.Fatalf("stats without disk: %+v", st)
+	}
+}

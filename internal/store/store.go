@@ -6,28 +6,45 @@
 //
 // Guarantees:
 //
-//   - Atomic writes: a record is written to a temp file in the store
-//     directory and renamed into place, so readers (including readers
-//     in other processes) never observe a partial record, and a crash
-//     mid-write leaves only a temp file that the next Open sweeps away.
-//   - Corruption tolerance: a record that fails to decode — truncated,
-//     hand-edited, or written by a different schema version — is
-//     counted, quarantined (removed), and reported as a miss; the
-//     caller simply re-analyzes and overwrites it. Corruption is never
-//     an error surfaced to the serving path.
+//   - Crash-consistent writes: a record is written to a temp file,
+//     fsynced, renamed into place, and the directory is fsynced — so
+//     readers (including readers in other processes) never observe a
+//     partial record, and neither a process crash nor a power cut
+//     mid-write can replace a good record with a torn one.
+//   - Self-verifying records: every record carries a length-prefixed
+//     checksum header ("soteria-record 2 <len> <crc32>"), so torn or
+//     bit-rotted content is detected on read, not trusted. Records
+//     written before the header existed (bare JSON) are still read.
+//   - Corruption tolerance: a record that fails its checksum or does
+//     not decode is counted, quarantined into the quarantine/
+//     subdirectory with a reason suffix (never deleted — corrupt
+//     artifacts stay inspectable post-mortem), and reported as a miss;
+//     the caller simply re-analyzes and overwrites it. Corruption is
+//     never an error surfaced to the serving path.
+//   - Startup recovery: Open sweeps temp files left by a crashed
+//     writer and scans every record, quarantining torn or truncated
+//     ones before they can be served.
 //   - Determinism: records are canonical JSON (report.Encode), so a
 //     re-analysis of the same input rewrites byte-identical content.
+//
+// All file I/O goes through an injectable fsio.FS, so tests simulate
+// short writes, fsync failures, and rename crashes at exact protocol
+// steps (fsio.Faulty), and the kill-restart chaos harness widens crash
+// windows (fsio.Chaos).
 package store
 
 import (
+	"bytes"
 	"container/list"
 	"fmt"
-	"os"
+	"hash/crc32"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"github.com/soteria-analysis/soteria/internal/fsio"
 	"github.com/soteria-analysis/soteria/internal/report"
 )
 
@@ -36,18 +53,45 @@ type Options struct {
 	// MaxMemEntries bounds the in-memory LRU front (0 = DefaultMemEntries).
 	// Evicting from the front never loses data — the record stays on disk.
 	MaxMemEntries int
+	// FS overrides the filesystem (nil = fsio.OS{}). Tests inject
+	// fsio.Faulty; the chaos harness injects fsio.Chaos.
+	FS fsio.FS
+	// NoRecoveryScan skips Open's full-directory integrity scan (temp
+	// files are still swept). Reads verify checksums regardless, so
+	// skipping the scan trades startup cost for lazier quarantine.
+	NoRecoveryScan bool
 }
 
 // DefaultMemEntries is the LRU front capacity when Options doesn't set one.
 const DefaultMemEntries = 256
+
+// QuarantineDir is the subdirectory (under the store root) that
+// receives corrupt records. Files in it are named
+// <key>.json.<reason>, reason one of "torn", "badsum", "decode".
+const QuarantineDir = "quarantine"
+
+// recordMagic opens every checksummed record file; the header line is
+// "soteria-record 2 <payload-len> <crc32-ieee-hex>\n".
+const recordMagic = "soteria-record 2 "
 
 // Stats are the store's monotonic counters, for /metrics and tests.
 type Stats struct {
 	// Hits = MemHits + DiskHits; Misses counts absent or quarantined keys.
 	Hits, MemHits, DiskHits, Misses int64
 	// Puts counts successful writes; Evictions counts LRU-front drops
-	// (the records remain on disk); Corrupt counts quarantined records.
+	// (the records remain on disk); Corrupt counts quarantined records
+	// — from reads and from Open's recovery scan alike.
 	Puts, Evictions, Corrupt int64
+}
+
+// RecoveryStats describe what Open's crash-recovery pass found.
+type RecoveryStats struct {
+	// TempsSwept counts orphan .tmp-* files removed.
+	TempsSwept int
+	// Quarantined counts records the startup scan moved to quarantine/.
+	Quarantined int
+	// Scanned counts records the startup scan verified.
+	Scanned int
 }
 
 // Store is a disk-backed record store with an LRU front. All methods
@@ -56,6 +100,7 @@ type Stats struct {
 // unconditionally.
 type Store struct {
 	dir string
+	fs  fsio.FS
 	max int
 
 	mu   sync.Mutex
@@ -64,6 +109,8 @@ type Store struct {
 	hits struct{ mem, disk atomic.Int64 }
 
 	misses, puts, evictions, corrupt atomic.Int64
+
+	recovery RecoveryStats
 }
 
 type memEntry struct {
@@ -71,30 +118,83 @@ type memEntry struct {
 	rec *report.Record
 }
 
-// Open creates or reopens a store rooted at dir, creating the
-// directory as needed and sweeping temp files left by a crashed
-// writer.
+// Open creates or reopens a store rooted at dir: the directory (and
+// its quarantine/ subdirectory) is created as needed, temp files left
+// by a crashed writer are swept, and — unless opts.NoRecoveryScan —
+// every record is verified and torn ones are quarantined before the
+// store serves its first read.
 func Open(dir string, opts Options) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = fsio.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	tmps, _ := filepath.Glob(filepath.Join(dir, ".tmp-*"))
-	for _, t := range tmps {
-		os.Remove(t)
+	if err := fsys.MkdirAll(filepath.Join(dir, QuarantineDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
 	}
 	max := opts.MaxMemEntries
 	if max <= 0 {
 		max = DefaultMemEntries
 	}
-	return &Store{
+	s := &Store{
 		dir: dir,
+		fs:  fsys,
 		max: max,
 		mem: map[string]*list.Element{},
 		lru: list.New(),
-	}, nil
+	}
+	if err := s.recover(!opts.NoRecoveryScan); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover is Open's crash-recovery pass: remove orphan temp files,
+// and (when scan is set) verify every record, quarantining failures.
+func (s *Store) recover(scan bool) error {
+	entries, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: recovery scan: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case e.IsDir():
+			// quarantine/ and unrelated subdirectories are not records.
+		case strings.HasPrefix(name, ".tmp-"):
+			if s.fs.Remove(filepath.Join(s.dir, name)) == nil {
+				s.recovery.TempsSwept++
+			}
+		case scan && strings.HasSuffix(name, ".json"):
+			key := strings.TrimSuffix(name, ".json")
+			if !ValidKey(key) {
+				continue
+			}
+			s.recovery.Scanned++
+			data, err := s.fs.ReadFile(s.path(key))
+			if err != nil {
+				continue
+			}
+			if _, reason, err := decodeRecord(data); err != nil {
+				s.quarantine(key, reason)
+				s.recovery.Quarantined++
+			}
+		}
+	}
+	return nil
+}
+
+// Recovery reports what the crash-recovery pass of Open found.
+func (s *Store) Recovery() RecoveryStats {
+	if s == nil {
+		return RecoveryStats{}
+	}
+	return s.recovery
 }
 
 // ValidKey reports whether key is a well-formed content address
@@ -117,6 +217,73 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key+".json")
 }
 
+// quarantine moves the record under key aside into quarantine/
+// <key>.json.<reason>, preserving the corrupt bytes for post-mortem
+// inspection; if the move itself fails the file is removed so it can
+// never shadow a re-analysis. Counted in Stats.Corrupt either way.
+func (s *Store) quarantine(key, reason string) {
+	dst := filepath.Join(s.dir, QuarantineDir, key+".json."+reason)
+	if err := s.fs.Rename(s.path(key), dst); err != nil {
+		// Best-effort: a concurrent Put may already have replaced the
+		// file, or the quarantine dir may be unwritable.
+		s.fs.Remove(s.path(key))
+	}
+	s.corrupt.Add(1)
+}
+
+// encodeRecord frames a canonical payload with the length-prefixed
+// checksum header.
+func encodeRecord(payload []byte) []byte {
+	header := fmt.Sprintf("%s%d %08x\n", recordMagic, len(payload), crc32.ChecksumIEEE(payload))
+	out := make([]byte, 0, len(header)+len(payload))
+	out = append(out, header...)
+	return append(out, payload...)
+}
+
+// decodeRecord verifies and decodes a record file. On failure it
+// returns the quarantine reason: "torn" for a truncated or
+// length-mismatched file, "badsum" for a checksum mismatch, "decode"
+// for content that fails report.Decode (including wrong schema).
+func decodeRecord(data []byte) (*report.Record, string, error) {
+	if !bytes.HasPrefix(data, []byte(recordMagic)) {
+		// Legacy record (pre-header store): bare canonical JSON.
+		rec, err := report.Decode(data)
+		if err != nil {
+			return nil, "decode", err
+		}
+		return rec, "", nil
+	}
+	rest := data[len(recordMagic):]
+	nl := bytes.IndexByte(rest, '\n')
+	if nl < 0 {
+		return nil, "torn", fmt.Errorf("store: record header has no terminator")
+	}
+	fields := strings.Fields(string(rest[:nl]))
+	if len(fields) != 2 {
+		return nil, "torn", fmt.Errorf("store: malformed record header")
+	}
+	length, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return nil, "torn", fmt.Errorf("store: malformed record length: %w", err)
+	}
+	sum, err := strconv.ParseUint(fields[1], 16, 32)
+	if err != nil {
+		return nil, "torn", fmt.Errorf("store: malformed record checksum: %w", err)
+	}
+	payload := rest[nl+1:]
+	if len(payload) != length {
+		return nil, "torn", fmt.Errorf("store: record payload is %d bytes, header says %d", len(payload), length)
+	}
+	if crc32.ChecksumIEEE(payload) != uint32(sum) {
+		return nil, "badsum", fmt.Errorf("store: record checksum mismatch")
+	}
+	rec, err := report.Decode(payload)
+	if err != nil {
+		return nil, "decode", err
+	}
+	return rec, "", nil
+}
+
 // Get returns the record stored under key. Missing, invalid, and
 // corrupt entries are all misses.
 func (s *Store) Get(key string) (*report.Record, bool) {
@@ -134,18 +301,16 @@ func (s *Store) Get(key string) (*report.Record, bool) {
 	}
 	s.mu.Unlock()
 
-	data, err := os.ReadFile(s.path(key))
+	data, err := s.fs.ReadFile(s.path(key))
 	if err != nil {
 		s.misses.Add(1)
 		return nil, false
 	}
-	rec, err := report.Decode(data)
+	rec, reason, err := decodeRecord(data)
 	if err != nil {
 		// Quarantine: a record we cannot trust must not shadow a
-		// re-analysis. Removal is best-effort — a concurrent Put may
-		// already have replaced the file.
-		os.Remove(s.path(key))
-		s.corrupt.Add(1)
+		// re-analysis — and must stay inspectable.
+		s.quarantine(key, reason)
 		s.misses.Add(1)
 		return nil, false
 	}
@@ -154,8 +319,9 @@ func (s *Store) Get(key string) (*report.Record, bool) {
 	return rec, true
 }
 
-// Put stores a record under key: atomic write to disk, then promotion
-// into the LRU front.
+// Put stores a record under key with the full crash-consistency
+// protocol: checksummed frame → temp file → fsync → rename → directory
+// fsync — then promotion into the LRU front.
 func (s *Store) Put(key string, rec *report.Record) error {
 	if s == nil {
 		return nil
@@ -163,26 +329,34 @@ func (s *Store) Put(key string, rec *report.Record) error {
 	if !ValidKey(key) {
 		return fmt.Errorf("store: invalid key %q", key)
 	}
-	data, err := report.Encode(rec)
+	payload, err := report.Encode(rec)
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	data := encodeRecord(payload)
+	tmp, err := s.fs.CreateTemp(s.dir, ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
 	cerr := tmp.Close()
 	if werr == nil {
 		werr = cerr
 	}
 	if werr == nil {
-		werr = os.Rename(tmp.Name(), s.path(key))
+		werr = s.fs.Rename(tmp.Name(), s.path(key))
 	}
 	if werr != nil {
-		os.Remove(tmp.Name())
+		s.fs.Remove(tmp.Name())
 		return fmt.Errorf("store: writing %s: %w", key, werr)
 	}
+	// The record is in place and fsynced; a failed directory fsync can
+	// only lose the directory entry to a power cut, and the next Open's
+	// scan re-verifies whatever survives — so don't fail the Put.
+	_ = s.fs.SyncDir(s.dir)
 	s.promote(key, rec)
 	s.puts.Add(1)
 	return nil
@@ -239,12 +413,12 @@ func (s *Store) Len() (mem, disk int) {
 	s.mu.Lock()
 	mem = len(s.mem)
 	s.mu.Unlock()
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return mem, 0
 	}
 	for _, e := range entries {
-		if strings.HasSuffix(e.Name(), ".json") {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
 			disk++
 		}
 	}

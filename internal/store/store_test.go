@@ -2,6 +2,7 @@ package store
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,6 +11,8 @@ import (
 	"testing"
 
 	"github.com/soteria-analysis/soteria/internal/core"
+	"github.com/soteria-analysis/soteria/internal/fsio"
+	"github.com/soteria-analysis/soteria/internal/guard/faultinject"
 	"github.com/soteria-analysis/soteria/internal/paperapps"
 	"github.com/soteria-analysis/soteria/internal/report"
 )
@@ -100,7 +103,7 @@ func TestStoreCorruptionQuarantine(t *testing.T) {
 	if err := os.WriteFile(path, []byte(`{"schema":1,"truncated`), 0o644); err != nil {
 		t.Fatalf("corrupting: %v", err)
 	}
-	s2 := open(t, dir, Options{})
+	s2 := open(t, dir, Options{NoRecoveryScan: true})
 	if _, ok := s2.Get(key(1)); ok {
 		t.Fatalf("Get served a corrupt record")
 	}
@@ -109,6 +112,12 @@ func TestStoreCorruptionQuarantine(t *testing.T) {
 	}
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
 		t.Fatalf("corrupt record was not quarantined: %v", err)
+	}
+	// The corrupt bytes are preserved for post-mortem inspection, with
+	// the failure reason as suffix.
+	moved := filepath.Join(dir, QuarantineDir, key(1)+".json.decode")
+	if data, err := os.ReadFile(moved); err != nil || !strings.Contains(string(data), "truncated") {
+		t.Fatalf("quarantined bytes not preserved: %q, %v", data, err)
 	}
 	// Wrong schema version is equally untrusted.
 	if err := os.WriteFile(path, []byte(`{"schema":999}`+"\n"), 0o644); err != nil {
@@ -147,6 +156,168 @@ func TestStoreLRUEviction(t *testing.T) {
 	}
 	if st := s.Stats(); st.DiskHits != 1 {
 		t.Fatalf("stats after evicted get: %+v", st)
+	}
+}
+
+func TestStoreChecksumDetectsBitRot(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	if err := s.Put(key(1), testRecord(1)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Flip one payload byte in place: the JSON may still parse, but the
+	// checksum must not.
+	path := filepath.Join(dir, key(1)+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading record: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "soteria-record 2 ") {
+		t.Fatalf("record has no checksum header: %q", data[:32])
+	}
+	flipped := append([]byte{}, data...)
+	flipped[len(flipped)-10] ^= 0x01
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatalf("writing flipped record: %v", err)
+	}
+	s2 := open(t, dir, Options{NoRecoveryScan: true})
+	if _, ok := s2.Get(key(1)); ok {
+		t.Fatalf("Get served a bit-rotted record")
+	}
+	if _, err := os.Stat(filepath.Join(dir, QuarantineDir, key(1)+".json.badsum")); err != nil {
+		t.Fatalf("bit-rotted record not quarantined as badsum: %v", err)
+	}
+}
+
+func TestStoreReadsLegacyRecords(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	// A pre-header store wrote bare canonical JSON; it must still be
+	// served (and survive the recovery scan).
+	data, err := report.Encode(testRecord(3))
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, key(3)+".json"), data, 0o644); err != nil {
+		t.Fatalf("writing legacy record: %v", err)
+	}
+	s = open(t, dir, Options{})
+	if rs := s.Recovery(); rs.Quarantined != 0 || rs.Scanned != 1 {
+		t.Fatalf("recovery scan rejected legacy record: %+v", rs)
+	}
+	if rec, ok := s.Get(key(3)); !ok || rec.States != 3 {
+		t.Fatalf("Get of legacy record = %+v, %v", rec, ok)
+	}
+}
+
+func TestOpenRecoveryScanQuarantinesTornRecords(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	for i := 0; i < 3; i++ {
+		if err := s.Put(key(i), testRecord(i)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	// Tear record 1 mid-payload (header intact, payload short) and
+	// leave an orphan temp file — the post-crash disk image.
+	path := filepath.Join(dir, key(1)+".json")
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatalf("tearing record: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-crashed"), []byte("partial"), 0o644); err != nil {
+		t.Fatalf("writing temp: %v", err)
+	}
+
+	s2 := open(t, dir, Options{})
+	rs := s2.Recovery()
+	if rs.TempsSwept != 1 || rs.Quarantined != 1 || rs.Scanned != 3 {
+		t.Fatalf("recovery stats: %+v", rs)
+	}
+	if st := s2.Stats(); st.Corrupt != 1 {
+		t.Fatalf("scan quarantine not counted: %+v", st)
+	}
+	// The torn record is gone from the serving path, preserved in
+	// quarantine, and the healthy records still serve.
+	if _, ok := s2.Get(key(1)); ok {
+		t.Fatalf("Get served a torn record after recovery")
+	}
+	if _, err := os.Stat(filepath.Join(dir, QuarantineDir, key(1)+".json.torn")); err != nil {
+		t.Fatalf("torn record not preserved: %v", err)
+	}
+	for _, i := range []int{0, 2} {
+		if rec, ok := s2.Get(key(i)); !ok || rec.States != i {
+			t.Fatalf("healthy record %d lost after recovery: %+v, %v", i, rec, ok)
+		}
+	}
+}
+
+func TestPutFaultInjection(t *testing.T) {
+	defer faultinject.Reset()
+	boom := errors.New("injected disk fault")
+	cases := []struct {
+		name string
+		site string
+	}{
+		{"short write", faultinject.SiteFSWrite},
+		{"fsync failure", faultinject.SiteFSSync},
+		{"rename crash", faultinject.SiteFSRename},
+		{"create failure", faultinject.SiteFSCreate},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := open(t, dir, Options{FS: fsio.Faulty{Inner: fsio.OS{}}})
+			if err := s.Put(key(7), testRecord(7)); err != nil {
+				t.Fatalf("healthy Put: %v", err)
+			}
+			faultinject.ArmError(tc.site, "", boom)
+			err := s.Put(key(8), testRecord(8))
+			faultinject.Disarm(tc.site)
+			if err == nil {
+				t.Fatalf("Put under %s succeeded", tc.name)
+			}
+			// The failed Put must not be promoted into the memory front…
+			if _, ok := s.Get(key(8)); ok {
+				t.Fatalf("failed Put is served from memory")
+			}
+			// …must not have disturbed the earlier record…
+			if rec, ok := s.Get(key(7)); !ok || rec.States != 7 {
+				t.Fatalf("earlier record lost: %+v, %v", rec, ok)
+			}
+			// …and a reopened store (the restarted process) serves no
+			// trace of it: either the temp never landed or the sweep
+			// removes it.
+			s2 := open(t, dir, Options{})
+			if _, ok := s2.Get(key(8)); ok {
+				t.Fatalf("failed Put visible after reopen")
+			}
+			if rs := s2.Recovery(); rs.Quarantined != 0 {
+				t.Fatalf("failed Put left a quarantined record: %+v", rs)
+			}
+			entries, _ := os.ReadDir(dir)
+			for _, e := range entries {
+				if strings.HasPrefix(e.Name(), ".tmp-") {
+					t.Fatalf("temp file %s survived reopen", e.Name())
+				}
+			}
+		})
+	}
+}
+
+func TestPutSurvivesDirSyncFailure(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	s := open(t, dir, Options{FS: fsio.Faulty{Inner: fsio.OS{}}})
+	// A failed directory fsync after a completed rename is not a data
+	// loss: the record is fsynced and in place.
+	faultinject.ArmError(faultinject.SiteFSSyncDir, "", errors.New("dir sync failed"))
+	if err := s.Put(key(1), testRecord(1)); err != nil {
+		t.Fatalf("Put failed on dir-sync error: %v", err)
+	}
+	faultinject.Reset()
+	if rec, ok := open(t, dir, Options{}).Get(key(1)); !ok || rec.States != 1 {
+		t.Fatalf("record lost: %+v, %v", rec, ok)
 	}
 }
 

@@ -1,24 +1,68 @@
-// Command smokereq prints a POST /v1/analyze request body for the
-// paper's Smoke-Alarm app. The CI smoke script feeds it to a running
-// soteriad to check the serve-and-cache path end to end.
+// Command smokereq prints request bodies for soteriad's analyze and
+// batch endpoints, built around the paper's Smoke-Alarm app. The CI
+// smoke script feeds them to a running soteriad to check the
+// serve-and-cache, backpressure, and restart-resume paths end to end.
+//
+//	smokereq                 analyze body for the Smoke-Alarm app
+//	smokereq -variant 3      same app under a distinct content address
+//	smokereq -async          ask for 202 + poll instead of waiting
+//	smokereq -idem KEY       attach an idempotency key
+//	smokereq -batch 20       batch body with 20 distinct variant items
+//	                         (a slow job: items run sequentially)
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
 	"github.com/soteria-analysis/soteria/internal/paperapps"
 )
 
+// variantSource derives a distinct content address per variant: the
+// leading comment changes the hashed bytes, not the analysis.
+func variantSource(n int) string {
+	if n == 0 {
+		return paperapps.SmokeAlarm
+	}
+	return fmt.Sprintf("// smoke variant %d\n%s", n, paperapps.SmokeAlarm)
+}
+
 func main() {
-	body, err := json.Marshal(map[string]string{
-		"name":   "smoke-alarm",
-		"source": paperapps.SmokeAlarm,
-	})
+	var (
+		batch   = flag.Int("batch", 0, "emit a /v1/batch body with this many variant items (0 = single analyze)")
+		variant = flag.Int("variant", 0, "offset the content address so the request cannot hit the store")
+		async   = flag.Bool("async", false, "request async submission (202 + poll URL)")
+		idem    = flag.String("idem", "", "idempotency key to attach")
+	)
+	flag.Parse()
+
+	body := map[string]any{}
+	if *batch > 0 {
+		items := make([]map[string]any, *batch)
+		for i := range items {
+			items[i] = map[string]any{
+				"key":  fmt.Sprintf("item-%d", i),
+				"apps": []map[string]string{{"name": fmt.Sprintf("smoke-alarm-%d", i), "source": variantSource(*variant + i)}},
+			}
+		}
+		body["items"] = items
+	} else {
+		body["name"] = "smoke-alarm"
+		body["source"] = variantSource(*variant)
+	}
+	if *async {
+		body["async"] = true
+	}
+	if *idem != "" {
+		body["idempotency_key"] = *idem
+	}
+
+	data, err := json.Marshal(body)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	os.Stdout.Write(body)
+	os.Stdout.Write(data)
 }

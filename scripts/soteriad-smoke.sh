@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
-# CI smoke test for the soteriad daemon: build it, start it with a
-# persistent store, analyze a paper app over HTTP, assert the repeated
-# request is served from the store, and check SIGTERM drains cleanly.
+# CI smoke test for the soteriad daemon, in three phases:
+#   1. serve-and-cache: analyze a paper app over HTTP, assert the
+#      repeated request is served from the store, SIGTERM drains cleanly;
+#   2. backpressure: with a 1-worker/1-deep queue, overflow submissions
+#      are rejected 429 with a Retry-After hint;
+#   3. restart-resume: a journaled job survives SIGTERM + restart under
+#      its original ID, reaches a terminal state, and an idempotent
+#      resubmission is answered by that same job.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,4 +47,109 @@ if [ "$status" -ne 0 ]; then
     echo "soteriad exited $status on SIGTERM"; exit 1
 fi
 trap 'rm -rf "$workdir"' EXIT
+echo "phase 1 OK: serve-and-cache + clean drain"
+
+json_field() { # json_field NAME — extract a string field from stdin
+    grep -o "\"$1\":\"[^\"]*\"" | head -1 | cut -d'"' -f4
+}
+
+wait_healthy() { # wait_healthy BASE
+    for _ in $(seq 1 50); do
+        curl -fsS "$1/healthz" >/dev/null 2>&1 && return 0
+        sleep 0.2
+    done
+    curl -fsS "$1/healthz" >/dev/null
+}
+
+# --- Phase 2: 429 + Retry-After under backpressure -------------------
+# One worker, one queue slot, chaos-slowed writes. A 60-item batch
+# occupies the worker for hundreds of milliseconds (each record write
+# is chaos-delayed), while twelve concurrent single submissions drain
+# one at a time through the journal's write lock into the full queue:
+# the first takes the only slot, the rest must be turned away with 429
+# and a Retry-After hint.
+addr2=127.0.0.1:8392
+base2="http://$addr2"
+go run ./scripts/smokereq -batch 60 -variant 100 -async > "$workdir/slow-a.json"
+for i in $(seq 1 12); do
+    go run ./scripts/smokereq -variant "$((200 + i))" -async > "$workdir/burst-$i.json"
+done
+
+SOTERIAD_CHAOS_FS=1 "$workdir/soteriad" -addr "$addr2" \
+    -store "$workdir/store2" -journal "$workdir/journal2.wal" \
+    -workers 1 -queue 1 &
+pid=$!
+trap 'kill -9 "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+wait_healthy "$base2"
+
+curl -fsS -X POST --data-binary @"$workdir/slow-a.json" "$base2/v1/batch" >/dev/null
+for i in $(seq 1 12); do
+    curl -sS -o "$workdir/burst-$i.out" -D "$workdir/burst-$i.hdr" -w '%{http_code}' \
+        -X POST --data-binary @"$workdir/burst-$i.json" "$base2/v1/analyze" \
+        > "$workdir/burst-$i.code" &
+done
+wait $(jobs -p | grep -v "^$pid\$") 2>/dev/null || true
+
+rejected=0
+for i in $(seq 1 12); do
+    if [ "$(cat "$workdir/burst-$i.code")" = "429" ]; then
+        rejected=$((rejected + 1))
+        grep -qi '^retry-after: [0-9]' "$workdir/burst-$i.hdr" \
+            || { echo "429 without Retry-After header:"; cat "$workdir/burst-$i.hdr"; exit 1; }
+    fi
+done
+if [ "$rejected" -eq 0 ]; then
+    echo "no burst submission was rejected 429:"; cat "$workdir"/burst-*.code; echo; exit 1
+fi
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+echo "phase 2 OK: $rejected/12 overflow submissions rejected 429 + Retry-After"
+
+# --- Phase 3: restart-resume round trip ------------------------------
+# Submit a journaled async job, SIGTERM the daemon, restart it over the
+# same store + journal: the job must still answer under its original ID
+# and reach a terminal state, and a resubmission with the same
+# idempotency key must be answered by that very job.
+addr3=127.0.0.1:8393
+base3="http://$addr3"
+go run ./scripts/smokereq -variant 400 -async -idem smoke-resume > "$workdir/resume.json"
+
+"$workdir/soteriad" -addr "$addr3" \
+    -store "$workdir/store3" -journal "$workdir/journal3.wal" -workers 1 &
+pid=$!
+trap 'kill -9 "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+wait_healthy "$base3"
+
+jobid=$(curl -fsS -X POST --data-binary @"$workdir/resume.json" "$base3/v1/analyze" | json_field job_id)
+[ -n "$jobid" ] || { echo "no job_id in submission response"; exit 1; }
+kill -TERM "$pid"
+wait "$pid" || { echo "soteriad exited non-zero on SIGTERM"; exit 1; }
+
+"$workdir/soteriad" -addr "$addr3" \
+    -store "$workdir/store3" -journal "$workdir/journal3.wal" -workers 1 &
+pid=$!
+trap 'kill -9 "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+wait_healthy "$base3"
+
+terminal=""
+for _ in $(seq 1 100); do
+    poll=$(curl -fsS "$base3/v1/jobs/$jobid") \
+        || { echo "job $jobid lost across restart"; exit 1; }
+    if echo "$poll" | grep -Eq '"status":"(done|failed)"'; then
+        terminal=$(echo "$poll" | json_field status); break
+    fi
+    sleep 0.2
+done
+[ "$terminal" = "done" ] || { echo "job $jobid did not finish after restart: ${terminal:-never terminal}"; exit 1; }
+
+resubmit=$(curl -fsS -X POST --data-binary @"$workdir/resume.json" "$base3/v1/analyze")
+dupid=$(echo "$resubmit" | json_field job_id)
+if [ "$dupid" != "$jobid" ]; then
+    echo "idempotent resubmission ran as new job $dupid, want $jobid"; exit 1
+fi
+
+kill -TERM "$pid"
+wait "$pid" || { echo "soteriad exited non-zero on final SIGTERM"; exit 1; }
+trap 'rm -rf "$workdir"' EXIT
+echo "phase 3 OK: restart-resume + idempotent resubmission"
 echo "soteriad smoke OK"

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"github.com/soteria-analysis/soteria/internal/core"
+	"github.com/soteria-analysis/soteria/internal/fsio"
 	"github.com/soteria-analysis/soteria/internal/guard"
 	"github.com/soteria-analysis/soteria/internal/ir"
 	"github.com/soteria-analysis/soteria/internal/properties"
@@ -557,6 +558,15 @@ type ServiceConfig struct {
 	// StoreDir roots the persistent result store; "" keeps memoization
 	// in-process only.
 	StoreDir string
+	// JournalPath enables the durable job journal ("" disables): every
+	// accepted job is fsynced into it before its acknowledgment, and on
+	// restart incomplete jobs re-enqueue under their original IDs while
+	// idempotency keys dedupe resubmissions.
+	JournalPath string
+	// ChaosFS slows and fragments store and journal writes (small
+	// chunks, delays) to widen crash windows. For kill-restart testing
+	// only — never in production.
+	ChaosFS bool
 	// Log receives service logs; nil discards them.
 	Log *log.Logger
 }
@@ -565,10 +575,14 @@ type ServiceConfig struct {
 // return). Every analysis runs inside the resilience layer: resource
 // budgets, cooperative cancellation, and panic isolation per job.
 func NewService(cfg ServiceConfig) (*Service, error) {
+	var fs fsio.FS
+	if cfg.ChaosFS {
+		fs = fsio.Chaos{Inner: fsio.OS{}}
+	}
 	var st *store.Store
 	if cfg.StoreDir != "" {
 		var err error
-		st, err = store.Open(cfg.StoreDir, store.Options{})
+		st, err = store.Open(cfg.StoreDir, store.Options{FS: fs})
 		if err != nil {
 			return nil, err
 		}
@@ -581,6 +595,8 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		Parallel:     cfg.Parallel,
 		Limits:       cfg.Limits.internal(),
 		Store:        st,
+		JournalPath:  cfg.JournalPath,
+		FS:           fs,
 		Log:          cfg.Log,
 	})
 }
