@@ -53,8 +53,6 @@ func TestOpsAgainstEval(t *testing.T) {
 	x := []Ref{m.Var(0), m.Var(1), m.Var(2), m.Var(3)}
 	f := m.Or(m.And(x[0], x[1]), m.Xor(x[2], x[3]))
 	check := func(a, b, c, d bool) bool {
-		want := (a && b) != ((c != d) == false) == false // placeholder, computed below
-		_ = want
 		got := m.Eval(f, []bool{a, b, c, d})
 		expect := (a && b) || (c != d)
 		return got == expect

@@ -1,0 +1,89 @@
+package bdd
+
+import "testing"
+
+// benchWorkload is a relational-product-shaped exercise over a kernel:
+// build an interleaved transition relation for an n-bit "halve"
+// machine (next = cur/2), then iterate symbolic preimages from a seed
+// set to a fixpoint — the same shape the symbolic CTL engine drives,
+// scaled down to benchmark size.
+func benchWorkload(k Kernel, bits int) Ref {
+	cur := func(i int) int { return 2 * i }
+	nxt := func(i int) int { return 2*i + 1 }
+
+	eq := func(v int, w int) Ref { // var v ↔ var w
+		return k.Or(k.And(k.Var(v), k.Var(w)), k.And(k.NVar(v), k.NVar(w)))
+	}
+	// next_i = cur_{i+1} (shift right by one), top next bit = 0.
+	trans := k.NVar(nxt(bits - 1))
+	for i := 0; i < bits-1; i++ {
+		trans = k.And(trans, eq(nxt(i), cur(i+1)))
+	}
+
+	nextVars := map[int]bool{}
+	curToNext := map[int]int{}
+	for i := 0; i < bits; i++ {
+		nextVars[nxt(i)] = true
+		curToNext[cur(i)] = nxt(i)
+	}
+	vs := k.InternVarSet(nextVars)
+	sh := k.InternShift(curToNext)
+
+	// Seed: cur == 0. Fixpoint: backward reachability of the seed.
+	seed := True
+	for i := 0; i < bits; i++ {
+		seed = k.And(seed, k.NVar(cur(i)))
+	}
+	z := seed
+	for {
+		next := k.RenameShift(z, sh)
+		nz := k.Or(z, k.AndExistsSet(trans, next, vs))
+		if nz == z {
+			return z
+		}
+		z = nz
+	}
+}
+
+const benchBits = 12
+
+// BenchmarkBDDNewKernel runs the preimage-fixpoint workload on the
+// open-addressed Manager. Compare against BenchmarkBDDLegacyKernel.
+func BenchmarkBDDNewKernel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := New(2 * benchBits)
+		if benchWorkload(m, benchBits) == False {
+			b.Fatal("fixpoint collapsed to false")
+		}
+	}
+}
+
+// BenchmarkBDDLegacyKernel runs the identical workload on the retained
+// map-based kernel.
+func BenchmarkBDDLegacyKernel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := NewLegacy(2 * benchBits)
+		if benchWorkload(m, benchBits) == False {
+			b.Fatal("fixpoint collapsed to false")
+		}
+	}
+}
+
+// TestBenchWorkloadKernelsAgree pins the two benchmark workloads to the
+// same function, so the benchmark comparison is apples-to-apples.
+func TestBenchWorkloadKernelsAgree(t *testing.T) {
+	nm := New(2 * benchBits)
+	lm := NewLegacy(2 * benchBits)
+	rn := benchWorkload(nm, benchBits)
+	rl := benchWorkload(lm, benchBits)
+	if nm.SatCount(rn) != lm.SatCount(rl) {
+		t.Fatalf("benchmark workload differs across kernels: %g vs %g",
+			nm.SatCount(rn), lm.SatCount(rl))
+	}
+	// Every state reaches 0 by repeated halving, so backward
+	// reachability of {0} over current variables is the full cur-space:
+	// 2^bits assignments × 2^bits free next-variable assignments.
+	if got, want := nm.SatCount(rn), pow2(2*benchBits); got != want {
+		t.Fatalf("fixpoint SatCount = %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,381 @@
+package bdd
+
+import (
+	"fmt"
+
+	"github.com/soteria-analysis/soteria/internal/guard"
+)
+
+type triple struct {
+	level  int
+	lo, hi Ref
+}
+
+type iteKey struct{ f, g, h Ref }
+
+// LegacyManager is the previous map-based kernel — Go-map unique
+// table, unbounded ITE cache, and a fresh per-call cache for every
+// quantify/rename — kept verbatim as the reference implementation for
+// differential tests and the old-vs-new numbers in BENCH_bdd.json. It
+// intentionally preserves the old semantics, including silently
+// producing a wrong BDD on a non-monotone Rename (the bug the Manager
+// now rejects loudly); do not use it outside tests and benchmarks.
+type LegacyManager struct {
+	nodes    []node
+	unique   map[triple]Ref
+	iteCache map[iteKey]Ref
+	nvars    int
+	budget   *guard.Budget
+
+	varSets []map[int]bool
+	shifts  []map[int]int
+
+	iteLookups, iteHits uint64
+	opLookups           uint64
+}
+
+// NewLegacy creates a map-based manager with the given number of
+// variables.
+func NewLegacy(nvars int) *LegacyManager {
+	m := &LegacyManager{
+		unique:   map[triple]Ref{},
+		iteCache: map[iteKey]Ref{},
+		nvars:    nvars,
+	}
+	m.nodes = append(m.nodes,
+		node{level: maxLevel}, // False
+		node{level: maxLevel}, // True
+	)
+	return m
+}
+
+// SetBudget attaches a resource budget (see Manager.SetBudget).
+func (m *LegacyManager) SetBudget(b *guard.Budget) { m.budget = b }
+
+// NumVars returns the number of variables.
+func (m *LegacyManager) NumVars() int { return m.nvars }
+
+// Size returns the number of allocated nodes (including terminals).
+func (m *LegacyManager) Size() int { return len(m.nodes) }
+
+// Stats reports what the map-based kernel can measure: node and ITE
+// cache counters. UniqueCapacity/UniqueLoad are zero — a Go map has no
+// fixed slot array — and the per-call quantify caches have no hits to
+// report across calls.
+func (m *LegacyManager) Stats() Stats {
+	return Stats{
+		Nodes:      len(m.nodes),
+		ITELookups: m.iteLookups,
+		ITEHits:    m.iteHits,
+		ITEHitRate: rate(m.iteHits, m.iteLookups),
+		OpLookups:  m.opLookups,
+	}
+}
+
+// mk returns the canonical node (level, lo, hi).
+func (m *LegacyManager) mk(level int, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	k := triple{level, lo, hi}
+	if r, ok := m.unique[k]; ok {
+		return r
+	}
+	m.budget.BDDNodes(1, "bdd")
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
+	m.unique[k] = r
+	return r
+}
+
+// Var returns the BDD for variable v.
+func (m *LegacyManager) Var(v int) Ref {
+	if v < 0 || v >= m.nvars {
+		panic(fmt.Sprintf("bdd: variable %d out of range", v))
+	}
+	return m.mk(v, False, True)
+}
+
+// NVar returns the BDD for ¬v.
+func (m *LegacyManager) NVar(v int) Ref {
+	return m.mk(v, True, False)
+}
+
+func (m *LegacyManager) level(r Ref) int { return m.nodes[r].level }
+
+// Ite computes if-then-else(f, g, h) — the universal connective.
+func (m *LegacyManager) Ite(f, g, h Ref) Ref {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	k := iteKey{f, g, h}
+	m.iteLookups++
+	if r, ok := m.iteCache[k]; ok {
+		m.iteHits++
+		return r
+	}
+	m.budget.Tick("bdd")
+	// Split on the top variable.
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	if l := m.level(h); l < top {
+		top = l
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	h0, h1 := m.cofactors(h, top)
+	lo := m.Ite(f0, g0, h0)
+	hi := m.Ite(f1, g1, h1)
+	r := m.mk(top, lo, hi)
+	m.iteCache[k] = r
+	return r
+}
+
+func (m *LegacyManager) cofactors(f Ref, level int) (lo, hi Ref) {
+	n := m.nodes[f]
+	if n.level != level {
+		return f, f
+	}
+	return n.lo, n.hi
+}
+
+// And computes f ∧ g.
+func (m *LegacyManager) And(f, g Ref) Ref { return m.Ite(f, g, False) }
+
+// Or computes f ∨ g.
+func (m *LegacyManager) Or(f, g Ref) Ref { return m.Ite(f, True, g) }
+
+// Not computes ¬f.
+func (m *LegacyManager) Not(f Ref) Ref { return m.Ite(f, False, True) }
+
+// Xor computes f ⊕ g.
+func (m *LegacyManager) Xor(f, g Ref) Ref { return m.Ite(f, m.Not(g), g) }
+
+// Implies computes f → g.
+func (m *LegacyManager) Implies(f, g Ref) Ref { return m.Ite(f, g, True) }
+
+// AndN conjoins several BDDs.
+func (m *LegacyManager) AndN(fs ...Ref) Ref {
+	r := True
+	for _, f := range fs {
+		r = m.And(r, f)
+	}
+	return r
+}
+
+// OrN disjoins several BDDs.
+func (m *LegacyManager) OrN(fs ...Ref) Ref {
+	r := False
+	for _, f := range fs {
+		r = m.Or(r, f)
+	}
+	return r
+}
+
+// InternVarSet stores the set for the Set entry points; the legacy
+// kernel has no cross-call computed table, so the handle only avoids
+// re-passing the map.
+func (m *LegacyManager) InternVarSet(vars map[int]bool) VarSet {
+	cp := make(map[int]bool, len(vars))
+	for v, on := range vars {
+		if on {
+			cp[v] = true
+		}
+	}
+	m.varSets = append(m.varSets, cp)
+	return VarSet(len(m.varSets) - 1)
+}
+
+// InternShift stores the shift map for RenameShift.
+func (m *LegacyManager) InternShift(shift map[int]int) Shift {
+	cp := make(map[int]int, len(shift))
+	for o, n := range shift {
+		cp[o] = n
+	}
+	m.shifts = append(m.shifts, cp)
+	return Shift(len(m.shifts) - 1)
+}
+
+// ExistsSet delegates to the per-call-cache Exists.
+func (m *LegacyManager) ExistsSet(f Ref, vs VarSet) Ref {
+	return m.Exists(f, m.varSets[vs])
+}
+
+// AndExistsSet delegates to the per-call-cache AndExists.
+func (m *LegacyManager) AndExistsSet(f, g Ref, vs VarSet) Ref {
+	return m.AndExists(f, g, m.varSets[vs])
+}
+
+// RenameShift delegates to the per-call-cache Rename.
+func (m *LegacyManager) RenameShift(f Ref, sh Shift) Ref {
+	return m.Rename(f, m.shifts[sh])
+}
+
+// Exists existentially quantifies the variables in vars (given as a
+// set of levels).
+func (m *LegacyManager) Exists(f Ref, vars map[int]bool) Ref {
+	m.opLookups++
+	cache := map[Ref]Ref{}
+	var rec func(f Ref) Ref
+	rec = func(f Ref) Ref {
+		if f == True || f == False {
+			return f
+		}
+		if r, ok := cache[f]; ok {
+			return r
+		}
+		n := m.nodes[f]
+		lo := rec(n.lo)
+		hi := rec(n.hi)
+		var r Ref
+		if vars[n.level] {
+			r = m.Or(lo, hi)
+		} else {
+			r = m.mk(n.level, lo, hi)
+		}
+		cache[f] = r
+		return r
+	}
+	return rec(f)
+}
+
+// AndExists computes ∃vars. (f ∧ g) without building the conjunction.
+func (m *LegacyManager) AndExists(f, g Ref, vars map[int]bool) Ref {
+	m.opLookups++
+	type key struct{ f, g Ref }
+	cache := map[key]Ref{}
+	var rec func(f, g Ref) Ref
+	rec = func(f, g Ref) Ref {
+		if f == False || g == False {
+			return False
+		}
+		if f == True && g == True {
+			return True
+		}
+		k := key{f, g}
+		if r, ok := cache[k]; ok {
+			return r
+		}
+		top := m.level(f)
+		if l := m.level(g); l < top {
+			top = l
+		}
+		f0, f1 := m.cofactors(f, top)
+		g0, g1 := m.cofactors(g, top)
+		lo := rec(f0, g0)
+		var r Ref
+		if vars[top] {
+			if lo == True {
+				r = True
+			} else {
+				hi := rec(f1, g1)
+				r = m.Or(lo, hi)
+			}
+		} else {
+			hi := rec(f1, g1)
+			r = m.mk(top, lo, hi)
+		}
+		cache[k] = r
+		return r
+	}
+	return rec(f, g)
+}
+
+// Rename substitutes variables according to the level map (old level
+// -> new level). The mapping must be monotone (order-preserving);
+// unlike the Manager, the legacy kernel does NOT check and silently
+// produces a wrong BDD on a crossing rename — that is the preserved
+// old behavior the regression tests pin against.
+func (m *LegacyManager) Rename(f Ref, shift map[int]int) Ref {
+	m.opLookups++
+	cache := map[Ref]Ref{}
+	var rec func(f Ref) Ref
+	rec = func(f Ref) Ref {
+		if f == True || f == False {
+			return f
+		}
+		if r, ok := cache[f]; ok {
+			return r
+		}
+		n := m.nodes[f]
+		lvl := n.level
+		if nl, ok := shift[lvl]; ok {
+			lvl = nl
+		}
+		r := m.mk(lvl, rec(n.lo), rec(n.hi))
+		cache[f] = r
+		return r
+	}
+	return rec(f)
+}
+
+// Eval evaluates f under a full assignment (level -> value).
+func (m *LegacyManager) Eval(f Ref, assign []bool) bool {
+	for f != True && f != False {
+		n := m.nodes[f]
+		if assign[n.level] {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == True
+}
+
+// SatCount returns the number of satisfying assignments over all
+// manager variables (saturating like Manager.SatCount).
+func (m *LegacyManager) SatCount(f Ref) float64 {
+	cache := map[Ref]float64{}
+	var rec func(f Ref, level int) float64
+	rec = func(f Ref, level int) float64 {
+		if f == False {
+			return 0
+		}
+		if f == True {
+			return pow2(m.nvars - level)
+		}
+		n := m.nodes[f]
+		below, ok := cache[f]
+		if !ok {
+			below = rec(n.lo, n.level+1) + rec(n.hi, n.level+1)
+			cache[f] = below
+		}
+		return below * pow2(n.level-level)
+	}
+	return rec(f, 0)
+}
+
+// AnySat returns one satisfying assignment of f (nil when f is
+// unsatisfiable). Unconstrained variables are reported false.
+func (m *LegacyManager) AnySat(f Ref) []bool {
+	if f == False {
+		return nil
+	}
+	assign := make([]bool, m.nvars)
+	for f != True {
+		n := m.nodes[f]
+		if n.hi != False {
+			assign[n.level] = true
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return assign
+}
+
+// Compile-time checks that both kernels satisfy the shared surface.
+var (
+	_ Kernel = (*Manager)(nil)
+	_ Kernel = (*LegacyManager)(nil)
+)

@@ -190,9 +190,14 @@ func AnalyzeAppsContext(ctx context.Context, opts Options, apps ...*ir.App) (*An
 		if opts.AppSpecific {
 			// The property filter is applied before dispatch: only the
 			// requested properties are built and checked, and Checked
-			// reflects the filter.
+			// reflects the filter. One subformula memo spans the whole
+			// sweep: the catalogue's formulas share subterms, and the
+			// memo lets the explicit engine compute each distinct
+			// subformula once per analysis (it is concurrency-safe, so
+			// parallel workers share it too).
+			memo := modelcheck.NewMemo()
 			rep := properties.CheckAppSpecificOpts(a.Model, func(propID string, f ctl.Formula) properties.PropertyOutcome {
-				return checkProperty(a.Kripke, b, propID, f)
+				return checkProperty(a.Kripke, b, propID, f, memo)
 			}, properties.SweepOptions{IDs: opts.PropertyIDs, Parallel: opts.Parallel})
 			a.Checked = rep.Checked
 			a.Diagnostics = append(a.Diagnostics, rep.Diagnostics...)
@@ -259,7 +264,9 @@ func bmcBound(k *kripke.Structure) int {
 }
 
 // tryEngine decides f on k with one engine inside a recovery boundary.
-func tryEngine(k *kripke.Structure, b *guard.Budget, e Engine, propID string, f ctl.Formula) (out properties.PropertyOutcome, err error) {
+// memo, when non-nil, shares explicit-engine subformula results across
+// the sweep's properties.
+func tryEngine(k *kripke.Structure, b *guard.Budget, e Engine, propID string, f ctl.Formula, memo *modelcheck.Memo) (out properties.PropertyOutcome, err error) {
 	defer guard.RecoverTo(&err, "engine."+string(e))
 	faultinject.HitKey(faultSite(e), propID)
 	out.Engine = string(e)
@@ -283,7 +290,7 @@ func tryEngine(k *kripke.Structure, b *guard.Budget, e Engine, propID string, f 
 			out.Counterexample = k.RenderPath(r.Path)
 		}
 	default:
-		r := modelcheck.CheckBudget(k, f, b)
+		r := modelcheck.CheckMemoBudget(k, f, b, memo)
 		out.Holds = r.Holds
 		out.FailingStates = len(r.FailingStates)
 		if !r.Holds && len(r.Counterexample) > 0 {
@@ -297,7 +304,7 @@ func tryEngine(k *kripke.Structure, b *guard.Budget, e Engine, propID string, f 
 // and, when it fails recoverably, retries on the other engines of
 // fallbackChain. Every failure is recorded as a Diagnostic; Err is set
 // only when no engine could decide the formula.
-func checkProperty(k *kripke.Structure, b *guard.Budget, propID string, f ctl.Formula) properties.PropertyOutcome {
+func checkProperty(k *kripke.Structure, b *guard.Budget, propID string, f ctl.Formula, memo *modelcheck.Memo) properties.PropertyOutcome {
 	// Per-property boundary: an exhausted budget (checked promptly, not
 	// amortized) or an injected per-property fault undecides only this
 	// property.
@@ -315,7 +322,7 @@ func checkProperty(k *kripke.Structure, b *guard.Budget, propID string, f ctl.Fo
 	record := func(e Engine, err error) {
 		diags = append(diags, guard.Diagnose("engine."+string(e), propID, string(e), err))
 	}
-	out, err := tryEngine(k, b, Explicit, propID, f)
+	out, err := tryEngine(k, b, Explicit, propID, f, memo)
 	if err == nil {
 		out.Diagnostics = diags
 		return out
@@ -326,7 +333,7 @@ func checkProperty(k *kripke.Structure, b *guard.Budget, propID string, f ctl.Fo
 		if e == Explicit {
 			continue
 		}
-		out, err = tryEngine(k, b, e, propID, f)
+		out, err = tryEngine(k, b, e, propID, f, memo)
 		if err == nil {
 			out.Diagnostics = diags
 			return out

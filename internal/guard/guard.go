@@ -136,6 +136,21 @@ func (b *Budget) Tick(stage string) {
 	b.Check(stage)
 }
 
+// TickN charges n hot-loop iterations at once — bulk work such as a
+// BDD unique-table rehash — performing the amortized time/context
+// check when the shared tick counter crosses a 256-tick boundary, so
+// bulk charges keep the same checking cadence as n individual Ticks.
+func (b *Budget) TickN(n uint64, stage string) {
+	if b == nil || n == 0 {
+		return
+	}
+	after := b.ticks.Add(n)
+	if (after-n)>>8 == after>>8 {
+		return
+	}
+	b.Check(stage)
+}
+
 // States charges n enumerated states, panicking with a *BudgetError
 // when the MaxStates limit is exceeded.
 func (b *Budget) States(n int, stage string) {

@@ -1,0 +1,53 @@
+package guard
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTickNNilAndZeroSafe(t *testing.T) {
+	var b *Budget
+	b.TickN(1000, "test") // must not panic
+	nb := New(context.Background(), Limits{})
+	nb.TickN(0, "test")
+	nb.TickN(1_000_000, "test")
+}
+
+// TestTickNChecksOnBoundaryCrossing pins the amortization contract: a
+// bulk charge triggers the deadline check iff the shared tick counter
+// crosses a 256-tick boundary, matching n individual Ticks.
+func TestTickNChecksOnBoundaryCrossing(t *testing.T) {
+	expired := func() *Budget {
+		b := New(context.Background(), Limits{Timeout: time.Nanosecond})
+		time.Sleep(time.Millisecond)
+		return b
+	}
+
+	// Small charges inside one 256-tick window never check.
+	b := expired()
+	for i := 0; i < 25; i++ { // 25 × 10 = 250 < 256
+		b.TickN(10, "test")
+	}
+
+	// The charge that crosses the boundary must panic with the budget
+	// error, exactly as the 256th Tick would.
+	defer func() {
+		if _, ok := recover().(*BudgetError); !ok {
+			t.Fatal("TickN crossing a 256-tick boundary did not trip the deadline check")
+		}
+	}()
+	b.TickN(10, "test") // 250 → 260 crosses 256
+}
+
+// A single bulk charge far larger than the window checks immediately.
+func TestTickNLargeChargeChecks(t *testing.T) {
+	b := New(context.Background(), Limits{Timeout: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	defer func() {
+		if _, ok := recover().(*BudgetError); !ok {
+			t.Fatal("large TickN charge did not trip the deadline check")
+		}
+	}()
+	b.TickN(4096, "test")
+}

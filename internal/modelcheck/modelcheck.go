@@ -8,6 +8,7 @@ package modelcheck
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/soteria-analysis/soteria/internal/ctl"
 	"github.com/soteria-analysis/soteria/internal/guard"
@@ -42,7 +43,64 @@ func Check(k *kripke.Structure, f ctl.Formula) *Result {
 // *guard.BudgetError on exhaustion (converted to an error by the
 // enclosing recovery boundary). A nil budget disables all checks.
 func CheckBudget(k *kripke.Structure, f ctl.Formula, b *guard.Budget) *Result {
-	c := &checker{k: k, cache: map[string][]bool{}, b: b}
+	return CheckMemoBudget(k, f, b, nil)
+}
+
+// Memo caches subformula satisfaction sets across Check calls on one
+// Kripke structure. The property catalogue's 35 formulas share many
+// subterms (the S.1–S.5 bodies especially), so a sweep passing one
+// Memo to every CheckMemoBudget call computes each distinct subformula
+// once. Entries are keyed by the formula's rendered hash (String()),
+// so a Memo is bound to the structure it was first used with — never
+// share one across different Kripke structures. Safe for concurrent
+// use by parallel sweep workers; the cached []bool sets are shared and
+// must be treated as read-only.
+type Memo struct {
+	mu  sync.Mutex
+	sat map[string][]bool
+}
+
+// NewMemo creates an empty cross-formula memo.
+func NewMemo() *Memo {
+	return &Memo{sat: map[string][]bool{}}
+}
+
+// get is nil-safe: a nil Memo never hits.
+func (mm *Memo) get(key string) ([]bool, bool) {
+	if mm == nil {
+		return nil, false
+	}
+	mm.mu.Lock()
+	v, ok := mm.sat[key]
+	mm.mu.Unlock()
+	return v, ok
+}
+
+// put is nil-safe: a nil Memo drops the entry.
+func (mm *Memo) put(key string, v []bool) {
+	if mm == nil {
+		return
+	}
+	mm.mu.Lock()
+	mm.sat[key] = v
+	mm.mu.Unlock()
+}
+
+// Size reports the number of memoized subformulas.
+func (mm *Memo) Size() int {
+	if mm == nil {
+		return 0
+	}
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return len(mm.sat)
+}
+
+// CheckMemoBudget is CheckBudget with a cross-call subformula memo
+// (nil memo = no cross-call sharing). The returned Result's Sat slices
+// may alias memo entries; treat them as read-only.
+func CheckMemoBudget(k *kripke.Structure, f ctl.Formula, b *guard.Budget, memo *Memo) *Result {
+	c := &checker{k: k, cache: map[string][]bool{}, b: b, memo: memo}
 	sat := c.eval(f)
 	res := &Result{Formula: f, Sat: sat, Holds: true, CounterexampleLoop: -1}
 	for _, s := range k.Init {
@@ -61,11 +119,18 @@ type checker struct {
 	k     *kripke.Structure
 	cache map[string][]bool
 	b     *guard.Budget
+	// memo, when non-nil, shares subformula results across Check calls
+	// (one sweep's worth of formulas over the same structure).
+	memo *Memo
 }
 
 func (c *checker) eval(f ctl.Formula) []bool {
 	key := f.String()
 	if v, ok := c.cache[key]; ok {
+		return v
+	}
+	if v, ok := c.memo.get(key); ok {
+		c.cache[key] = v
 		return v
 	}
 	c.b.Check("modelcheck")
@@ -142,6 +207,7 @@ func (c *checker) eval(f ctl.Formula) []bool {
 		panic(fmt.Sprintf("modelcheck: unknown formula %T", f))
 	}
 	c.cache[key] = out
+	c.memo.put(key, out)
 	return out
 }
 

@@ -71,3 +71,44 @@ func (m *Model) AddTransition(from, to int, ev Event, g pathcond.Cond) error {
 func DeviceEvent(varKey, value string) Event {
 	return Event{VarKey: varKey, Value: value, Kind: ir.DeviceEvent}
 }
+
+// NewSyntheticCollapse builds the d²-state scaling-benchmark model
+// used by `soteria-bench -bdd-bench`: two variables with d values
+// each, every product state present, and a "collapse" transition
+// s → ⌊s/2⌋ from every non-zero state (state s is the assignment
+// (s/d, s%d)). Every state reaches state 0, and backward-reachability
+// fixpoints converge in ~log₂(d²) iterations — so the symbolic engine
+// is exercised at 10³–10⁶ states without the fixpoint's iteration
+// count growing linearly in the state count. State 0 deadlocks and
+// picks up the Kripke translation's stutter self-loop.
+func NewSyntheticCollapse(d int) (*Model, error) {
+	if d < 2 {
+		return nil, fmt.Errorf("statemodel: collapse model needs a domain of at least 2, got %d", d)
+	}
+	vals := make([]string, d)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("v%d", i)
+	}
+	vars := []*Var{
+		{Key: "dev0.attr", Cap: "dev0", Attr: "attr", Values: vals},
+		{Key: "dev1.attr", Cap: "dev1", Attr: "attr", Values: vals},
+	}
+	m, err := NewSynthetic(vars)
+	if err != nil {
+		return nil, err
+	}
+	n := d * d
+	for s := 0; s < n; s++ {
+		if _, err := m.AddState([]int{s / d, s % d}); err != nil {
+			return nil, err
+		}
+	}
+	for s := 1; s < n; s++ {
+		t := s / 2
+		ev := DeviceEvent("dev1.attr", vals[t%d])
+		if err := m.AddTransition(s, t, ev, pathcond.True()); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

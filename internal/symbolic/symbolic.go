@@ -4,10 +4,13 @@
 // proposition sets are BDDs; CTL operators are symbolic fixpoints
 // using the relational product for preimages.
 //
-// For the model sizes Soteria produces the explicit engine
-// (internal/modelcheck) is just as fast; this engine exists to mirror
-// the paper's toolchain and is cross-checked against the explicit one
-// in tests and used in the verification-engine benchmarks.
+// The engine is written against the bdd.Kernel interface so the same
+// encoding and fixpoints can run over the open-addressed Manager (the
+// default) or the retained map-based LegacyManager — that is how the
+// -bdd-bench sweep measures old vs new kernels on identical workloads.
+// The variable-set cube for next-state quantification and the
+// current→next shift map are interned once at construction, so the
+// preimage loop performs no per-iteration map allocation.
 package symbolic
 
 import (
@@ -20,18 +23,22 @@ import (
 // Engine holds the symbolic encoding of a Kripke structure.
 type Engine struct {
 	K     *kripke.Structure
-	m     *bdd.Manager
+	m     bdd.Kernel
 	bits  int
 	trans bdd.Ref
 	init  bdd.Ref
-	// curToNext / nextToCur are the variable renaming maps.
-	curToNext map[int]int
-	nextToCur map[int]int
-	nextVars  map[int]bool
+	// curToNext / nextVars are the interned renaming and
+	// quantification handles used by the preimage loop.
+	curToNext bdd.Shift
+	nextVars  bdd.VarSet
 	// stateEnc caches the current-variable encoding of each state.
 	stateEnc []bdd.Ref
 	props    map[string]bdd.Ref
-	b        *guard.Budget
+	// dom caches the BDD of valid state encodings (lazily built): the
+	// formula evaluator consults it once per operator.
+	dom    bdd.Ref
+	hasDom bool
+	b      *guard.Budget
 }
 
 // New encodes k symbolically. Current-state bit i is BDD variable 2i,
@@ -46,23 +53,31 @@ func New(k *kripke.Structure) *Engine {
 // cooperatively check the wall-clock deadline. A nil budget disables
 // all checks.
 func NewBudget(k *kripke.Structure, b *guard.Budget) *Engine {
+	return NewWithKernel(k, b, func(nvars int) bdd.Kernel { return bdd.New(nvars) })
+}
+
+// NewWithKernel is NewBudget over a caller-chosen BDD kernel; newKernel
+// receives the variable count (2 × state bits). The benchmarks use it
+// to run the engine over bdd.NewLegacy for old-vs-new comparisons.
+func NewWithKernel(k *kripke.Structure, b *guard.Budget, newKernel func(nvars int) bdd.Kernel) *Engine {
 	bits := 1
 	for (1 << bits) < k.N {
 		bits++
 	}
 	e := &Engine{
-		K: k, bits: bits, m: bdd.New(2 * bits),
-		curToNext: map[int]int{}, nextToCur: map[int]int{},
-		nextVars: map[int]bool{},
-		props:    map[string]bdd.Ref{},
-		b:        b,
+		K: k, bits: bits, m: newKernel(2 * bits),
+		props: map[string]bdd.Ref{},
+		b:     b,
 	}
 	e.m.SetBudget(b)
+	curToNext := make(map[int]int, bits)
+	nextVars := make(map[int]bool, bits)
 	for i := 0; i < bits; i++ {
-		e.curToNext[2*i] = 2*i + 1
-		e.nextToCur[2*i+1] = 2 * i
-		e.nextVars[2*i+1] = true
+		curToNext[2*i] = 2*i + 1
+		nextVars[2*i+1] = true
 	}
+	e.curToNext = e.m.InternShift(curToNext)
+	e.nextVars = e.m.InternVarSet(nextVars)
 	e.stateEnc = make([]bdd.Ref, k.N)
 	for s := 0; s < k.N; s++ {
 		e.stateEnc[s] = e.encode(s, false)
@@ -114,19 +129,24 @@ func (e *Engine) propSet(p string) bdd.Ref {
 	return r
 }
 
-// domain is the BDD of valid state encodings (indices < N).
+// domain is the BDD of valid state encodings (indices < N), built once
+// per engine.
 func (e *Engine) domain() bdd.Ref {
+	if e.hasDom {
+		return e.dom
+	}
 	r := bdd.False
 	for s := 0; s < e.K.N; s++ {
 		r = e.m.Or(r, e.stateEnc[s])
 	}
+	e.dom, e.hasDom = r, true
 	return r
 }
 
 // preimage computes EX(set): states with a successor in set.
 func (e *Engine) preimage(set bdd.Ref) bdd.Ref {
-	next := e.m.Rename(set, e.curToNext)
-	return e.m.AndExists(e.trans, next, e.nextVars)
+	next := e.m.RenameShift(set, e.curToNext)
+	return e.m.AndExistsSet(e.trans, next, e.nextVars)
 }
 
 // Result mirrors modelcheck.Result for the symbolic engine.
@@ -218,3 +238,7 @@ func (e *Engine) gfpEG(a bdd.Ref) bdd.Ref {
 
 // NodeCount exposes the BDD manager size for benchmarks.
 func (e *Engine) NodeCount() int { return e.m.Size() }
+
+// KernelStats exposes the kernel's table counters (unique-table load,
+// computed-table hit rates) for the -bdd-bench sweep.
+func (e *Engine) KernelStats() bdd.Stats { return e.m.Stats() }
