@@ -14,6 +14,10 @@
 //	soteria-bench -bdd-bench      # sweep synthetic models (default 10^3..10^6
 //	                              # states) through explicit vs BDD engines,
 //	                              # old vs new kernel, write BENCH_bdd.json
+//	soteria-bench -obs-bench      # measure span-tracing overhead (off vs on)
+//	                              # on a full analysis, write BENCH_obs.json,
+//	                              # fail if the median overhead exceeds 3%
+//	soteria-bench -cpuprofile F   # write a CPU profile of the run to F
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -49,9 +54,37 @@ func main() {
 	bddBench := flag.Bool("bdd-bench", false, "benchmark explicit vs BDD engines (old vs new kernel) on synthetic models and write BENCH_bdd.json")
 	bddBenchOut := flag.String("bdd-bench-out", "BENCH_bdd.json", "output path for -bdd-bench")
 	bddBenchSizes := flag.String("bdd-bench-sizes", "1000,10000,100000,1000000", "comma-separated approximate state counts to sweep in -bdd-bench")
+	obsBench := flag.Bool("obs-bench", false, "measure span-tracing overhead on a full analysis and write BENCH_obs.json")
+	obsBenchOut := flag.String("obs-bench-out", "BENCH_obs.json", "output path for -obs-bench")
+	obsBenchPairs := flag.Int("obs-bench-pairs", 40, "off/on measurement pairs for -obs-bench")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.Parse()
 
 	experiments.Parallel = *parallel
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "soteria-bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "soteria-bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		// Stopped explicitly on the success paths below; error paths
+		// os.Exit with a truncated profile, which pprof tolerates.
+		defer pprof.StopCPUProfile()
+	}
+
+	if *obsBench {
+		if err := runObsBench(*obsBenchPairs, *obsBenchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "soteria-bench: obs-bench: %v\n", err)
+			pprof.StopCPUProfile()
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *parallelBench {
 		if err := runParallelBench(*benchProcs, *benchOut); err != nil {

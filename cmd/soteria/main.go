@@ -24,6 +24,13 @@
 //	-list      list the property catalogue and exit
 //	-remote URL analyze via a soteriad instance instead of locally
 //	-idempotency-key K dedupe key for -remote resubmissions
+//	-explain-timing print the analysis span tree (where the time went)
+//
+// -explain-timing prints a per-phase timing tree to stderr: parse →
+// state model → Kripke structure → property checks, with each
+// property's engine attempts (and fallback reasons) nested below.
+// Locally the tree is recorded in-process; with -remote the daemon
+// embeds its span tree (and the job's trace ID) in the response.
 //
 // With -remote the apps are submitted to a running soteriad over its
 // HTTP API through the resilient client: transient failures retry with
@@ -39,6 +46,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -47,6 +55,7 @@ import (
 	"sort"
 
 	"github.com/soteria-analysis/soteria"
+	"github.com/soteria-analysis/soteria/internal/obs"
 )
 
 func main() {
@@ -67,6 +76,7 @@ func main() {
 		maxStates = flag.Int("max-states", 0, "cap state-model enumeration at this many states (0 = no limit)")
 		remote    = flag.String("remote", "", "analyze via the soteriad instance at this base URL instead of locally")
 		idemKey   = flag.String("idempotency-key", "", "idempotency key for -remote submissions (default: auto-generated)")
+		explain   = flag.Bool("explain-timing", false, "print the analysis span tree (phase and engine timings) to stderr")
 	)
 	flag.Parse()
 
@@ -96,15 +106,16 @@ func main() {
 			fail("-ir, -dot, -smv, -formula, -ltl, and -witness are local-only (not with -remote)")
 		}
 		os.Exit(runRemote(remoteRun{
-			baseURL:   *remote,
-			idemKey:   *idemKey,
-			paths:     flag.Args(),
-			general:   *general,
-			specific:  *specific,
-			parallel:  *parallel,
-			timeout:   *timeout,
-			maxStates: *maxStates,
-			jsonOut:   *jsonOut,
+			baseURL:       *remote,
+			idemKey:       *idemKey,
+			paths:         flag.Args(),
+			general:       *general,
+			specific:      *specific,
+			parallel:      *parallel,
+			timeout:       *timeout,
+			maxStates:     *maxStates,
+			jsonOut:       *jsonOut,
+			explainTiming: *explain,
 		}))
 	}
 
@@ -145,9 +156,19 @@ func main() {
 		}))
 	}
 
-	res, err := soteria.AnalyzeEnvironment(apps, opts...)
+	ctx := context.Background()
+	var root *obs.Span
+	if *explain {
+		root = obs.NewRoot("analysis")
+		ctx = obs.WithSpan(ctx, root)
+	}
+	res, err := soteria.AnalyzeEnvironmentContext(ctx, apps, opts...)
 	if err != nil {
 		fail("analysis: %v", err)
+	}
+	if root != nil {
+		root.End()
+		fmt.Fprintf(os.Stderr, "timing:\n%s", root.Render())
 	}
 
 	if *jsonOut {

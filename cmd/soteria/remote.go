@@ -15,15 +15,16 @@ import (
 
 // remoteRun is a -remote invocation's parameters.
 type remoteRun struct {
-	baseURL   string
-	idemKey   string
-	paths     []string
-	general   bool
-	specific  bool
-	parallel  int
-	timeout   time.Duration
-	maxStates int
-	jsonOut   bool
+	baseURL       string
+	idemKey       string
+	paths         []string
+	general       bool
+	specific      bool
+	parallel      int
+	timeout       time.Duration
+	maxStates     int
+	jsonOut       bool
+	explainTiming bool
 }
 
 // runRemote submits the apps to a soteriad instance through the
@@ -72,6 +73,7 @@ func runRemote(run remoteRun) int {
 		Apps:           apps,
 		Options:        opts,
 		IdempotencyKey: run.idemKey,
+		Timings:        run.explainTiming,
 	})
 	if err != nil {
 		fail("remote analysis: %v", err)
@@ -87,7 +89,35 @@ func runRemote(run remoteRun) int {
 	if j.Status == "failed" || j.Result == nil {
 		fail("remote analysis: job %s %s: %s", j.JobID, j.Status, j.Error)
 	}
+	if run.explainTiming {
+		renderTiming(j.Result.Timing, j.Trace)
+	}
 	return renderRecord(j.Result, j.Cached, run.jsonOut)
+}
+
+// renderTiming prints the daemon-recorded span tree to stderr, with
+// the trace ID operators can grep in the daemon's logs.
+func renderTiming(t *report.Timing, trace string) {
+	if t == nil || t.Span == nil {
+		fmt.Fprintln(os.Stderr, "timing: not returned by the daemon (cached result from an older daemon?)")
+		return
+	}
+	if trace == "" {
+		trace = t.TraceID
+	}
+	fmt.Fprintf(os.Stderr, "timing (trace %s):\n", trace)
+	var walk func(sp *report.TimedSpan, depth int)
+	walk = func(sp *report.TimedSpan, depth int) {
+		fmt.Fprintf(os.Stderr, "%*s%s %s", depth*2+2, "", sp.Name, time.Duration(sp.DurationUS)*time.Microsecond)
+		for _, a := range sp.Attrs {
+			fmt.Fprintf(os.Stderr, " %s=%s", a.Key, a.Value)
+		}
+		fmt.Fprintln(os.Stderr)
+		for _, ch := range sp.Children {
+			walk(ch, depth+1)
+		}
+	}
+	walk(t.Span, 0)
 }
 
 // renderRecord prints a stored record and maps it to the documented

@@ -18,12 +18,24 @@
 //	-max-states N   per-job state-model cap (0 = unlimited)
 //	-max-body N     request body cap in bytes (default 8 MiB)
 //	-drain-timeout D grace period for in-flight jobs on SIGTERM (default 30s)
+//	-slow-job D     log the full span tree of jobs at or over D (0 disables)
+//	-pprof A        serve net/http/pprof on a separate listener ("" disables)
+//	-log-json       emit JSON log lines instead of text
 //
 // With -journal, every accepted job is fsynced into an append-only
 // journal before the client sees its acknowledgment; on restart the
 // journal is replayed, incomplete jobs re-enqueue under their original
 // IDs, and client idempotency keys dedupe resubmissions — so a crash
 // (SIGKILL, OOM, power cut) never loses an acknowledged job.
+//
+// Logs are structured (log/slog); every line about a job carries the
+// job ID and its trace ID (also returned to clients in the
+// X-Soteria-Trace response header), so a client-reported trace can be
+// grepped straight to the server-side timeline.
+//
+// -pprof binds the Go runtime profiler (CPU, heap, goroutine, block)
+// to its own listener, kept off the API address so profiling exposure
+// is an explicit, separately firewallable choice.
 //
 // Setting SOTERIAD_CHAOS_FS=1 in the environment fragments and delays
 // store/journal writes to widen crash windows; it exists for the
@@ -41,8 +53,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -63,54 +76,76 @@ func main() {
 		maxStates    = flag.Int("max-states", 0, "per-job state-model cap (0 = unlimited)")
 		maxBody      = flag.Int64("max-body", 8<<20, "request body cap in bytes")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+		slowJob      = flag.Duration("slow-job", 0, "log the span tree of jobs at or over this wall time (0 disables)")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty disables)")
+		logJSON      = flag.Bool("log-json", false, "emit JSON log lines instead of text")
 	)
 	flag.Parse()
-	logger := log.New(os.Stderr, "soteriad: ", log.LstdFlags)
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
 
 	chaosFS := os.Getenv("SOTERIAD_CHAOS_FS") != ""
 	if chaosFS {
-		logger.Printf("SOTERIAD_CHAOS_FS set: store/journal writes fragmented and delayed (test harness mode)")
+		logger.Warn("SOTERIAD_CHAOS_FS set: store/journal writes fragmented and delayed (test harness mode)")
 	}
 	svc, err := soteria.NewService(soteria.ServiceConfig{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		JobTimeout:   *jobTimeout,
-		Parallel:     *parallel,
-		MaxBodyBytes: *maxBody,
-		Limits:       soteria.Limits{MaxStates: *maxStates},
-		StoreDir:     *storeDir,
-		JournalPath:  *journalPath,
-		ChaosFS:      chaosFS,
-		Log:          logger,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		JobTimeout:       *jobTimeout,
+		Parallel:         *parallel,
+		MaxBodyBytes:     *maxBody,
+		Limits:           soteria.Limits{MaxStates: *maxStates},
+		StoreDir:         *storeDir,
+		JournalPath:      *journalPath,
+		ChaosFS:          chaosFS,
+		Logger:           logger,
+		SlowJobThreshold: *slowJob,
 	})
 	if err != nil {
-		logger.Fatalf("starting service: %v", err)
+		logger.Error("starting service", "error", err)
+		os.Exit(1)
+	}
+
+	errc := make(chan error, 2)
+	// The profiler gets its own listener and server so binding it is an
+	// explicit operational choice, never reachable through the API port.
+	// net/http/pprof registers on http.DefaultServeMux; the API handler
+	// below uses its own mux, so the default mux holds only pprof.
+	if *pprofAddr != "" {
+		pprofSrv := &http.Server{Addr: *pprofAddr, Handler: http.DefaultServeMux}
+		go func() { errc <- fmt.Errorf("pprof server: %w", pprofSrv.ListenAndServe()) }()
+		logger.Info("pprof listening", "addr", *pprofAddr)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
-	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	logger.Printf("listening on %s (store %q, journal %q, %d-deep queue)", *addr, *storeDir, *journalPath, *queue)
+	go func() { errc <- fmt.Errorf("http server: %w", httpSrv.ListenAndServe()) }()
+	logger.Info("listening", "addr", *addr, "store", *storeDir, "journal", *journalPath, "queue", *queue)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
 	case err := <-errc:
-		logger.Fatalf("http server: %v", err)
+		logger.Error("server failed", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
 	// Drain: reject new jobs (and fail health checks) first, finish the
 	// queued and in-flight work, then close HTTP listeners.
-	logger.Printf("shutdown signal received, draining (up to %s)", *drainTimeout)
+	logger.Info("shutdown signal received, draining", "timeout", *drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := svc.Shutdown(drainCtx); err != nil {
-		logger.Printf("drain deadline passed, remaining jobs canceled: %v", err)
+		logger.Warn("drain deadline passed, remaining jobs canceled", "error", err)
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		logger.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
 	}
-	logger.Printf("drained, exiting")
+	logger.Info("drained, exiting")
 	fmt.Fprintln(os.Stderr, "soteriad: stopped")
 }

@@ -33,8 +33,15 @@ import (
 	"sync"
 	"time"
 
+	"github.com/soteria-analysis/soteria/internal/obs"
 	"github.com/soteria-analysis/soteria/internal/report"
 )
+
+// TraceHeader carries the per-job trace ID. The client mints one at
+// submission and sends it on every retry attempt, so all server log
+// lines for a retried request share one ID; the server echoes the
+// adopted ID back on this header.
+const TraceHeader = "X-Soteria-Trace"
 
 // Config configures a Client. The zero value plus a BaseURL is
 // serviceable.
@@ -150,6 +157,11 @@ type Job struct {
 	Result    *report.Record `json:"result,omitempty"`
 	Error     string         `json:"error,omitempty"`
 	Results   []BatchItem    `json:"results,omitempty"`
+
+	// Trace is the job's trace ID, taken from the X-Soteria-Trace
+	// response header (not the JSON body). Quote it in bug reports: the
+	// daemon stamps it on every log line about the job.
+	Trace string `json:"-"`
 }
 
 // Terminal reports whether the job has finished (well or badly).
@@ -246,6 +258,7 @@ type analyzeBody struct {
 	Options        *Options `json:"options,omitempty"`
 	Async          bool     `json:"async,omitempty"`
 	IdempotencyKey string   `json:"idempotency_key,omitempty"`
+	Timings        bool     `json:"timings,omitempty"`
 }
 
 // AnalyzeRequest submits one analysis (one app or a multi-app union).
@@ -256,6 +269,9 @@ type AnalyzeRequest struct {
 	// IdempotencyKey dedupes resubmissions; "" auto-generates one, so
 	// retries within this call are always safe.
 	IdempotencyKey string
+	// Timings asks the daemon to embed the job's span tree (phase and
+	// engine timings, trace ID) in the returned records.
+	Timings bool
 }
 
 // Analyze submits the request, retrying transient failures, and
@@ -266,16 +282,18 @@ func (c *Client) Analyze(ctx context.Context, req AnalyzeRequest) (*Job, error) 
 	if key == "" {
 		key = newIdemKey()
 	}
-	body := analyzeBody{Apps: req.Apps, Options: req.Options, Async: req.Async, IdempotencyKey: key}
+	body := analyzeBody{Apps: req.Apps, Options: req.Options, Async: req.Async, IdempotencyKey: key, Timings: req.Timings}
 	return c.postJob(ctx, "/v1/analyze", body)
 }
 
 // Poll fetches a job's current state by ID.
 func (c *Client) Poll(ctx context.Context, jobID string) (*Job, error) {
 	var j Job
-	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+jobID, nil, &j); err != nil {
+	tc := &traceCapture{}
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+jobID, nil, &j, tc); err != nil {
 		return nil, err
 	}
+	j.Trace = tc.received
 	return &j, nil
 }
 
@@ -298,7 +316,7 @@ func (c *Client) Wait(ctx context.Context, jobID string) (*Job, error) {
 // Result fetches a stored record by its content address.
 func (c *Client) Result(ctx context.Context, key string) (*report.Record, error) {
 	var rec report.Record
-	if err := c.do(ctx, http.MethodGet, "/v1/results/"+key, nil, &rec); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/results/"+key, nil, &rec, nil); err != nil {
 		return nil, err
 	}
 	return &rec, nil
@@ -306,16 +324,30 @@ func (c *Client) Result(ctx context.Context, key string) (*report.Record, error)
 
 // Healthy reports whether the daemon answers its liveness probe.
 func (c *Client) Healthy(ctx context.Context) error {
-	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil, nil)
+}
+
+// traceCapture threads the trace ID through one logical request: send
+// goes out on every attempt's X-Soteria-Trace header (unchanged across
+// retries, so the server logs one ID for the whole logical request);
+// received is the server's adopted ID from the last response.
+type traceCapture struct {
+	send     string
+	received string
 }
 
 // postJob submits a job payload and decodes the job response. A sync
 // submission that completes returns the terminal job directly; an
-// async one returns the accepted (202) state.
+// async one returns the accepted (202) state. The client mints the
+// job's trace ID here, before the first attempt.
 func (c *Client) postJob(ctx context.Context, path string, body any) (*Job, error) {
 	var j Job
-	if err := c.do(ctx, http.MethodPost, path, body, &j); err != nil {
+	tc := &traceCapture{send: obs.NewTraceID()}
+	if err := c.do(ctx, http.MethodPost, path, body, &j, tc); err != nil {
 		return nil, err
+	}
+	if j.Trace = tc.received; j.Trace == "" {
+		j.Trace = tc.send // older daemon without the header
 	}
 	return &j, nil
 }
@@ -348,8 +380,9 @@ func retryable(status int) bool {
 func breakerCounts(status int) bool { return status >= 500 }
 
 // do runs one logical request with the full resilience stack and
-// decodes a 2xx body into out (when non-nil).
-func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+// decodes a 2xx body into out (when non-nil). tc (optional) sends and
+// captures the trace header.
+func (c *Client) do(ctx context.Context, method, path string, body, out any, tc *traceCapture) error {
 	var payload []byte
 	if body != nil {
 		var err error
@@ -367,7 +400,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		if !c.br.allow(c.cfg.now()) {
 			return fmt.Errorf("%w (cooling down after consecutive failures)", ErrCircuitOpen)
 		}
-		status, retriable, err := c.once(ctx, method, path, payload, out)
+		status, retriable, err := c.once(ctx, method, path, payload, out, tc)
 		if err == nil {
 			return nil
 		}
@@ -392,7 +425,7 @@ func (c *Client) brRecord(status int) {
 // once performs a single HTTP attempt. It returns the response status
 // (0 for transport errors), whether the failure is retryable, and the
 // error. retryErr carries the Retry-After floor to the backoff.
-func (c *Client) once(ctx context.Context, method, path string, payload []byte, out any) (int, bool, error) {
+func (c *Client) once(ctx context.Context, method, path string, payload []byte, out any, tc *traceCapture) (int, bool, error) {
 	var rd io.Reader
 	if payload != nil {
 		rd = bytes.NewReader(payload)
@@ -404,11 +437,19 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if tc != nil && tc.send != "" {
+		req.Header.Set(TraceHeader, tc.send)
+	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return 0, true, fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
+	if tc != nil {
+		if t := resp.Header.Get(TraceHeader); t != "" {
+			tc.received = t
+		}
+	}
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		return resp.StatusCode, true, fmt.Errorf("client: reading response: %w", err)

@@ -319,3 +319,73 @@ func TestNetworkErrorRetries(t *testing.T) {
 		t.Fatalf("backoffs = %d, want 2 (3 attempts)", got)
 	}
 }
+
+// TestTraceIDStableAcrossRetries: the client mints one trace ID per
+// logical submission and sends it on every attempt's X-Soteria-Trace
+// header, so a retried request is one trace in the daemon's logs; the
+// echoed ID lands on Job.Trace.
+func TestTraceIDStableAcrossRetries(t *testing.T) {
+	var (
+		mu     sync.Mutex
+		traces []string
+	)
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		traces = append(traces, r.Header.Get("X-Soteria-Trace"))
+		n := calls
+		calls++
+		mu.Unlock()
+		w.Header().Set("X-Soteria-Trace", r.Header.Get("X-Soteria-Trace"))
+		if n < 2 {
+			w.WriteHeader(http.StatusInternalServerError)
+			w.Write([]byte(`{"error":"scripted failure"}`))
+			return
+		}
+		w.Write([]byte(`{"job_id":"j1","status":"done"}`))
+	}))
+	defer ts.Close()
+	c, _ := newTestClient(t, ts, nil)
+
+	j, err := c.Analyze(context.Background(), AnalyzeRequest{Apps: []App{{Name: "a", Source: "x"}}})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(traces) != 3 {
+		t.Fatalf("attempts = %d, want 3", len(traces))
+	}
+	if traces[0] == "" {
+		t.Fatalf("no trace header on first attempt")
+	}
+	for i, tr := range traces {
+		if tr != traces[0] {
+			t.Fatalf("attempt %d trace %q != first attempt's %q", i, tr, traces[0])
+		}
+	}
+	if j.Trace != traces[0] {
+		t.Fatalf("Job.Trace = %q, want the sent trace %q", j.Trace, traces[0])
+	}
+}
+
+// TestTimingsFlagOnWire: AnalyzeRequest.Timings reaches the body.
+func TestTimingsFlagOnWire(t *testing.T) {
+	sc := &scripted{codes: []int{200}}
+	ts := httptest.NewServer(sc.handler())
+	defer ts.Close()
+	c, _ := newTestClient(t, ts, nil)
+
+	if _, err := c.Analyze(context.Background(), AnalyzeRequest{Apps: []App{{Name: "a", Source: "x"}}, Timings: true}); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	var req struct {
+		Timings bool `json:"timings"`
+	}
+	if err := json.Unmarshal([]byte(sc.bodies[0]), &req); err != nil {
+		t.Fatalf("body: %v", err)
+	}
+	if !req.Timings {
+		t.Fatalf("timings flag missing from wire body: %s", sc.bodies[0])
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"github.com/soteria-analysis/soteria/internal/guard"
 	"github.com/soteria-analysis/soteria/internal/guard/faultinject"
 	"github.com/soteria-analysis/soteria/internal/ir"
+	"github.com/soteria-analysis/soteria/internal/obs"
 )
 
 // BatchItem is one unit of a batch analysis: a single app or a
@@ -110,6 +111,12 @@ func AnalyzeBatch(ctx context.Context, bo BatchOptions, items ...BatchItem) []Ba
 // would otherwise escape between pipeline boundaries (e.g. an injected
 // fault at the batch-item site) so sibling items are unaffected.
 func analyzeItem(ctx context.Context, bo BatchOptions, it BatchItem) BatchResult {
+	// The item span nests the whole per-item pipeline (ir → statemodel →
+	// kripke → check) under one node of the job's trace tree.
+	ctx, isp := obs.StartSpan(ctx, "item")
+	isp.Set("key", it.Key)
+	defer isp.End()
+
 	br := BatchResult{Key: it.Key}
 	if err := ctx.Err(); err != nil {
 		br.Err = fmt.Errorf("batch %s: %w", it.Key, err)
@@ -121,6 +128,7 @@ func analyzeItem(ctx context.Context, bo BatchOptions, it BatchItem) BatchResult
 		cacheKey = AnalysisKey(it.Sources, bo.Options)
 		if an, ok := bo.Cache.LookupAnalysis(cacheKey); ok {
 			br.Analysis, br.Cached = an, true
+			isp.Set("cached", "true")
 			return br
 		}
 	}
@@ -129,14 +137,18 @@ func analyzeItem(ctx context.Context, bo BatchOptions, it BatchItem) BatchResult
 		faultinject.HitKey(faultinject.SiteBatchItem, it.Key)
 		apps := it.Apps
 		if len(apps) == 0 {
+			irsp := obs.Start(ctx, "ir")
 			apps = make([]*ir.App, len(it.Sources))
 			for i, s := range it.Sources {
 				app, err := parseCached(bo.Cache, s)
 				if err != nil {
+					irsp.End()
 					return fmt.Errorf("parsing %s: %w", s.Name, err)
 				}
 				apps[i] = app
 			}
+			irsp.SetInt("apps", int64(len(apps)))
+			irsp.End()
 		}
 		an, err := AnalyzeAppsContext(ctx, bo.Options, apps...)
 		if err != nil {

@@ -19,6 +19,7 @@ import (
 	"github.com/soteria-analysis/soteria/internal/kripke"
 	"github.com/soteria-analysis/soteria/internal/ltl"
 	"github.com/soteria-analysis/soteria/internal/modelcheck"
+	"github.com/soteria-analysis/soteria/internal/obs"
 	"github.com/soteria-analysis/soteria/internal/properties"
 	"github.com/soteria-analysis/soteria/internal/smv"
 	"github.com/soteria-analysis/soteria/internal/statemodel"
@@ -110,13 +111,17 @@ func AnalyzeSources(opts Options, sources ...NamedSource) (*Analysis, error) {
 func AnalyzeSourcesContext(ctx context.Context, opts Options, sources ...NamedSource) (*Analysis, error) {
 	var apps []*ir.App
 	t0 := time.Now()
+	irsp := obs.Start(ctx, "ir")
 	for _, s := range sources {
 		app, err := ir.BuildSource(s.Name, s.Source)
 		if err != nil {
+			irsp.End()
 			return nil, fmt.Errorf("parsing %s: %w", s.Name, err)
 		}
 		apps = append(apps, app)
 	}
+	irsp.SetInt("apps", int64(len(apps)))
+	irsp.End()
 	a, err := AnalyzeAppsContext(ctx, opts, apps...)
 	if err != nil {
 		return nil, err
@@ -147,6 +152,7 @@ func AnalyzeAppsContext(ctx context.Context, opts Options, apps ...*ir.App) (*An
 		faultinject.Hit(faultinject.SiteAnalyze)
 
 		t0 := time.Now()
+		msp := obs.Start(ctx, "statemodel")
 		merr := guard.Run("statemodel", func() error {
 			faultinject.Hit(faultinject.SiteStateModel)
 			m, err := statemodel.BuildBudget(b, statemodel.Options{}, apps...)
@@ -156,12 +162,18 @@ func AnalyzeAppsContext(ctx context.Context, opts Options, apps ...*ir.App) (*An
 			a.Model = m
 			return nil
 		})
+		if a.Model != nil {
+			msp.SetInt("states", int64(len(a.Model.States)))
+		}
+		msp.End()
 		if merr == nil && a.Model != nil {
+			ksp := obs.Start(ctx, "kripke")
 			merr = guard.Run("kripke", func() error {
 				faultinject.Hit(faultinject.SiteKripke)
 				a.Kripke = kripke.FromModel(a.Model)
 				return nil
 			})
+			ksp.End()
 		}
 		a.Timings.Model = time.Since(t0)
 		if merr != nil {
@@ -175,11 +187,13 @@ func AnalyzeAppsContext(ctx context.Context, opts Options, apps ...*ir.App) (*An
 		t1 := time.Now()
 		defer func() { a.Timings.Checking = time.Since(t1) }()
 		if opts.General {
+			gsp := obs.Start(ctx, "check.general")
 			gerr := guard.Run("properties.general", func() error {
 				faultinject.Hit(faultinject.SiteGeneral)
 				a.Violations = append(a.Violations, properties.CheckGeneralBudget(a.Model, b)...)
 				return nil
 			})
+			gsp.End()
 			if gerr != nil {
 				if !recoverable(gerr) {
 					return gerr
@@ -196,9 +210,18 @@ func AnalyzeAppsContext(ctx context.Context, opts Options, apps ...*ir.App) (*An
 			// subformula once per analysis (it is concurrency-safe, so
 			// parallel workers share it too).
 			memo := modelcheck.NewMemo()
+			// The sweep span is passed to checkProperty directly (not via
+			// ctx) so parallel workers attach property spans to it without
+			// racing on the context's current-span slot.
+			csp := obs.Start(ctx, "check")
 			rep := properties.CheckAppSpecificOpts(a.Model, func(propID string, f ctl.Formula) properties.PropertyOutcome {
-				return checkProperty(a.Kripke, b, propID, f, memo)
+				return checkProperty(a.Kripke, b, propID, f, memo, csp)
 			}, properties.SweepOptions{IDs: opts.PropertyIDs, Parallel: opts.Parallel})
+			ms := memo.Stats()
+			csp.SetInt("memo_lookups", int64(ms.Lookups))
+			csp.SetInt("memo_hits", int64(ms.Hits))
+			csp.SetInt("memo_subformulas", int64(ms.Entries))
+			csp.End()
 			a.Checked = rep.Checked
 			a.Diagnostics = append(a.Diagnostics, rep.Diagnostics...)
 			if rep.Incomplete {
@@ -265,20 +288,51 @@ func bmcBound(k *kripke.Structure) int {
 
 // tryEngine decides f on k with one engine inside a recovery boundary.
 // memo, when non-nil, shares explicit-engine subformula results across
-// the sweep's properties.
-func tryEngine(k *kripke.Structure, b *guard.Budget, e Engine, propID string, f ctl.Formula, memo *modelcheck.Memo) (out properties.PropertyOutcome, err error) {
+// the sweep's properties. The attempt is recorded as an "engine" child
+// span of parent carrying the verdict (or error), the guard budget
+// consumed by the attempt, and — for the BDD engine — the kernel's
+// table counters; fallbackReason, when non-empty, explains why the
+// primary engine was abandoned.
+func tryEngine(k *kripke.Structure, b *guard.Budget, e Engine, propID string, f ctl.Formula, memo *modelcheck.Memo, parent *obs.Span, fallbackReason string) (out properties.PropertyOutcome, err error) {
+	esp := parent.StartChild("engine")
+	esp.Set("engine", string(e))
+	if fallbackReason != "" {
+		esp.Set("fallback_reason", fallbackReason)
+	}
+	states0, nodes0, confl0 := b.Spent()
+	defer func() {
+		states1, nodes1, confl1 := b.Spent()
+		esp.SetInt("states", states1-states0)
+		esp.SetInt("bdd_nodes", nodes1-nodes0)
+		esp.SetInt("sat_conflicts", confl1-confl0)
+		if err != nil {
+			esp.Set("error", err.Error())
+		} else if out.Holds {
+			esp.Set("verdict", "holds")
+		} else {
+			esp.Set("verdict", "violated")
+		}
+		esp.End()
+	}()
 	defer guard.RecoverTo(&err, "engine."+string(e))
 	faultinject.HitKey(faultSite(e), propID)
 	out.Engine = string(e)
 	switch e {
 	case BDD:
-		r := symbolic.NewBudget(k, b).Check(f)
+		eng := symbolic.NewBudget(k, b)
+		r := eng.Check(f)
 		out.Holds = r.Holds
 		for _, s := range k.Init {
 			if !r.Sat[s] {
 				out.FailingStates++
 			}
 		}
+		st := eng.KernelStats()
+		esp.SetInt("bdd_live_nodes", int64(st.Nodes))
+		esp.SetInt("bdd_ite_lookups", int64(st.ITELookups))
+		esp.SetInt("bdd_ite_hits", int64(st.ITEHits))
+		esp.SetInt("bdd_op_lookups", int64(st.OpLookups))
+		esp.SetInt("bdd_op_hits", int64(st.OpHits))
 	case BMC:
 		r, handled := bmc.CheckAGBudget(k, f, bmcBound(k), b)
 		if !handled {
@@ -303,8 +357,27 @@ func tryEngine(k *kripke.Structure, b *guard.Budget, e Engine, propID string, f 
 // checkProperty decides one catalogue formula with the explicit engine
 // and, when it fails recoverably, retries on the other engines of
 // fallbackChain. Every failure is recorded as a Diagnostic; Err is set
-// only when no engine could decide the formula.
-func checkProperty(k *kripke.Structure, b *guard.Budget, propID string, f ctl.Formula, memo *modelcheck.Memo) properties.PropertyOutcome {
+// only when no engine could decide the formula. The decision is traced
+// as a "property" child span of parent with one "engine" grandchild
+// per attempt.
+func checkProperty(k *kripke.Structure, b *guard.Budget, propID string, f ctl.Formula, memo *modelcheck.Memo, parent *obs.Span) properties.PropertyOutcome {
+	psp := parent.StartChild("property")
+	psp.Set("id", propID)
+	defer psp.End()
+	finish := func(out properties.PropertyOutcome) properties.PropertyOutcome {
+		switch {
+		case out.Err != nil:
+			psp.Set("verdict", "undecided")
+		case out.Holds:
+			psp.Set("verdict", "holds")
+		default:
+			psp.Set("verdict", "violated")
+		}
+		if out.Engine != "" {
+			psp.Set("engine", out.Engine)
+		}
+		return out
+	}
 	// Per-property boundary: an exhausted budget (checked promptly, not
 	// amortized) or an injected per-property fault undecides only this
 	// property.
@@ -313,19 +386,19 @@ func checkProperty(k *kripke.Structure, b *guard.Budget, propID string, f ctl.Fo
 		b.Check("property")
 		return nil
 	}); err != nil {
-		return properties.PropertyOutcome{
+		return finish(properties.PropertyOutcome{
 			Diagnostics: []guard.Diagnostic{guard.Diagnose("property", propID, "", err)},
 			Err:         err,
-		}
+		})
 	}
 	var diags []guard.Diagnostic
 	record := func(e Engine, err error) {
 		diags = append(diags, guard.Diagnose("engine."+string(e), propID, string(e), err))
 	}
-	out, err := tryEngine(k, b, Explicit, propID, f, memo)
+	out, err := tryEngine(k, b, Explicit, propID, f, memo, psp, "")
 	if err == nil {
 		out.Diagnostics = diags
-		return out
+		return finish(out)
 	}
 	record(Explicit, err)
 	lastErr := err
@@ -333,15 +406,16 @@ func checkProperty(k *kripke.Structure, b *guard.Budget, propID string, f ctl.Fo
 		if e == Explicit {
 			continue
 		}
-		out, err = tryEngine(k, b, e, propID, f, memo)
+		reason := fmt.Sprintf("%s: %v", diags[len(diags)-1].Stage, lastErr)
+		out, err = tryEngine(k, b, e, propID, f, memo, psp, reason)
 		if err == nil {
 			out.Diagnostics = diags
-			return out
+			return finish(out)
 		}
 		record(e, err)
 		lastErr = err
 	}
-	return properties.PropertyOutcome{Diagnostics: diags, Err: lastErr}
+	return finish(properties.PropertyOutcome{Diagnostics: diags, Err: lastErr})
 }
 
 // CheckFormula verifies a custom CTL formula against the analysis

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"github.com/soteria-analysis/soteria/internal/obs"
+	"github.com/soteria-analysis/soteria/internal/paperapps"
+)
+
+// spanShape runs one traced analysis and returns the order-insensitive
+// span-tree shape.
+func spanShape(t *testing.T, parallel int) string {
+	t.Helper()
+	root := obs.NewRoot("analysis")
+	ctx := obs.WithSpan(context.Background(), root)
+	opts := DefaultOptions()
+	opts.Parallel = parallel
+	_, err := AnalyzeSourcesContext(ctx, opts,
+		NamedSource{Name: "smoke-alarm", Source: paperapps.SmokeAlarm})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	root.End()
+	return root.SortedShape()
+}
+
+// TestSpanTreeDeterministic: two identical analyses produce span trees
+// of identical shape — same phases, same properties, same engine
+// attempts — regardless of property-check parallelism. Timing varies
+// run to run; structure must not.
+func TestSpanTreeDeterministic(t *testing.T) {
+	first := spanShape(t, 1)
+	if first == "" {
+		t.Fatal("empty span shape")
+	}
+	for run := 0; run < 2; run++ {
+		if got := spanShape(t, 1); got != first {
+			t.Fatalf("sequential run %d shape diverged:\n%s\n---\n%s", run, got, first)
+		}
+	}
+	// Parallel sweeps reorder siblings but must not change the shape.
+	for run := 0; run < 2; run++ {
+		if got := spanShape(t, 4); got != first {
+			t.Fatalf("parallel run %d shape diverged:\n%s\n---\n%s", run, got, first)
+		}
+	}
+}
+
+// TestSpanTreeStructure pins the tree's skeleton: the analysis root
+// carries the pipeline phases in order, and each checked property
+// nests at least one engine attempt with a verdict.
+func TestSpanTreeStructure(t *testing.T) {
+	root := obs.NewRoot("analysis")
+	ctx := obs.WithSpan(context.Background(), root)
+	_, err := AnalyzeSourcesContext(ctx, DefaultOptions(),
+		NamedSource{Name: "smoke-alarm", Source: paperapps.SmokeAlarm})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	root.End()
+
+	var phases []string
+	props, engines := 0, 0
+	root.Walk(func(depth int, sp *obs.Span) {
+		switch sp.Name() {
+		case "statemodel", "kripke", "check.general", "check":
+			phases = append(phases, sp.Name())
+		case "property":
+			props++
+			if v, ok := sp.Str("verdict"); !ok || v == "" {
+				id, _ := sp.Str("id")
+				t.Errorf("property %s has no verdict", id)
+			}
+		case "engine":
+			engines++
+			if e, ok := sp.Str("engine"); !ok || e == "" {
+				t.Errorf("engine span lacks engine attr")
+			}
+		}
+	})
+	want := []string{"statemodel", "kripke", "check.general", "check"}
+	if len(phases) != len(want) {
+		t.Fatalf("phases = %v, want %v", phases, want)
+	}
+	for i := range want {
+		if phases[i] != want[i] {
+			t.Fatalf("phases = %v, want %v", phases, want)
+		}
+	}
+	if props == 0 || engines < props {
+		t.Fatalf("props = %d, engines = %d: want every property to carry an engine attempt", props, engines)
+	}
+}
+
+// Benchmarks for the tracing overhead budget: the traced variant must
+// stay within a few percent of the untraced one (soteria-bench
+// -obs-bench enforces <3% on medians).
+func benchAnalyze(b *testing.B, traced bool) {
+	src := NamedSource{Name: "smoke-alarm", Source: paperapps.SmokeAlarm}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctx := context.Background()
+		var root *obs.Span
+		if traced {
+			root = obs.NewRoot("bench")
+			ctx = obs.WithSpan(ctx, root)
+		}
+		if _, err := AnalyzeSourcesContext(ctx, DefaultOptions(), src); err != nil {
+			b.Fatal(err)
+		}
+		root.End()
+	}
+}
+
+func BenchmarkAnalyzeUntraced(b *testing.B) { benchAnalyze(b, false) }
+func BenchmarkAnalyzeTraced(b *testing.B)   { benchAnalyze(b, true) }

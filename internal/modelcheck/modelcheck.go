@@ -56,8 +56,10 @@ func CheckBudget(k *kripke.Structure, f ctl.Formula, b *guard.Budget) *Result {
 // use by parallel sweep workers; the cached []bool sets are shared and
 // must be treated as read-only.
 type Memo struct {
-	mu  sync.Mutex
-	sat map[string][]bool
+	mu      sync.Mutex
+	sat     map[string][]bool
+	lookups uint64
+	hits    uint64
 }
 
 // NewMemo creates an empty cross-formula memo.
@@ -72,6 +74,10 @@ func (mm *Memo) get(key string) ([]bool, bool) {
 	}
 	mm.mu.Lock()
 	v, ok := mm.sat[key]
+	mm.lookups++
+	if ok {
+		mm.hits++
+	}
 	mm.mu.Unlock()
 	return v, ok
 }
@@ -94,6 +100,37 @@ func (mm *Memo) Size() int {
 	mm.mu.Lock()
 	defer mm.mu.Unlock()
 	return len(mm.sat)
+}
+
+// MemoStats are a Memo's cumulative lookup counters.
+type MemoStats struct {
+	// Lookups counts cross-call probes (one per subformula evaluation
+	// that missed the checker's per-call cache).
+	Lookups uint64
+	// Hits counts probes answered from the memo.
+	Hits uint64
+	// Entries is the number of memoized subformula sets.
+	Entries int
+}
+
+// HitRate is Hits/Lookups (0 when no lookups happened).
+func (s MemoStats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// Stats snapshots the memo's counters (zero for nil). The daemon
+// aggregates these onto /metrics and the tracer attaches them to each
+// sweep's span.
+func (mm *Memo) Stats() MemoStats {
+	if mm == nil {
+		return MemoStats{}
+	}
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return MemoStats{Lookups: mm.lookups, Hits: mm.hits, Entries: len(mm.sat)}
 }
 
 // CheckMemoBudget is CheckBudget with a cross-call subformula memo

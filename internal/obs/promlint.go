@@ -1,0 +1,357 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks a Prometheus text-format (0.0.4) scrape
+// for the structural invariants the /metrics endpoint promises:
+//
+//   - every sample belongs to a family announced by exactly one
+//     `# HELP` and one `# TYPE` line, both preceding the samples;
+//   - no duplicate samples (same name and label set);
+//   - counter families are named with a `_total` suffix;
+//   - histogram families have cumulative buckets in ascending `le`
+//     order ending at `+Inf`, a `_sum`, and a `_count` equal to the
+//     `+Inf` bucket;
+//   - every sample value parses as a float.
+//
+// It returns the first violation found, or nil. The /metrics test and
+// the smoke script's scrape phase both run it.
+func ValidateExposition(text []byte) error {
+	v := &expoValidator{
+		families: map[string]*familyInfo{},
+		seen:     map[string]bool{},
+	}
+	for ln, line := range strings.Split(string(text), "\n") {
+		if err := v.line(line); err != nil {
+			return fmt.Errorf("line %d: %w", ln+1, err)
+		}
+	}
+	return v.finish()
+}
+
+type familyInfo struct {
+	help    bool
+	typ     string
+	sampled bool
+	// histSeries orders histogram series (keyed by the label set minus
+	// le) for the cumulativity check.
+	histSeries map[string]*histSeries
+	order      []string
+}
+
+type histSeries struct {
+	les      []float64
+	counts   []float64
+	hasInf   bool
+	infCount float64
+	sum      *float64
+	count    *float64
+}
+
+type expoValidator struct {
+	families map[string]*familyInfo
+	seen     map[string]bool // full sample identity: name + sorted labels
+}
+
+func (v *expoValidator) line(line string) error {
+	line = strings.TrimRight(line, "\r")
+	if strings.TrimSpace(line) == "" {
+		return nil
+	}
+	if strings.HasPrefix(line, "# HELP ") {
+		name := metaName(line[len("# HELP "):])
+		if name == "" {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		f := v.family(name)
+		if f.help {
+			return fmt.Errorf("duplicate HELP for %s", name)
+		}
+		if f.sampled {
+			return fmt.Errorf("HELP for %s after its samples", name)
+		}
+		f.help = true
+		return nil
+	}
+	if strings.HasPrefix(line, "# TYPE ") {
+		rest := strings.Fields(line[len("# TYPE "):])
+		if len(rest) != 2 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := rest[0], rest[1]
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown TYPE %q for %s", typ, name)
+		}
+		f := v.family(name)
+		if f.typ != "" {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if f.sampled {
+			return fmt.Errorf("TYPE for %s after its samples", name)
+		}
+		f.typ = typ
+		return nil
+	}
+	if strings.HasPrefix(line, "#") {
+		return nil // plain comment
+	}
+	return v.sample(line)
+}
+
+func metaName(rest string) string {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return ""
+	}
+	return fields[0]
+}
+
+func (v *expoValidator) family(name string) *familyInfo {
+	f := v.families[name]
+	if f == nil {
+		f = &familyInfo{histSeries: map[string]*histSeries{}}
+		v.families[name] = f
+	}
+	return f
+}
+
+func (v *expoValidator) sample(line string) error {
+	name, labels, valueStr, err := parseSample(line)
+	if err != nil {
+		return err
+	}
+	value, err := strconv.ParseFloat(valueStr, 64)
+	if err != nil {
+		return fmt.Errorf("sample %s: bad value %q", name, valueStr)
+	}
+
+	famName, f := v.resolveFamily(name)
+	if f == nil {
+		return fmt.Errorf("sample %s has no preceding TYPE", name)
+	}
+	if !f.help {
+		return fmt.Errorf("sample %s has no preceding HELP", name)
+	}
+	f.sampled = true
+
+	id := name + "{" + canonicalLabels(labels) + "}"
+	if v.seen[id] {
+		return fmt.Errorf("duplicate sample %s", id)
+	}
+	v.seen[id] = true
+
+	if f.typ == "histogram" {
+		v.histSample(famName, f, name, labels, value)
+	}
+	return nil
+}
+
+// resolveFamily maps a sample name to its announced family, folding
+// histogram suffixes onto the base name.
+func (v *expoValidator) resolveFamily(name string) (string, *familyInfo) {
+	if f, ok := v.families[name]; ok && f.typ != "" {
+		return name, f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		if f, okf := v.families[base]; okf && f.typ == "histogram" {
+			return base, f
+		}
+	}
+	return "", nil
+}
+
+func (v *expoValidator) histSample(fam string, f *familyInfo, name string, labels map[string]string, value float64) {
+	rest := map[string]string{}
+	for k, val := range labels {
+		if k != "le" {
+			rest[k] = val
+		}
+	}
+	key := canonicalLabels(rest)
+	hs := f.histSeries[key]
+	if hs == nil {
+		hs = &histSeries{}
+		f.histSeries[key] = hs
+		f.order = append(f.order, key)
+	}
+	switch name {
+	case fam + "_bucket":
+		le := labels["le"]
+		if le == "+Inf" {
+			hs.hasInf = true
+			hs.infCount = value
+			return
+		}
+		b, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			b = -1 // finish() reports via ordering check
+		}
+		hs.les = append(hs.les, b)
+		hs.counts = append(hs.counts, value)
+	case fam + "_sum":
+		hs.sum = &value
+	case fam + "_count":
+		hs.count = &value
+	}
+}
+
+func (v *expoValidator) finish() error {
+	names := make([]string, 0, len(v.families))
+	for name := range v.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := v.families[name]
+		if (f.help || f.typ != "") && !f.sampled {
+			return fmt.Errorf("family %s announced but has no samples", name)
+		}
+		if f.typ == "counter" && !strings.HasSuffix(name, "_total") {
+			return fmt.Errorf("counter %s is not named with a _total suffix", name)
+		}
+		if f.typ != "histogram" {
+			continue
+		}
+		for _, key := range f.order {
+			hs := f.histSeries[key]
+			where := name
+			if key != "" {
+				where += "{" + key + "}"
+			}
+			if !hs.hasInf {
+				return fmt.Errorf("histogram %s has no le=\"+Inf\" bucket", where)
+			}
+			prev := -1.0
+			prevCount := -1.0
+			for i, le := range hs.les {
+				if le <= prev {
+					return fmt.Errorf("histogram %s buckets not in ascending le order", where)
+				}
+				if hs.counts[i] < prevCount {
+					return fmt.Errorf("histogram %s bucket counts are not cumulative", where)
+				}
+				prev, prevCount = le, hs.counts[i]
+			}
+			if hs.infCount < prevCount {
+				return fmt.Errorf("histogram %s +Inf bucket below preceding bucket", where)
+			}
+			if hs.sum == nil {
+				return fmt.Errorf("histogram %s missing _sum", where)
+			}
+			if hs.count == nil {
+				return fmt.Errorf("histogram %s missing _count", where)
+			}
+			if *hs.count != hs.infCount {
+				return fmt.Errorf("histogram %s _count %v != +Inf bucket %v", where, *hs.count, hs.infCount)
+			}
+		}
+	}
+	return nil
+}
+
+// parseSample splits `name{k="v",...} value` (labels optional) into
+// its parts, handling \" escapes inside label values.
+func parseSample(line string) (name string, labels map[string]string, value string, err error) {
+	labels = map[string]string{}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", nil, "", fmt.Errorf("malformed sample %q", line)
+	}
+	name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		end, lerr := parseLabels(rest, labels)
+		if lerr != nil {
+			return "", nil, "", fmt.Errorf("sample %s: %w", name, lerr)
+		}
+		rest = rest[end:]
+	}
+	value = strings.TrimSpace(rest)
+	// The exposition format allows an optional timestamp after the
+	// value; strip it so the value parse stays meaningful.
+	if f := strings.Fields(value); len(f) > 0 {
+		value = f[0]
+	}
+	if value == "" {
+		return "", nil, "", fmt.Errorf("sample %s: missing value", name)
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels consumes a {k="v",...} block starting at s[0]=='{' and
+// returns the index one past the closing brace.
+func parseLabels(s string, out map[string]string) (int, error) {
+	i := 1
+	for {
+		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("malformed labels %q", s)
+		}
+		key := s[i : i+eq]
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, fmt.Errorf("unterminated label value in %q", s)
+			}
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				next := s[i+1]
+				switch next {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(next)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		out[strings.TrimSpace(key)] = val.String()
+	}
+}
+
+// canonicalLabels renders a label map sorted by key, for duplicate
+// detection and series keying.
+func canonicalLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, labels[k])
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateExpositionAccepts(t *testing.T) {
+	good := `# HELP soteriad_jobs_done_total jobs completed
+# TYPE soteriad_jobs_done_total counter
+soteriad_jobs_done_total 12
+# HELP soteriad_queue_depth queued jobs
+# TYPE soteriad_queue_depth gauge
+soteriad_queue_depth 0
+# HELP soteriad_job_seconds end-to-end latency
+# TYPE soteriad_job_seconds histogram
+soteriad_job_seconds_bucket{le="0.001"} 1
+soteriad_job_seconds_bucket{le="0.01"} 3
+soteriad_job_seconds_bucket{le="+Inf"} 4
+soteriad_job_seconds_sum 0.52
+soteriad_job_seconds_count 4
+# HELP soteriad_engine_seconds per-engine latency
+# TYPE soteriad_engine_seconds histogram
+soteriad_engine_seconds_bucket{engine="bdd",le="0.001"} 0
+soteriad_engine_seconds_bucket{engine="bdd",le="+Inf"} 0
+soteriad_engine_seconds_sum{engine="bdd"} 0
+soteriad_engine_seconds_count{engine="bdd"} 0
+soteriad_engine_seconds_bucket{engine="explicit",le="0.001"} 2
+soteriad_engine_seconds_bucket{engine="explicit",le="+Inf"} 2
+soteriad_engine_seconds_sum{engine="explicit"} 0.001
+soteriad_engine_seconds_count{engine="explicit"} 2
+`
+	if err := ValidateExposition([]byte(good)); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{
+			"counter missing _total",
+			"# HELP x_jobs jobs\n# TYPE x_jobs counter\nx_jobs 1\n",
+			"_total",
+		},
+		{
+			"duplicate sample",
+			"# HELP x_total c\n# TYPE x_total counter\nx_total 1\nx_total 2\n",
+			"duplicate sample",
+		},
+		{
+			"duplicate HELP",
+			"# HELP x_total c\n# HELP x_total c\n# TYPE x_total counter\nx_total 1\n",
+			"duplicate HELP",
+		},
+		{
+			"duplicate TYPE",
+			"# HELP x_total c\n# TYPE x_total counter\n# TYPE x_total counter\nx_total 1\n",
+			"duplicate TYPE",
+		},
+		{
+			"sample without TYPE",
+			"x_total 1\n",
+			"no preceding TYPE",
+		},
+		{
+			"sample without HELP",
+			"# TYPE x_total counter\nx_total 1\n",
+			"no preceding HELP",
+		},
+		{
+			"histogram without +Inf",
+			"# HELP h latency\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"+Inf",
+		},
+		{
+			"non-cumulative buckets",
+			"# HELP h latency\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"cumulative",
+		},
+		{
+			"count disagrees with +Inf",
+			"# HELP h latency\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+			"_count",
+		},
+		{
+			"bad value",
+			"# HELP x_total c\n# TYPE x_total counter\nx_total banana\n",
+			"bad value",
+		},
+		{
+			"help after samples",
+			"# TYPE x_total counter\n# HELP x_total c\nx_total 1\n# HELP x_total again\n",
+			"duplicate HELP",
+		},
+	}
+	for _, tc := range cases {
+		err := ValidateExposition([]byte(tc.text))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// NewTraceID mints a 32-hex-character random trace ID. Trace IDs are
+// generated once per logical request — by the client before its first
+// attempt (so retries share the ID) or by the daemon at submission
+// when the client sent none — and stamped on every log line, response
+// header, and timing tree for that job.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; keep the
+		// signature allocation-free rather than plumb an error.
+		panic("obs: crypto/rand failed: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether a caller-supplied trace ID is safe to
+// adopt: 8–64 characters of [A-Za-z0-9_-]. Anything else (empty,
+// oversized, control characters, header-splitting attempts) is
+// rejected and the daemon mints its own.
+func ValidTraceID(s string) bool {
+	if len(s) < 8 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -41,6 +41,11 @@ type Record struct {
 	// fault); Diagnostics explain what was skipped.
 	Incomplete  bool         `json:"incomplete"`
 	Diagnostics []Diagnostic `json:"diagnostics"`
+	// Timing carries the job's trace ID and span tree when the request
+	// asked for timings. It is attached per response by the serving
+	// tier and never set by FromAnalysis nor persisted: timing data is
+	// run-varying and must stay out of the content-addressed bytes.
+	Timing *Timing `json:"timing,omitempty"`
 }
 
 // Violation is one property violation in record form.

@@ -1,0 +1,61 @@
+package report
+
+import (
+	"github.com/soteria-analysis/soteria/internal/obs"
+)
+
+// Timing is the per-response timing envelope attached to a Record when
+// the request asked for `timings`: the job's trace ID and its span
+// tree.
+//
+// Timing is run-varying by nature, so it is NEVER part of the stored,
+// content-addressed record bytes: FromAnalysis never sets it, the
+// store persists records without it, and the serving tier attaches it
+// to a shallow per-response copy only. Decode tolerates the field, so
+// a served record round-trips through clients unchanged.
+type Timing struct {
+	TraceID string     `json:"trace_id"`
+	Span    *TimedSpan `json:"span"`
+}
+
+// TimedSpan is the wire form of one obs.Span node.
+type TimedSpan struct {
+	Name string `json:"name"`
+	// DurationUS is the span's duration in microseconds.
+	DurationUS int64        `json:"duration_us"`
+	Attrs      []TimedAttr  `json:"attrs,omitempty"`
+	Children   []*TimedSpan `json:"children,omitempty"`
+}
+
+// TimedAttr is one span annotation.
+type TimedAttr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// TimingFromSpan renders a span tree (plus its trace ID) into wire
+// form. Nil-safe: a nil span yields a nil Timing.
+func TimingFromSpan(traceID string, sp *obs.Span) *Timing {
+	root := timedSpan(sp)
+	if root == nil {
+		return nil
+	}
+	return &Timing{TraceID: traceID, Span: root}
+}
+
+func timedSpan(sp *obs.Span) *TimedSpan {
+	if sp == nil {
+		return nil
+	}
+	out := &TimedSpan{
+		Name:       sp.Name(),
+		DurationUS: sp.Duration().Microseconds(),
+	}
+	for _, a := range sp.Attrs() {
+		out.Attrs = append(out.Attrs, TimedAttr{Key: a.Key, Value: a.Val})
+	}
+	for _, c := range sp.Children() {
+		out.Children = append(out.Children, timedSpan(c))
+	}
+	return out
+}

@@ -61,6 +61,10 @@ type analyzeRequest struct {
 	Options        requestOptions `json:"options,omitempty"`
 	Async          bool           `json:"async,omitempty"`
 	IdempotencyKey string         `json:"idempotency_key,omitempty"`
+	// Timings embeds the job's span tree (and trace ID) in the
+	// response records. Timing data rides the response only — it is
+	// never part of the stored, content-addressed record.
+	Timings bool `json:"timings,omitempty"`
 }
 
 // batchRequest is the POST /v1/batch body.
@@ -69,6 +73,8 @@ type batchRequest struct {
 	Options        requestOptions     `json:"options,omitempty"`
 	Async          bool               `json:"async,omitempty"`
 	IdempotencyKey string             `json:"idempotency_key,omitempty"`
+	// Timings embeds each job's span tree in the response records.
+	Timings bool `json:"timings,omitempty"`
 }
 
 // validateIdemKey bounds a client-supplied idempotency key: visible
@@ -217,6 +223,7 @@ func (s *Server) parseAnalyze(data []byte) (*job, *httpError) {
 		items:   []core.BatchItem{{Sources: sources}},
 		opts:    opts,
 		async:   req.Async,
+		timings: req.Timings,
 		status:  statusQueued,
 		done:    make(chan struct{}),
 	}, nil
@@ -267,6 +274,7 @@ func (s *Server) parseBatch(data []byte) (*job, *httpError) {
 		items:   items,
 		opts:    opts,
 		async:   req.Async,
+		timings: req.Timings,
 		status:  statusQueued,
 		done:    make(chan struct{}),
 	}, nil

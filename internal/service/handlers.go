@@ -10,8 +10,14 @@ import (
 	"time"
 
 	"github.com/soteria-analysis/soteria/internal/core"
+	"github.com/soteria-analysis/soteria/internal/obs"
 	"github.com/soteria-analysis/soteria/internal/report"
 )
+
+// TraceHeader carries a job's trace ID on requests (client-minted,
+// stable across retries) and responses (the ID the daemon adopted or
+// minted).
+const TraceHeader = "X-Soteria-Trace"
 
 // Handler returns the service's HTTP API:
 //
@@ -29,7 +35,53 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.logRequests(mux)
+}
+
+// statusRecorder captures the response status for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// logRequests emits one structured log line per request. The trace ID
+// is taken from the response (the ID the handler adopted or minted),
+// falling back to a valid client-supplied header — so every attempt of
+// a retried submission logs under the same trace even when it is
+// rejected before a job exists.
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		trace := rec.Header().Get(TraceHeader)
+		if trace == "" {
+			if h := r.Header.Get(TraceHeader); obs.ValidTraceID(h) {
+				trace = h
+			}
+		}
+		attrs := []any{
+			"method", r.Method, "path", r.URL.Path,
+			"status", rec.code, "dur_ms", time.Since(start).Milliseconds(),
+		}
+		if trace != "" {
+			attrs = append(attrs, "trace", trace)
+		}
+		s.logger.Info("http request", attrs...)
+	})
+}
+
+// requestTrace adopts a valid client-supplied trace ID or mints one.
+func requestTrace(r *http.Request) string {
+	if h := r.Header.Get(TraceHeader); obs.ValidTraceID(h) {
+		return h
+	}
+	return obs.NewTraceID()
 }
 
 // jobResponse is the wire form of a job's state: the analyze and
@@ -92,14 +144,33 @@ func (s *Server) rejectSubmit(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusTooManyRequests, "job queue is full, retry after %ds", secs)
 }
 
-// respondJob renders a completed or polled job.
+// respondJob renders a completed or polled job. The job's trace ID is
+// returned in X-Soteria-Trace; when the job asked for timings, each
+// record in the response carries the span tree on a per-response copy
+// (never the stored record — timing data is run-varying and must stay
+// out of the content-addressed bytes).
 func respondJob(w http.ResponseWriter, code int, j *job) {
 	status, results, elapsed := j.snapshot()
+	if j.trace != "" {
+		w.Header().Set(TraceHeader, j.trace)
+	}
 	resp := jobResponse{JobID: j.id, Status: status, ElapsedMS: elapsed.Milliseconds()}
 	if status != statusDone && status != statusFailed {
 		resp.Poll = "/v1/jobs/" + j.id
 		writeJSON(w, code, resp)
 		return
+	}
+	var timing *report.Timing
+	if j.timings {
+		timing = report.TimingFromSpan(j.trace, j.spanTree())
+	}
+	withTiming := func(rec *report.Record) *report.Record {
+		if rec == nil || timing == nil {
+			return rec
+		}
+		cp := *rec
+		cp.Timing = timing
+		return &cp
 	}
 	if j.batch {
 		for _, it := range results {
@@ -107,14 +178,14 @@ func respondJob(w http.ResponseWriter, code int, j *job) {
 				Key:    it.Key,
 				Store:  it.StoreKey,
 				Cached: it.Cached,
-				Result: it.Record,
+				Result: withTiming(it.Record),
 				Error:  it.Err,
 			})
 		}
 	} else if len(results) == 1 {
 		resp.Key = results[0].StoreKey
 		resp.Cached = results[0].Cached
-		resp.Result = results[0].Record
+		resp.Result = withTiming(results[0].Record)
 		resp.Error = results[0].Err
 	}
 	writeJSON(w, code, resp)
@@ -186,6 +257,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // client never saw accepted; a crash after it cannot lose the job.
 func (s *Server) finishOrQueue(w http.ResponseWriter, r *http.Request, j *job) {
 	j.id = newJobID()
+	// The trace ID is fixed before the job is published anywhere (the
+	// idempotency index, the journal, the queue): every log line and
+	// response about this job carries the same ID.
+	j.trace = requestTrace(r)
 	if j.idemKey != "" {
 		if prev, claimed := s.claimIdem(j.idemKey, j); !claimed {
 			// Resubmission: the key's original job answers, whatever
@@ -210,7 +285,8 @@ func (s *Server) finishOrQueue(w http.ResponseWriter, r *http.Request, j *job) {
 		// Durability cannot be promised; better a retryable 503 than an
 		// acknowledged job a crash would silently lose.
 		s.releaseIdem(j.idemKey, j)
-		s.cfg.Log.Printf("journal: accepted append for job %s: %v", j.id, err)
+		s.logger.Error("journal accepted append failed", "job", j.id, "trace", j.trace, "error", err)
+		w.Header().Set(TraceHeader, j.trace)
 		writeError(w, http.StatusServiceUnavailable, "job journal write failed")
 		return
 	}
@@ -218,8 +294,9 @@ func (s *Server) finishOrQueue(w http.ResponseWriter, r *http.Request, j *job) {
 		// Withdraw the accepted entry so a restart does not resurrect a
 		// job the client was told to retry, and free its key.
 		if jerr := s.journal.append(journalEvent{Op: opRejected, Job: j.id, Idem: j.idemKey}); jerr != nil {
-			s.cfg.Log.Printf("journal: rejected append for job %s: %v", j.id, jerr)
+			s.logger.Error("journal rejected append failed", "job", j.id, "trace", j.trace, "error", jerr)
 		}
+		w.Header().Set(TraceHeader, j.trace)
 		s.releaseIdem(j.idemKey, j)
 		s.rejectSubmit(w, err)
 		return
@@ -248,6 +325,9 @@ func (s *Server) finishFromStore(j *job) bool {
 	if s.cfg.Store == nil {
 		return false
 	}
+	root := obs.NewRoot("job")
+	root.Set("trace", j.trace)
+	root.Set("cached", "true")
 	results := make([]itemResult, len(j.items))
 	for i, it := range j.items {
 		key := core.AnalysisKey(it.Sources, j.opts)
@@ -258,11 +338,15 @@ func (s *Server) finishFromStore(j *job) bool {
 		results[i] = itemResult{Key: it.Key, StoreKey: key, Cached: true, Record: rec}
 	}
 	s.jobsDone.Add(1)
+	root.End()
 	j.mu.Lock()
 	j.status = statusDone
 	j.results = results
+	j.elapsed = root.Duration()
+	j.span = root
 	j.mu.Unlock()
 	close(j.done)
+	s.jobLatency.Observe(root.Duration())
 	return true
 }
 

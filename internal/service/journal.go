@@ -55,6 +55,7 @@ type journalEvent struct {
 	Job       string          `json:"job"`
 	Idem      string          `json:"idem,omitempty"`
 	Batch     bool            `json:"batch,omitempty"`
+	Trace     string          `json:"trace,omitempty"`
 	Items     []journalItem   `json:"items,omitempty"`
 	Opts      *journalOptions `json:"opts,omitempty"`
 	Results   []journalResult `json:"results,omitempty"`
@@ -127,6 +128,7 @@ func acceptedEvent(j *job) journalEvent {
 		Job:   j.id,
 		Idem:  j.idemKey,
 		Batch: j.batch,
+		Trace: j.trace,
 		Opts:  optionsToJournal(j.opts),
 	}
 	for _, it := range j.items {
@@ -147,6 +149,7 @@ func jobFromAccepted(ev journalEvent) *job {
 		id:      ev.Job,
 		idemKey: ev.Idem,
 		batch:   ev.Batch,
+		trace:   ev.Trace,
 		async:   true,
 		opts:    ev.Opts.core(),
 		status:  statusQueued,

@@ -4,12 +4,19 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+
+	"github.com/soteria-analysis/soteria/internal/obs"
 )
 
 // handleMetrics serves GET /metrics in the Prometheus text exposition
 // format (hand-rendered; the serving tier is standard-library only).
-// Gauges come from the guard instrumentation, counters from the job
-// table, the persistent store, and the in-process analysis cache.
+// Gauges come from the guard instrumentation; counters from the job
+// table, the persistent store, the in-process analysis cache, and the
+// engine/BDD-kernel and memo totals aggregated from job span trees;
+// histograms are the obs latency families (job end-to-end, queue
+// wait, per-phase, per-engine). The exposition-format test validates
+// the output with obs.ValidateExposition, and the smoke script
+// re-validates it against a live daemon.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
 	gauge := func(name, help string, v int64) {
@@ -30,15 +37,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("soteriad_jobs_done_total", "Jobs completed successfully (including cache-served).", s.jobsDone.Load())
 	counter("soteriad_jobs_failed_total", "Jobs that ended in a hard input error.", s.jobsFailed.Load())
 	counter("soteriad_jobs_rejected_total", "Submissions rejected by backpressure or drain.", s.jobsRejected.Load())
+	counter("soteriad_slow_jobs_total", "Jobs exceeding the slow-job threshold (span trees dumped to the log).", s.slowJobs.Load())
 
 	counter("soteriad_idempotency_hits_total", "Resubmissions answered by an idempotency key's first job.", s.idemHits.Load())
-	counter("soteriad_jobs_replayed", "Jobs rebuilt from the journal at startup.", s.jobsReplayed.Load())
-	counter("soteriad_jobs_reenqueued", "Replayed jobs re-enqueued because they never reached a terminal state.", s.jobsReenqueued.Load())
-	counter("soteriad_journal_dup_keys", "Duplicate idempotency keys collapsed during journal replay.", s.journalDupKeys.Load())
+	counter("soteriad_jobs_replayed_total", "Jobs rebuilt from the journal at startup.", s.jobsReplayed.Load())
+	counter("soteriad_jobs_reenqueued_total", "Replayed jobs re-enqueued because they never reached a terminal state.", s.jobsReenqueued.Load())
+	counter("soteriad_journal_dup_keys_total", "Duplicate idempotency keys collapsed during journal replay.", s.journalDupKeys.Load())
 	if s.journal != nil {
 		counter("soteriad_journal_appends_total", "Entries appended to the job journal.", s.journal.stats.appends.Load())
 		counter("soteriad_journal_syncs_total", "fsyncs issued by the job journal (group commit batches appends).", s.journal.stats.syncs.Load())
-		counter("soteriad_journal_truncated_bytes", "Torn-tail bytes truncated when the journal was opened.", int64(s.journal.replay.TruncatedBytes))
+		gauge("soteriad_journal_truncated_bytes", "Torn-tail bytes truncated when the journal was opened.", int64(s.journal.replay.TruncatedBytes))
 	}
 
 	cs := s.cache.Stats()
@@ -55,6 +63,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("soteriad_store_puts_total", "Records written to the persistent store.", ss.Puts)
 	counter("soteriad_store_evictions_total", "Records evicted from the store's memory front.", ss.Evictions)
 	counter("soteriad_store_corrupt_total", "Corrupt records quarantined on read.", ss.Corrupt)
+
+	// BDD kernel and explicit-engine memo totals, aggregated from the
+	// span trees of completed jobs.
+	counter("soteriad_bdd_nodes_total", "BDD nodes allocated by symbolic-engine checks (budget-charged).", s.bddNodes.Load())
+	counter("soteriad_bdd_ite_lookups_total", "BDD kernel ITE computed-table probes.", s.bddITELookups.Load())
+	counter("soteriad_bdd_ite_hits_total", "BDD kernel ITE computed-table hits.", s.bddITEHits.Load())
+	counter("soteriad_bdd_op_lookups_total", "BDD kernel quantify/rename computed-table probes.", s.bddOpLookups.Load())
+	counter("soteriad_bdd_op_hits_total", "BDD kernel quantify/rename computed-table hits.", s.bddOpHits.Load())
+	counter("soteriad_memo_lookups_total", "Explicit-engine cross-formula memo probes.", s.memoLookups.Load())
+	counter("soteriad_memo_hits_total", "Explicit-engine cross-formula memo hits.", s.memoHits.Load())
+	counter("soteriad_memo_subformulas_total", "Distinct subformulas memoized across property sweeps.", s.memoSubformulas.Load())
+
+	obs.WriteHistogramProm(&b, "soteriad_job_seconds",
+		"End-to-end job latency (queue wait excluded for cache-served jobs).",
+		obs.Series{H: s.jobLatency})
+	obs.WriteHistogramProm(&b, "soteriad_queue_wait_seconds",
+		"Time jobs spent queued before a worker picked them up.",
+		obs.Series{H: s.queueWait})
+	phases := make([]obs.Series, 0, len(phaseNames))
+	for _, p := range phaseNames {
+		phases = append(phases, obs.Series{Label: "phase", Value: p, H: s.phaseHist[p]})
+	}
+	obs.WriteHistogramProm(&b, "soteriad_phase_seconds",
+		"Per-phase analysis durations (ir, statemodel, kripke, check.general, check).",
+		phases...)
+	engines := make([]obs.Series, 0, len(engineNames))
+	for _, e := range engineNames {
+		engines = append(engines, obs.Series{Label: "engine", Value: e, H: s.engineHist[e]})
+	}
+	obs.WriteHistogramProm(&b, "soteriad_engine_check_seconds",
+		"Per-engine property-check durations, including fallback attempts.",
+		engines...)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprint(w, b.String())

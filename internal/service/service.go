@@ -30,7 +30,8 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -39,6 +40,7 @@ import (
 	"github.com/soteria-analysis/soteria/internal/core"
 	"github.com/soteria-analysis/soteria/internal/fsio"
 	"github.com/soteria-analysis/soteria/internal/guard"
+	"github.com/soteria-analysis/soteria/internal/obs"
 	"github.com/soteria-analysis/soteria/internal/report"
 	"github.com/soteria-analysis/soteria/internal/store"
 )
@@ -87,8 +89,12 @@ type Config struct {
 	// MaxJobRecords bounds the completed-job records retained for
 	// GET /v1/jobs (default 1024; oldest are dropped).
 	MaxJobRecords int
-	// Log receives request and job logs; nil discards them.
-	Log *log.Logger
+	// Logger receives structured request and job logs (every line
+	// carries the job's trace ID); nil discards them.
+	Logger *slog.Logger
+	// SlowJobThreshold, when positive, dumps the full span tree of any
+	// job whose wall time exceeds it to the log at Warn level.
+	SlowJobThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -146,6 +152,15 @@ type job struct {
 	async   bool
 	items   []core.BatchItem
 	opts    core.Options
+	// trace is the job's trace ID: adopted from a valid X-Soteria-Trace
+	// request header or minted at submission, then stamped on every log
+	// line, response header, and journal entry. Written once before the
+	// job is published (idempotency claim / queue), never after.
+	trace string
+	// timings requests the span tree in the job's response records.
+	timings bool
+	// queuedAt feeds the queue-wait histogram (zero = not queued).
+	queuedAt time.Time
 
 	done chan struct{} // closed on completion
 
@@ -153,6 +168,8 @@ type job struct {
 	status  jobStatus
 	results []itemResult
 	elapsed time.Duration
+	// span is the job's completed trace tree (nil until terminal).
+	span *obs.Span
 }
 
 func (j *job) setStatus(s jobStatus) {
@@ -168,11 +185,19 @@ func (j *job) snapshot() (jobStatus, []itemResult, time.Duration) {
 	return j.status, j.results, j.elapsed
 }
 
+// spanTree returns the job's completed trace tree (nil until terminal).
+func (j *job) spanTree() *obs.Span {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.span
+}
+
 // Server is the analysis service. Create one with New, mount
 // Handler() on an http.Server, and call Shutdown to drain.
 type Server struct {
-	cfg   Config
-	cache *store.AnalysisCache
+	cfg    Config
+	cache  *store.AnalysisCache
+	logger *slog.Logger
 
 	queue    chan *job
 	quiesce  sync.RWMutex // submitters hold R; Shutdown holds W to close queue
@@ -192,6 +217,21 @@ type Server struct {
 	// Restart-recovery and idempotency counters for /metrics.
 	jobsReplayed, jobsReenqueued, idemHits, journalDupKeys atomic.Int64
 
+	// Latency histograms (log-spaced buckets, atomic): job end-to-end
+	// wall time, queue wait at worker pickup, per-phase and per-engine
+	// check durations. The maps are built once in New and read-only
+	// after, so workers index them without a lock.
+	jobLatency *obs.Histogram
+	queueWait  *obs.Histogram
+	phaseHist  map[string]*obs.Histogram
+	engineHist map[string]*obs.Histogram
+
+	// Engine/BDD-kernel and memo counters aggregated from job span
+	// trees, surfaced on /metrics.
+	bddNodes, bddITELookups, bddITEHits, bddOpLookups, bddOpHits atomic.Int64
+	memoLookups, memoHits, memoSubformulas                       atomic.Int64
+	slowJobs                                                     atomic.Int64
+
 	jobsMu   sync.Mutex
 	jobs     map[string]*job
 	jobOrder *list.List      // of job IDs, oldest at back
@@ -199,6 +239,12 @@ type Server struct {
 
 	started time.Time
 }
+
+// phaseNames and engineNames fix the label sets (and exposition order)
+// of the phase and engine histogram families.
+var phaseNames = []string{"ir", "statemodel", "kripke", "check.general", "check"}
+
+var engineNames = []string{"explicit", "bdd", "bmc"}
 
 // testHookJobRunning, when set, is called by workers right after a
 // job transitions to running. Tests use it to hold workers in place
@@ -213,19 +259,30 @@ var testHookJobRunning atomic.Pointer[func(*job)]
 // not yet terminal when the previous process died.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Log == nil {
-		cfg.Log = log.New(discard{}, "", 0)
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:      cfg,
-		cache:    store.NewAnalysisCache(cfg.Store),
-		baseCtx:  ctx,
-		cancel:   cancel,
-		jobs:     map[string]*job{},
-		jobOrder: list.New(),
-		idem:     map[string]*job{},
-		started:  time.Now(),
+		cfg:        cfg,
+		cache:      store.NewAnalysisCache(cfg.Store),
+		logger:     cfg.Logger,
+		baseCtx:    ctx,
+		cancel:     cancel,
+		jobs:       map[string]*job{},
+		jobOrder:   list.New(),
+		idem:       map[string]*job{},
+		started:    time.Now(),
+		jobLatency: obs.NewHistogram(obs.DefaultLatencyBounds()),
+		queueWait:  obs.NewHistogram(obs.DefaultLatencyBounds()),
+		phaseHist:  map[string]*obs.Histogram{},
+		engineHist: map[string]*obs.Histogram{},
+	}
+	for _, p := range phaseNames {
+		s.phaseHist[p] = obs.NewHistogram(obs.DefaultLatencyBounds())
+	}
+	for _, e := range engineNames {
+		s.engineHist[e] = obs.NewHistogram(obs.DefaultLatencyBounds())
 	}
 
 	queueCap := cfg.QueueDepth
@@ -255,14 +312,16 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		if len(events) > 0 || jr.replay.TruncatedBytes > 0 {
-			cfg.Log.Printf("journal: replayed %d events (%d jobs, %d re-enqueued, %d duplicate keys, %d torn bytes truncated)",
-				len(events), len(out.jobs), len(requeue), out.dupKeys, jr.replay.TruncatedBytes)
+			s.logger.Info("journal replayed",
+				"events", len(events), "jobs", len(out.jobs), "reenqueued", len(requeue),
+				"dup_keys", out.dupKeys, "truncated_bytes", jr.replay.TruncatedBytes)
 		}
 	}
 
 	s.queue = make(chan *job, queueCap)
 	for _, j := range requeue {
 		j.setStatus(statusQueued)
+		j.queuedAt = time.Now()
 		s.queue <- j
 		s.queueDepth.Inc()
 	}
@@ -324,7 +383,7 @@ func replayEvents(events []journalEvent, st *store.Store) replayOutcome {
 				// (or survived compaction) without its accepted entry.
 				// Surface the terminal state; there is nothing to re-run.
 				j = &job{
-					id: ev.Job, idemKey: ev.Idem, batch: ev.Batch,
+					id: ev.Job, idemKey: ev.Idem, batch: ev.Batch, trace: ev.Trace,
 					async: true, done: make(chan struct{}),
 				}
 				byID[ev.Job] = j
@@ -377,7 +436,7 @@ func compactEvents(out replayOutcome) []journalEvent {
 		switch j.status {
 		case statusDone, statusFailed:
 			evs = append(evs,
-				journalEvent{Op: opAccepted, Job: j.id, Idem: j.idemKey, Batch: j.batch},
+				journalEvent{Op: opAccepted, Job: j.id, Idem: j.idemKey, Batch: j.batch, Trace: j.trace},
 				terminalEvent(j, j.status, j.results, j.elapsed))
 		default:
 			evs = append(evs, acceptedEvent(j))
@@ -393,7 +452,7 @@ func terminalEvent(j *job, status jobStatus, results []itemResult, elapsed time.
 		op = opFailed
 	}
 	ev := journalEvent{
-		Op: op, Job: j.id, Idem: j.idemKey, Batch: j.batch,
+		Op: op, Job: j.id, Idem: j.idemKey, Batch: j.batch, Trace: j.trace,
 		ElapsedMS: elapsed.Milliseconds(),
 	}
 	for _, r := range results {
@@ -403,10 +462,6 @@ func terminalEvent(j *job, status jobStatus, results []itemResult, elapsed time.
 	}
 	return ev
 }
-
-type discard struct{}
-
-func (discard) Write(p []byte) (int, error) { return len(p), nil }
 
 // newJobID returns a 16-hex-char random job ID.
 func newJobID() string {
@@ -434,6 +489,9 @@ func (s *Server) submit(j *job) error {
 		s.jobsRejected.Add(1)
 		return errDraining
 	}
+	// queuedAt must land before the channel send publishes j to a
+	// worker.
+	j.queuedAt = time.Now()
 	select {
 	case s.queue <- j:
 		s.queueDepth.Inc()
@@ -502,6 +560,9 @@ func (s *Server) worker() {
 	defer s.workers.Done()
 	for j := range s.queue {
 		s.queueDepth.Dec()
+		if !j.queuedAt.IsZero() {
+			s.queueWait.Observe(time.Since(j.queuedAt))
+		}
 		s.inflight.Inc()
 		s.runJob(j)
 		s.inflight.Dec()
@@ -516,9 +577,14 @@ func (s *Server) runJob(j *job) {
 	if hook := testHookJobRunning.Load(); hook != nil {
 		(*hook)(j)
 	}
-	start := time.Now()
+	// The root span IS the job's wall clock: elapsed is read from it,
+	// so the timing tree's root duration and the job's elapsed_ms are
+	// the same measurement.
+	root := obs.NewRoot("job")
+	root.Set("trace", j.trace)
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
 	defer cancel()
+	ctx = obs.WithSpan(ctx, root)
 
 	bo := core.BatchOptions{
 		Options:  j.opts,
@@ -556,21 +622,68 @@ func (s *Server) runJob(j *job) {
 		s.jobsDone.Add(1)
 	}
 
-	elapsed := time.Since(start)
+	root.Set("status", string(status))
+	root.End()
+	elapsed := root.Duration()
 	j.mu.Lock()
 	j.status = status
 	j.results = out
 	j.elapsed = elapsed
+	j.span = root
 	j.mu.Unlock()
 	close(j.done)
+	s.recordTelemetry(root)
 	// The terminal entry is appended after the results landed in the
 	// store, so replay never sees "done" without its record bytes. A
 	// failed append degrades durability of this one completion (the
 	// job would re-run after a crash — and hit the store), not the job.
 	if err := s.journal.append(terminalEvent(j, status, out, elapsed)); err != nil {
-		s.cfg.Log.Printf("journal: terminal append for job %s: %v", j.id, err)
+		s.logger.Error("journal terminal append failed", "job", j.id, "trace", j.trace, "error", err)
 	}
-	s.cfg.Log.Printf("job %s %s in %s (%d items)", j.id, status, elapsed.Round(time.Millisecond), len(j.items))
+	s.logger.Info("job finished",
+		"job", j.id, "trace", j.trace, "status", string(status),
+		"elapsed_ms", elapsed.Milliseconds(), "items", len(j.items))
+	if s.cfg.SlowJobThreshold > 0 && elapsed >= s.cfg.SlowJobThreshold {
+		s.slowJobs.Add(1)
+		s.logger.Warn("slow job",
+			"job", j.id, "trace", j.trace, "elapsed_ms", elapsed.Milliseconds(),
+			"threshold_ms", s.cfg.SlowJobThreshold.Milliseconds(),
+			"spans", "\n"+root.Render())
+	}
+}
+
+// recordTelemetry folds one completed job's span tree into the
+// daemon-wide histograms and engine/memo counters.
+func (s *Server) recordTelemetry(root *obs.Span) {
+	s.jobLatency.Observe(root.Duration())
+	root.Walk(func(_ int, sp *obs.Span) {
+		switch sp.Name() {
+		case "ir", "statemodel", "kripke", "check.general":
+			s.phaseHist[sp.Name()].Observe(sp.Duration())
+		case "check":
+			s.phaseHist["check"].Observe(sp.Duration())
+			addSpanInt(sp, "memo_lookups", &s.memoLookups)
+			addSpanInt(sp, "memo_hits", &s.memoHits)
+			addSpanInt(sp, "memo_subformulas", &s.memoSubformulas)
+		case "engine":
+			if e, ok := sp.Str("engine"); ok {
+				if h := s.engineHist[e]; h != nil {
+					h.Observe(sp.Duration())
+				}
+			}
+			addSpanInt(sp, "bdd_nodes", &s.bddNodes)
+			addSpanInt(sp, "bdd_ite_lookups", &s.bddITELookups)
+			addSpanInt(sp, "bdd_ite_hits", &s.bddITEHits)
+			addSpanInt(sp, "bdd_op_lookups", &s.bddOpLookups)
+			addSpanInt(sp, "bdd_op_hits", &s.bddOpHits)
+		}
+	})
+}
+
+func addSpanInt(sp *obs.Span, key string, dst *atomic.Int64) {
+	if v, ok := sp.Int(key); ok {
+		dst.Add(v)
+	}
 }
 
 // Draining reports whether Shutdown has begun.
@@ -597,14 +710,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 		if err := s.journal.close(); err != nil {
-			s.cfg.Log.Printf("journal: close: %v", err)
+			s.logger.Error("journal close failed", "error", err)
 		}
 		return nil
 	case <-ctx.Done():
 		s.cancel()
 		<-done
 		if err := s.journal.close(); err != nil {
-			s.cfg.Log.Printf("journal: close: %v", err)
+			s.logger.Error("journal close failed", "error", err)
 		}
 		return ctx.Err()
 	}

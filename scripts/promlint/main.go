@@ -1,0 +1,71 @@
+// Command promlint scrapes a Prometheus text exposition over HTTP and
+// validates it with the same checker the unit tests use
+// (obs.ValidateExposition): every family announces HELP and TYPE
+// exactly once before its samples, no sample is duplicated, counters
+// end in _total, and histograms are cumulative with a +Inf bucket and
+// consistent _sum/_count. The smoke script runs it against a live
+// soteriad so a drifting /metrics renderer fails CI, not a dashboard.
+//
+//	promlint -url http://127.0.0.1:8380/metrics \
+//	    -require soteriad_job_seconds,soteriad_memo_lookups_total
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"github.com/soteria-analysis/soteria/internal/obs"
+)
+
+func main() {
+	url := flag.String("url", "", "metrics endpoint to scrape (required)")
+	require := flag.String("require", "", "comma-separated metric families that must be present")
+	flag.Parse()
+	if *url == "" {
+		fmt.Fprintln(os.Stderr, "promlint: -url required")
+		os.Exit(2)
+	}
+
+	resp, err := http.Get(*url)
+	if err != nil {
+		fail("GET %s: %v", *url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail("GET %s: %d", *url, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail("reading %s: %v", *url, err)
+	}
+
+	if err := obs.ValidateExposition(data); err != nil {
+		fail("invalid exposition: %v", err)
+	}
+
+	text := string(data)
+	missing := 0
+	for _, name := range strings.Split(*require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !strings.Contains(text, "# TYPE "+name+" ") {
+			fmt.Fprintf(os.Stderr, "promlint: required family %q missing\n", name)
+			missing++
+		}
+	}
+	if missing > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("promlint: %s ok (%d families)\n", *url, strings.Count(text, "# TYPE "))
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "promlint: "+format+"\n", args...)
+	os.Exit(1)
+}

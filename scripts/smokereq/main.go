@@ -9,6 +9,9 @@
 //	smokereq -idem KEY       attach an idempotency key
 //	smokereq -batch 20       batch body with 20 distinct variant items
 //	                         (a slow job: items run sequentially)
+//	smokereq -timings        ask for the span tree in the response
+//	smokereq -groovy         print the raw Groovy source instead of a
+//	                         request body (for soteria -explain-timing)
 package main
 
 import (
@@ -35,8 +38,15 @@ func main() {
 		variant = flag.Int("variant", 0, "offset the content address so the request cannot hit the store")
 		async   = flag.Bool("async", false, "request async submission (202 + poll URL)")
 		idem    = flag.String("idem", "", "idempotency key to attach")
+		timings = flag.Bool("timings", false, "request the span tree in the response records")
+		groovy  = flag.Bool("groovy", false, "print the raw Groovy source instead of a request body")
 	)
 	flag.Parse()
+
+	if *groovy {
+		fmt.Print(variantSource(*variant))
+		return
+	}
 
 	body := map[string]any{}
 	if *batch > 0 {
@@ -57,6 +67,9 @@ func main() {
 	}
 	if *idem != "" {
 		body["idempotency_key"] = *idem
+	}
+	if *timings {
+		body["timings"] = true
 	}
 
 	data, err := json.Marshal(body)

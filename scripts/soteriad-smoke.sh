@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
-# CI smoke test for the soteriad daemon, in three phases:
+# CI smoke test for the soteriad daemon, in four phases:
 #   1. serve-and-cache: analyze a paper app over HTTP, assert the
 #      repeated request is served from the store, SIGTERM drains cleanly;
 #   2. backpressure: with a 1-worker/1-deep queue, overflow submissions
 #      are rejected 429 with a Retry-After hint;
 #   3. restart-resume: a journaled job survives SIGTERM + restart under
 #      its original ID, reaches a terminal state, and an idempotent
-#      resubmission is answered by that same job.
+#      resubmission is answered by that same job;
+#   4. observability: against a live daemon, /metrics passes the
+#      exposition validator with the telemetry families present, a
+#      timings request returns a span tree + X-Soteria-Trace header,
+#      the trace ID appears in the daemon's log, the slow-job span dump
+#      fires, pprof answers on its own listener, and soteria
+#      -explain-timing prints a local span tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -152,4 +158,51 @@ kill -TERM "$pid"
 wait "$pid" || { echo "soteriad exited non-zero on final SIGTERM"; exit 1; }
 trap 'rm -rf "$workdir"' EXIT
 echo "phase 3 OK: restart-resume + idempotent resubmission"
+
+# --- Phase 4: observability ------------------------------------------
+addr4=127.0.0.1:8394
+base4="http://$addr4"
+pprof_addr=127.0.0.1:8395
+go run ./scripts/smokereq -variant 500 -timings > "$workdir/timed.json"
+
+"$workdir/soteriad" -addr "$addr4" -store "$workdir/store4" \
+    -pprof "$pprof_addr" -slow-job 1ms 2> "$workdir/d4.log" &
+pid=$!
+trap 'kill -9 "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+wait_healthy "$base4"
+
+# A timings submission returns the span tree and the trace header.
+curl -fsS -D "$workdir/timed.hdr" -X POST --data-binary @"$workdir/timed.json" \
+    "$base4/v1/analyze" > "$workdir/timed.out"
+grep -qi '^x-soteria-trace: ' "$workdir/timed.hdr" \
+    || { echo "no X-Soteria-Trace response header:"; cat "$workdir/timed.hdr"; exit 1; }
+grep -q '"timing":{"trace_id":' "$workdir/timed.out" \
+    || { echo "no span tree in timings response: $(cat "$workdir/timed.out")"; exit 1; }
+trace=$(grep -i '^x-soteria-trace: ' "$workdir/timed.hdr" | head -1 | cut -d' ' -f2 | tr -d '\r')
+grep -q "trace=$trace" "$workdir/d4.log" \
+    || { echo "trace $trace absent from daemon log:"; cat "$workdir/d4.log"; exit 1; }
+grep -q 'slow job' "$workdir/d4.log" \
+    || { echo "slow-job span dump did not fire (threshold 1ms):"; cat "$workdir/d4.log"; exit 1; }
+
+# The exposition validator passes with every telemetry family present.
+go run ./scripts/promlint -url "$base4/metrics" -require \
+    soteriad_job_seconds,soteriad_queue_wait_seconds,soteriad_phase_seconds,soteriad_engine_check_seconds,soteriad_bdd_ite_lookups_total,soteriad_memo_lookups_total,soteriad_jobs_replayed_total,soteriad_slow_jobs_total
+
+# pprof answers on its own listener, not the API address.
+curl -fsS "http://$pprof_addr/debug/pprof/" | grep -q goroutine \
+    || { echo "pprof listener not serving"; exit 1; }
+if curl -fsS "$base4/debug/pprof/" >/dev/null 2>&1; then
+    echo "pprof unexpectedly reachable through the API listener"; exit 1
+fi
+
+kill -TERM "$pid"
+wait "$pid" || { echo "soteriad exited non-zero on SIGTERM"; exit 1; }
+trap 'rm -rf "$workdir"' EXIT
+
+# soteria -explain-timing prints the local span tree.
+go run ./scripts/smokereq -groovy > "$workdir/smoke.groovy"
+go run ./cmd/soteria -explain-timing "$workdir/smoke.groovy" 2> "$workdir/timing.err" > /dev/null
+grep -q 'statemodel' "$workdir/timing.err" \
+    || { echo "-explain-timing printed no span tree:"; cat "$workdir/timing.err"; exit 1; }
+echo "phase 4 OK: metrics exposition + tracing + slow-job + pprof + explain-timing"
 echo "soteriad smoke OK"

@@ -29,7 +29,7 @@ package soteria
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"time"
 
 	"github.com/soteria-analysis/soteria/internal/core"
@@ -567,8 +567,12 @@ type ServiceConfig struct {
 	// chunks, delays) to widen crash windows. For kill-restart testing
 	// only — never in production.
 	ChaosFS bool
-	// Log receives service logs; nil discards them.
-	Log *log.Logger
+	// Logger receives structured service logs; nil discards them. Every
+	// line about a job carries its trace ID.
+	Logger *slog.Logger
+	// SlowJobThreshold, when positive, logs the full span tree of any
+	// job whose wall time meets or exceeds it (0 disables).
+	SlowJobThreshold time.Duration
 }
 
 // NewService starts an analysis service (its worker pool is live on
@@ -588,16 +592,17 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		}
 	}
 	return service.New(service.Config{
-		Workers:      cfg.Workers,
-		QueueDepth:   cfg.QueueDepth,
-		JobTimeout:   cfg.JobTimeout,
-		MaxBodyBytes: cfg.MaxBodyBytes,
-		Parallel:     cfg.Parallel,
-		Limits:       cfg.Limits.internal(),
-		Store:        st,
-		JournalPath:  cfg.JournalPath,
-		FS:           fs,
-		Log:          cfg.Log,
+		Workers:          cfg.Workers,
+		QueueDepth:       cfg.QueueDepth,
+		JobTimeout:       cfg.JobTimeout,
+		MaxBodyBytes:     cfg.MaxBodyBytes,
+		Parallel:         cfg.Parallel,
+		Limits:           cfg.Limits.internal(),
+		Store:            st,
+		JournalPath:      cfg.JournalPath,
+		FS:               fs,
+		Logger:           cfg.Logger,
+		SlowJobThreshold: cfg.SlowJobThreshold,
 	})
 }
 
