@@ -234,6 +234,10 @@ type parallelBenchPoint struct {
 	ParallelMS        float64 `json:"parallel_ms"`
 	Speedup           float64 `json:"speedup"`
 	VerdictsIdentical bool    `json:"verdicts_identical"`
+	// Oversubscribed marks points whose GOMAXPROCS exceeds the host's
+	// CPU count: their speedup measures scheduler thrash, not scaling,
+	// and must not be read as part of the curve.
+	Oversubscribed bool `json:"oversubscribed,omitempty"`
 }
 
 // parallelBenchResult is the machine-readable trajectory
@@ -305,10 +309,15 @@ func runParallelBench(procs, out string) error {
 			ParallelMS:        float64(parDur.Microseconds()) / 1000,
 			Speedup:           seqDur.Seconds() / parDur.Seconds(),
 			VerdictsIdentical: identicalVerdicts(seq, par),
+			Oversubscribed:    maxprocs > res.HostCPUs,
 		}
 		res.Points = append(res.Points, pt)
-		fmt.Printf("parallel bench @GOMAXPROCS=%d: sequential %.1fms, parallel(%d) %.1fms, speedup %.2fx, verdicts identical: %t\n",
-			pt.GOMAXPROCS, pt.SequentialMS, pt.Parallel, pt.ParallelMS, pt.Speedup, pt.VerdictsIdentical)
+		note := ""
+		if pt.Oversubscribed {
+			note = " [oversubscribed]"
+		}
+		fmt.Printf("parallel bench @GOMAXPROCS=%d: sequential %.1fms, parallel(%d) %.1fms, speedup %.2fx, verdicts identical: %t%s\n",
+			pt.GOMAXPROCS, pt.SequentialMS, pt.Parallel, pt.ParallelMS, pt.Speedup, pt.VerdictsIdentical, note)
 	}
 
 	f, err := os.Create(out)

@@ -1,0 +1,235 @@
+// Command soteria-load replays the market corpus against a soteriad
+// node or fleet and reports the numbers an operator sizes a deployment
+// with: exact p50/p90/p99 latency, sustained throughput, cache-hit
+// rate, and per-node queue depth.
+//
+// Usage:
+//
+//	soteria-load -targets URL[,URL...] [flags]
+//	soteria-load -merge LABEL=FILE[,LABEL=FILE...] -out BENCH_cluster.json
+//
+// Flags:
+//
+//	-targets LIST   comma-separated node base URLs (round-robin)
+//	-label S        fleet label recorded in the output (default "fleet")
+//	-levels LIST    closed-loop concurrency sweep (default 1,4,16)
+//	-requests N     requests per closed-loop level (default 195 = 3x corpus)
+//	-open-rate R    also run an open-loop phase at R req/s (0 disables)
+//	-open-duration D  open-loop phase length (default 10s)
+//	-synthetic N    add N cache-busting synthetic variants to the corpus
+//	-timeout D      per-request timeout (default 60s)
+//	-seed N         deterministic corpus shuffle (0 = corpus order)
+//	-out PATH       write the JSON report here (default stdout)
+//	-merge LIST     merge prior run files into one report instead of running
+//
+// Closed-loop levels measure sustainable capacity at fixed concurrency;
+// the optional open-loop phase fires arrivals on a fixed schedule so
+// queueing delay shows up in the percentiles instead of slowing the
+// arrival rate (coordinated omission). -merge combines runs recorded
+// against different fleet sizes (for example 1-node and 3-node) into
+// the single BENCH_cluster.json artifact the repo commits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/soteria-analysis/soteria/internal/loadgen"
+	"github.com/soteria-analysis/soteria/internal/market"
+)
+
+// fleetReport is one fleet's measurements across all load levels.
+type fleetReport struct {
+	Label         string            `json:"label"`
+	Nodes         int               `json:"nodes"`
+	Targets       []string          `json:"targets"`
+	CorpusApps    int               `json:"corpus_apps"`
+	SyntheticApps int               `json:"synthetic_apps,omitempty"`
+	Points        []*loadgen.Result `json:"points"`
+}
+
+// benchReport is the BENCH_cluster.json schema.
+type benchReport struct {
+	Schema   int            `json:"schema"`
+	HostCPUs int            `json:"host_cpus"`
+	Fleets   []*fleetReport `json:"fleets"`
+}
+
+func main() {
+	var (
+		targets      = flag.String("targets", "", "comma-separated node base URLs (round-robin)")
+		label        = flag.String("label", "fleet", "fleet label recorded in the output")
+		levels       = flag.String("levels", "1,4,16", "closed-loop concurrency sweep")
+		requests     = flag.Int("requests", 3*len(market.All()), "requests per closed-loop level")
+		openRate     = flag.Float64("open-rate", 0, "open-loop arrival rate in req/s (0 disables)")
+		openDuration = flag.Duration("open-duration", 10*time.Second, "open-loop phase length")
+		synthetic    = flag.Int("synthetic", 0, "cache-busting synthetic corpus variants to add")
+		timeout      = flag.Duration("timeout", 60*time.Second, "per-request timeout")
+		seed         = flag.Int64("seed", 0, "deterministic corpus shuffle (0 = corpus order)")
+		out          = flag.String("out", "", "write the JSON report here (default stdout)")
+		merge        = flag.String("merge", "", "merge LABEL=FILE[,LABEL=FILE...] prior runs instead of running load")
+	)
+	flag.Parse()
+
+	if *merge != "" {
+		if err := runMerge(*merge, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "soteria-load:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *targets == "" {
+		fmt.Fprintln(os.Stderr, "soteria-load: -targets is required (or -merge)")
+		os.Exit(2)
+	}
+	urls := splitList(*targets)
+	lvls, err := parseLevels(*levels)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soteria-load:", err)
+		os.Exit(2)
+	}
+
+	items := loadgen.MarketItems()
+	corpus := len(items)
+	if *synthetic > 0 {
+		items = append(items, loadgen.SyntheticItems(*synthetic)...)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fr := &fleetReport{
+		Label:         *label,
+		Nodes:         len(urls),
+		Targets:       urls,
+		CorpusApps:    corpus,
+		SyntheticApps: *synthetic,
+	}
+	for _, c := range lvls {
+		fmt.Fprintf(os.Stderr, "soteria-load: closed loop, concurrency=%d, requests=%d\n", c, *requests)
+		res, err := loadgen.Run(ctx, loadgen.Config{
+			Targets:     urls,
+			Items:       items,
+			Concurrency: c,
+			Requests:    *requests,
+			Timeout:     *timeout,
+			Seed:        *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "soteria-load:", err)
+			os.Exit(1)
+		}
+		report(res)
+		fr.Points = append(fr.Points, res)
+	}
+	if *openRate > 0 {
+		fmt.Fprintf(os.Stderr, "soteria-load: open loop, rate=%.1f req/s for %s\n", *openRate, *openDuration)
+		res, err := loadgen.Run(ctx, loadgen.Config{
+			Targets:  urls,
+			Items:    items,
+			Rate:     *openRate,
+			Duration: *openDuration,
+			Timeout:  *timeout,
+			Seed:     *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "soteria-load:", err)
+			os.Exit(1)
+		}
+		report(res)
+		fr.Points = append(fr.Points, res)
+	}
+
+	if err := writeJSON(*out, fr); err != nil {
+		fmt.Fprintln(os.Stderr, "soteria-load:", err)
+		os.Exit(1)
+	}
+}
+
+// report prints one run's headline numbers to stderr.
+func report(r *loadgen.Result) {
+	fmt.Fprintf(os.Stderr,
+		"  %s: %d req, %d err (%d rejected), p50 %.1fms p99 %.1fms, %.1f req/s, cache hit %.0f%%\n",
+		r.Mode, r.Requests, r.Errors, r.Rejected, r.P50MS, r.P99MS, r.ThroughputRPS, 100*r.CacheHit)
+}
+
+// runMerge combines prior per-fleet run files into one benchReport.
+// spec is LABEL=FILE[,LABEL=FILE...]; LABEL overrides the file's label
+// when present ("FILE" alone keeps the recorded label).
+func runMerge(spec, out string) error {
+	rep := &benchReport{Schema: 1, HostCPUs: hostCPUs()}
+	for _, part := range splitList(spec) {
+		label, file := "", part
+		if eq := strings.IndexByte(part, '='); eq >= 0 {
+			label, file = part[:eq], part[eq+1:]
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		var fr fleetReport
+		if err := json.Unmarshal(data, &fr); err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		if label != "" {
+			fr.Label = label
+		}
+		if len(fr.Points) == 0 {
+			return fmt.Errorf("%s: no load points recorded", file)
+		}
+		rep.Fleets = append(rep.Fleets, &fr)
+	}
+	if len(rep.Fleets) == 0 {
+		return fmt.Errorf("-merge: no input files")
+	}
+	return writeJSON(out, rep)
+}
+
+func hostCPUs() int { return runtime.NumCPU() }
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		n, err := strconv.Atoi(p)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -levels entry %q", p)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-levels is empty")
+	}
+	return out, nil
+}

@@ -11,6 +11,10 @@
 //	-addr A         listen address (default :8380)
 //	-store DIR      result store directory ("" disables persistence)
 //	-journal PATH   durable job journal ("" disables crash recovery)
+//	-peers LIST     comma-separated fleet member URLs, self included
+//	                ("" runs single-node)
+//	-node URL       this node's advertised base URL (required with -peers)
+//	-vnodes N       consistent-hash virtual nodes per member (default 128)
 //	-workers N      concurrent analysis workers (default GOMAXPROCS)
 //	-queue N        queued-job bound before 429 backpressure (default 64)
 //	-job-timeout D  wall-clock ceiling per job (default 60s)
@@ -41,8 +45,17 @@
 // store/journal writes to widen crash windows; it exists for the
 // kill-restart test harness, never for production.
 //
+// With -peers, N soteriad processes form one fleet: a consistent-hash
+// ring over analysis keys assigns each key an owning node, requests
+// route to their owner (federating batch results across nodes), and
+// the result store reads and writes through the owning replica. Every
+// node must be started with the same -peers list; membership is
+// static, and an unreachable owner degrades to local analysis rather
+// than failing the request.
+//
 // Endpoints: POST /v1/analyze, POST /v1/batch, GET /v1/jobs/{id},
-// GET /v1/results/{hash}, GET /healthz, GET /metrics. On SIGTERM or
+// GET+PUT /v1/results/{hash}, GET /v1/cluster/status, GET /healthz,
+// GET /metrics. On SIGTERM or
 // SIGINT the daemon stops accepting work, drains queued and in-flight
 // jobs (up to -drain-timeout, after which their budgets are canceled
 // and they finish as partial results), then exits.
@@ -58,6 +71,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -79,6 +93,9 @@ func main() {
 		slowJob      = flag.Duration("slow-job", 0, "log the span tree of jobs at or over this wall time (0 disables)")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty disables)")
 		logJSON      = flag.Bool("log-json", false, "emit JSON log lines instead of text")
+		peers        = flag.String("peers", "", "comma-separated fleet member URLs, self included (empty = single node)")
+		nodeURL      = flag.String("node", "", "this node's advertised base URL (required with -peers)")
+		vnodes       = flag.Int("vnodes", 0, "consistent-hash virtual nodes per member (0 = 128)")
 	)
 	flag.Parse()
 	var handler slog.Handler
@@ -93,6 +110,18 @@ func main() {
 	if chaosFS {
 		logger.Warn("SOTERIAD_CHAOS_FS set: store/journal writes fragmented and delayed (test harness mode)")
 	}
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		if *nodeURL == "" {
+			logger.Error("-peers requires -node (this node's advertised URL)")
+			os.Exit(2)
+		}
+	}
 	svc, err := soteria.NewService(soteria.ServiceConfig{
 		Workers:          *workers,
 		QueueDepth:       *queue,
@@ -105,6 +134,9 @@ func main() {
 		ChaosFS:          chaosFS,
 		Logger:           logger,
 		SlowJobThreshold: *slowJob,
+		Peers:            peerList,
+		SelfURL:          *nodeURL,
+		VirtualNodes:     *vnodes,
 	})
 	if err != nil {
 		logger.Error("starting service", "error", err)
@@ -124,7 +156,11 @@ func main() {
 
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	go func() { errc <- fmt.Errorf("http server: %w", httpSrv.ListenAndServe()) }()
-	logger.Info("listening", "addr", *addr, "store", *storeDir, "journal", *journalPath, "queue", *queue)
+	attrs := []any{"addr", *addr, "store", *storeDir, "journal", *journalPath, "queue", *queue}
+	if len(peerList) > 0 {
+		attrs = append(attrs, "node", *nodeURL, "fleet_members", len(peerList))
+	}
+	logger.Info("listening", attrs...)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -43,6 +43,13 @@ import (
 // adopted ID back on this header.
 const TraceHeader = "X-Soteria-Trace"
 
+// ForwardedHeader marks a request that already crossed one
+// cluster-routing hop. A daemon receiving it serves the request
+// locally whatever the ring says — the guard that makes a routing
+// disagreement between two nodes degrade to one extra hop, never a
+// forwarding loop.
+const ForwardedHeader = "X-Soteria-Forwarded"
+
 // Config configures a Client. The zero value plus a BaseURL is
 // serviceable.
 type Config struct {
@@ -157,6 +164,9 @@ type Job struct {
 	Result    *report.Record `json:"result,omitempty"`
 	Error     string         `json:"error,omitempty"`
 	Results   []BatchItem    `json:"results,omitempty"`
+	// Node is the fleet member that ran the analysis (empty on
+	// single-node daemons and locally-served requests).
+	Node string `json:"node,omitempty"`
 
 	// Trace is the job's trace ID, taken from the X-Soteria-Trace
 	// response header (not the JSON body). Quote it in bug reports: the
@@ -174,6 +184,7 @@ type BatchItem struct {
 	Cached bool           `json:"cached"`
 	Result *report.Record `json:"result,omitempty"`
 	Error  string         `json:"error,omitempty"`
+	Node   string         `json:"node,omitempty"`
 }
 
 // breaker is the consecutive-failure circuit breaker.
@@ -272,6 +283,9 @@ type AnalyzeRequest struct {
 	// Timings asks the daemon to embed the job's span tree (phase and
 	// engine timings, trace ID) in the returned records.
 	Timings bool
+	// Trace pins the job's trace ID ("" mints one). Cluster routing
+	// sets it so one analysis keeps one trace ID across hops.
+	Trace string
 }
 
 // Analyze submits the request, retrying transient failures, and
@@ -283,7 +297,69 @@ func (c *Client) Analyze(ctx context.Context, req AnalyzeRequest) (*Job, error) 
 		key = newIdemKey()
 	}
 	body := analyzeBody{Apps: req.Apps, Options: req.Options, Async: req.Async, IdempotencyKey: key, Timings: req.Timings}
-	return c.postJob(ctx, "/v1/analyze", body)
+	return c.postJob(ctx, "/v1/analyze", body, req.Trace)
+}
+
+// batchBody is the POST /v1/batch payload.
+type batchBody struct {
+	Items          []BatchRequestItem `json:"items"`
+	Options        *Options           `json:"options,omitempty"`
+	Async          bool               `json:"async,omitempty"`
+	IdempotencyKey string             `json:"idempotency_key,omitempty"`
+	Timings        bool               `json:"timings,omitempty"`
+}
+
+// BatchRequestItem is one unit of a batch submission.
+type BatchRequestItem struct {
+	Key  string `json:"key,omitempty"`
+	Apps []App  `json:"apps"`
+}
+
+// BatchRequest submits many analyses as one job.
+type BatchRequest struct {
+	Items          []BatchRequestItem
+	Options        *Options
+	Async          bool
+	IdempotencyKey string
+	Timings        bool
+	Trace          string
+}
+
+// Batch submits a multi-item job with the same resilience stack as
+// Analyze.
+func (c *Client) Batch(ctx context.Context, req BatchRequest) (*Job, error) {
+	key := req.IdempotencyKey
+	if key == "" {
+		key = newIdemKey()
+	}
+	body := batchBody{Items: req.Items, Options: req.Options, Async: req.Async, IdempotencyKey: key, Timings: req.Timings}
+	return c.postJob(ctx, "/v1/batch", body, req.Trace)
+}
+
+// ForwardRaw relays a pre-encoded analyze or batch body to this
+// client's daemon with the forwarded-hop marker set, pinning the trace
+// ID so the receiving node logs under the originating request's trace.
+// Cluster routing uses it to hand a request to the key's owner without
+// re-encoding (the body the origin validated is the body the owner
+// sees).
+func (c *Client) ForwardRaw(ctx context.Context, path string, body []byte, trace string) (*Job, error) {
+	var j Job
+	tc := &traceCapture{send: trace}
+	if err := c.doPayload(ctx, http.MethodPost, path, body, &j, tc, true); err != nil {
+		return nil, err
+	}
+	if j.Trace = tc.received; j.Trace == "" {
+		j.Trace = trace
+	}
+	return &j, nil
+}
+
+// PutResult stores a record on this client's daemon under key. The
+// cluster's peer-routed store backend uses it to write results through
+// to the key's owning replica, so a cache hit survives whichever node
+// the next request for that key lands on.
+func (c *Client) PutResult(ctx context.Context, key string, rec *report.Record) error {
+	return c.do(ctx, http.MethodPut, "/v1/results/"+key, rec, nil, nil)
 }
 
 // Poll fetches a job's current state by ID.
@@ -339,10 +415,14 @@ type traceCapture struct {
 // postJob submits a job payload and decodes the job response. A sync
 // submission that completes returns the terminal job directly; an
 // async one returns the accepted (202) state. The client mints the
-// job's trace ID here, before the first attempt.
-func (c *Client) postJob(ctx context.Context, path string, body any) (*Job, error) {
+// job's trace ID here, before the first attempt, unless the caller
+// pinned one.
+func (c *Client) postJob(ctx context.Context, path string, body any, trace string) (*Job, error) {
 	var j Job
-	tc := &traceCapture{send: obs.NewTraceID()}
+	if trace == "" {
+		trace = obs.NewTraceID()
+	}
+	tc := &traceCapture{send: trace}
 	if err := c.do(ctx, http.MethodPost, path, body, &j, tc); err != nil {
 		return nil, err
 	}
@@ -352,9 +432,12 @@ func (c *Client) postJob(ctx context.Context, path string, body any) (*Job, erro
 	return &j, nil
 }
 
-// retryAfter parses a Retry-After header (seconds form) as a backoff
-// floor; 0 when absent or unparseable.
-func retryAfter(resp *http.Response) time.Duration {
+// retryAfter parses a Retry-After header as a backoff floor: both RFC
+// 9110 forms are accepted — delay-seconds ("3") and HTTP-date ("Fri,
+// 07 Aug 2026 12:00:05 GMT"), the latter taken relative to now.
+// Negative delays and dates already past clamp to zero (retry
+// immediately); absent or unparseable values are 0 too.
+func retryAfter(resp *http.Response, now time.Time) time.Duration {
 	if resp == nil {
 		return 0
 	}
@@ -362,11 +445,21 @@ func retryAfter(resp *http.Response) time.Duration {
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.ParseInt(v, 10, 64)
-	if err != nil || secs < 0 {
+	if secs, err := strconv.ParseInt(v, 10, 64); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	// http.ParseTime covers all three date layouts RFC 9110 admits
+	// (IMF-fixdate, RFC 850, ANSI C asctime).
+	if at, err := http.ParseTime(v); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d
+		}
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	return 0
 }
 
 // retryable classifies a response status: 429 and all 5xx retry,
@@ -390,6 +483,11 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any, tc 
 			return fmt.Errorf("client: encoding request: %w", err)
 		}
 	}
+	return c.doPayload(ctx, method, path, payload, out, tc, false)
+}
+
+// doPayload is do with a pre-encoded body and the forwarded-hop flag.
+func (c *Client) doPayload(ctx context.Context, method, path string, payload []byte, out any, tc *traceCapture, forwarded bool) error {
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -400,7 +498,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any, tc 
 		if !c.br.allow(c.cfg.now()) {
 			return fmt.Errorf("%w (cooling down after consecutive failures)", ErrCircuitOpen)
 		}
-		status, retriable, err := c.once(ctx, method, path, payload, out, tc)
+		status, retriable, err := c.once(ctx, method, path, payload, out, tc, forwarded)
 		if err == nil {
 			return nil
 		}
@@ -425,7 +523,7 @@ func (c *Client) brRecord(status int) {
 // once performs a single HTTP attempt. It returns the response status
 // (0 for transport errors), whether the failure is retryable, and the
 // error. retryErr carries the Retry-After floor to the backoff.
-func (c *Client) once(ctx context.Context, method, path string, payload []byte, out any, tc *traceCapture) (int, bool, error) {
+func (c *Client) once(ctx context.Context, method, path string, payload []byte, out any, tc *traceCapture, forwarded bool) (int, bool, error) {
 	var rd io.Reader
 	if payload != nil {
 		rd = bytes.NewReader(payload)
@@ -439,6 +537,9 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 	}
 	if tc != nil && tc.send != "" {
 		req.Header.Set(TraceHeader, tc.send)
+	}
+	if forwarded {
+		req.Header.Set(ForwardedHeader, "1")
 	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
@@ -464,7 +565,7 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 		}
 		apiErr := &APIError{Status: resp.StatusCode, Message: msg}
 		if retryable(resp.StatusCode) {
-			return resp.StatusCode, true, &retryErr{err: apiErr, after: retryAfter(resp)}
+			return resp.StatusCode, true, &retryErr{err: apiErr, after: retryAfter(resp, c.cfg.now())}
 		}
 		return resp.StatusCode, false, apiErr
 	}

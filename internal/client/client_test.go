@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -387,5 +388,189 @@ func TestTimingsFlagOnWire(t *testing.T) {
 	}
 	if !req.Timings {
 		t.Fatalf("timings flag missing from wire body: %s", sc.bodies[0])
+	}
+}
+
+// TestRetryAfterForms: both RFC 9110 Retry-After forms parse — plain
+// delay-seconds and HTTP-date — and negative or already-past values
+// clamp to zero instead of producing a negative backoff floor.
+func TestRetryAfterForms(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	mk := func(v string) *http.Response {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return &http.Response{Header: h}
+	}
+	cases := []struct {
+		name, header string
+		want         time.Duration
+	}{
+		{"absent", "", 0},
+		{"seconds", "3", 3 * time.Second},
+		{"zero seconds", "0", 0},
+		{"negative seconds clamp", "-5", 0},
+		{"http-date future", now.Add(5 * time.Second).Format(http.TimeFormat), 5 * time.Second},
+		{"http-date past clamp", now.Add(-30 * time.Second).Format(http.TimeFormat), 0},
+		{"rfc850 future", now.Add(7 * time.Second).Format("Monday, 02-Jan-06 15:04:05 MST"), 7 * time.Second},
+		{"garbage", "soon", 0},
+	}
+	for _, tc := range cases {
+		if got := retryAfter(mk(tc.header), now); got != tc.want {
+			t.Errorf("%s: retryAfter(%q) = %v, want %v", tc.name, tc.header, got, tc.want)
+		}
+	}
+	if got := retryAfter(nil, now); got != 0 {
+		t.Errorf("nil response: %v, want 0", got)
+	}
+}
+
+// TestRetryAfterHTTPDateFloorsBackoff: a date-form hint reaches the
+// backoff as a floor end to end, like the seconds form always has.
+func TestRetryAfterHTTPDateFloorsBackoff(t *testing.T) {
+	wall := time.Now()
+	sc := &scripted{codes: []int{429, 200},
+		hdr: map[string]string{"Retry-After": wall.Add(4 * time.Second).Format(http.TimeFormat)}}
+	ts := httptest.NewServer(sc.handler())
+	defer ts.Close()
+	c, ft := newTestClient(t, ts, nil)
+	// The date is absolute, so the fake clock must sit at real wall time
+	// for the subtraction to mean anything.
+	ft.mu.Lock()
+	ft.now = wall
+	ft.mu.Unlock()
+
+	if _, err := c.Analyze(context.Background(), AnalyzeRequest{Apps: []App{{Name: "a", Source: "x"}}}); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	got := ft.Slept()
+	if len(got) != 1 || got[0] < 3*time.Second || got[0] > 4*time.Second {
+		t.Fatalf("backoffs = %v, want one sleep in [3s, 4s] (HTTP-date floor)", got)
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe: when the cooldown elapses, exactly
+// one of many concurrent callers is admitted as the half-open probe;
+// the rest fail fast. Run with -race: the breaker's counters are
+// exercised from every goroutine at once.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	br := &breaker{threshold: 2, cooldown: 10 * time.Second}
+	t0 := time.Unix(1700000000, 0)
+	br.record(false, t0)
+	br.record(false, t0) // threshold reached: circuit opens at t0
+
+	if br.allow(t0.Add(time.Second)) {
+		t.Fatal("open circuit admitted a request inside the cooldown")
+	}
+
+	// Cooldown over: 32 concurrent callers race for the probe slot.
+	after := t0.Add(11 * time.Second)
+	var wg sync.WaitGroup
+	var admitted atomic.Int64
+	start := make(chan struct{})
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if br.allow(after) {
+				admitted.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := admitted.Load(); n != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly 1", n)
+	}
+
+	// The losing callers failed fast without reporting an outcome; the
+	// probe's failure re-opens the circuit for another full cooldown...
+	br.record(false, after)
+	if br.allow(after.Add(5 * time.Second)) {
+		t.Fatal("circuit closed after a failed half-open probe")
+	}
+	// ...and a successful probe closes it for everyone.
+	if !br.allow(after.Add(12 * time.Second)) {
+		t.Fatal("no probe admitted after the second cooldown")
+	}
+	br.record(true, after.Add(12*time.Second))
+	var open atomic.Int64
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !br.allow(after.Add(13 * time.Second)) {
+				open.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if open.Load() != 0 {
+		t.Fatalf("%d callers rejected after the breaker closed", open.Load())
+	}
+}
+
+// TestClientHalfOpenConcurrentCallers: the same single-probe guarantee
+// through the public API — concurrent Analyze calls against a healthy
+// server after an open circuit's cooldown produce exactly one HTTP
+// probe; the losers return ErrCircuitOpen without a request.
+func TestClientHalfOpenConcurrentCallers(t *testing.T) {
+	var reqs atomic.Int64
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqs.Add(1)
+		<-release // hold the probe in flight so the race window stays open
+		w.Write([]byte(`{"job_id":"j1","status":"done"}`))
+	}))
+	defer ts.Close()
+
+	ft := &fakeTime{now: time.Unix(1700000000, 0)}
+	c, err := New(Config{
+		BaseURL: ts.URL, MaxAttempts: 1,
+		BreakerThreshold: 1, BreakerCooldown: 10 * time.Second,
+		now: ft.Now, sleep: ft.Sleep, jitter: func() float64 { return 1.0 },
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Trip the breaker directly: one failure meets the threshold.
+	c.br.record(false, ft.Now())
+
+	ft.Advance(11 * time.Second)
+	req := AnalyzeRequest{Apps: []App{{Name: "a", Source: "x"}}}
+	var wg sync.WaitGroup
+	var fastFails atomic.Int64
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Analyze(context.Background(), req)
+			if errors.Is(err, ErrCircuitOpen) {
+				fastFails.Add(1)
+				return
+			}
+			errs <- err
+		}()
+	}
+	// Let the losers drain, then release the held probe.
+	for ft := 0; ft < 200 && fastFails.Load() < 7; ft++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("probe winner failed: %v", err)
+		}
+	}
+	if n := reqs.Load(); n != 1 {
+		t.Fatalf("half-open window sent %d HTTP requests, want exactly 1 probe", n)
+	}
+	if n := fastFails.Load(); n != 7 {
+		t.Fatalf("%d callers failed fast, want 7 of 8", n)
 	}
 }

@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"github.com/soteria-analysis/soteria/internal/report"
+	"github.com/soteria-analysis/soteria/internal/store"
+)
+
+// PeerBackend implements store.Backend over the fleet: each key's
+// record lives on its ring owner, and every node reads and writes
+// through that owner. The local disk store stays the backstop —
+//
+//   - a read of a remotely-owned key tries the owner first, then falls
+//     back to the local store (a record parked here by an earlier
+//     write fallback is still a hit);
+//   - a write of a remotely-owned key goes to the owner; if the owner
+//     is unreachable the record is parked locally instead, so the
+//     analysis that produced it is never thrown away.
+//
+// Records are content-addressed and canonical, so a key's bytes are
+// identical wherever they land — "fallback copies" never diverge from
+// the owner's copy, they are just cache warmth in the wrong place.
+type PeerBackend struct {
+	c     *Cluster
+	local *store.Store
+}
+
+var _ store.Backend = (*PeerBackend)(nil)
+
+// Backend wraps the node's local store in the fleet's routing. A nil
+// local store is allowed (diskless node): remote keys still resolve
+// through their owners, local keys always miss.
+func (c *Cluster) Backend(local *store.Store) *PeerBackend {
+	return &PeerBackend{c: c, local: local}
+}
+
+// Get implements store.Backend.
+func (b *PeerBackend) Get(key string) (*report.Record, bool) {
+	owner := b.c.Owner(key)
+	if owner == b.c.self {
+		return b.local.Get(key)
+	}
+	if rec, ok := b.c.storeGet(owner, key); ok {
+		return rec, true
+	}
+	return b.local.Get(key)
+}
+
+// Put implements store.Backend.
+func (b *PeerBackend) Put(key string, rec *report.Record) error {
+	owner := b.c.Owner(key)
+	if owner == b.c.self {
+		return b.local.Put(key, rec)
+	}
+	if err := b.c.storePut(owner, key, rec); err != nil {
+		// Owner unreachable: park the record locally so the work
+		// survives. Reads fall back here until the owner returns.
+		return b.local.Put(key, rec)
+	}
+	return nil
+}
+
+// Stats implements store.Backend: the local store's counters plus this
+// node's remote reads/writes, so cache-hit accounting spans the fleet.
+func (b *PeerBackend) Stats() store.Stats {
+	st := b.local.Stats()
+	for _, p := range b.c.peers {
+		gets, hits := p.storeGets.Load(), p.storeHits.Load()
+		st.Hits += hits
+		st.Misses += gets - hits
+		st.Puts += p.storePuts.Load() - p.storePutErr.Load()
+	}
+	return st
+}

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mustRing(t *testing.T, members []string, vnodes int) *Ring {
+	t.Helper()
+	r, err := NewRing(members, vnodes)
+	if err != nil {
+		t.Fatalf("NewRing(%v): %v", members, err)
+	}
+	return r
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", i*2654435761)
+	}
+	return keys
+}
+
+func TestRingRejectsEmptyAndBlank(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty member list accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("blank member accepted")
+	}
+}
+
+// TestRingDeterministicOrdering: the same member set in any order
+// yields identical ownership for every key.
+func TestRingDeterministicOrdering(t *testing.T) {
+	members := []string{"http://n1:8380", "http://n2:8380", "http://n3:8380"}
+	a := mustRing(t, members, 0)
+	b := mustRing(t, []string{members[2], members[0], members[1], members[0]}, 0)
+	for _, k := range testKeys(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("rings from reordered members disagree on %s: %s vs %s",
+				k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingBalance: with default vnodes, no member owns more than twice
+// the fair share nor less than half of it — both on sampled keys and
+// on the exact arc-length shares.
+func TestRingBalance(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("http://node-%d:8380", i)
+		}
+		r := mustRing(t, members, 0)
+		counts := map[string]int{}
+		keys := testKeys(20000)
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		fair := float64(len(keys)) / float64(n)
+		for m, c := range counts {
+			if float64(c) > 2*fair || float64(c) < fair/2 {
+				t.Errorf("n=%d: member %s owns %d of %d keys (fair %.0f)", n, m, c, len(keys), fair)
+			}
+		}
+		shares := r.Shares()
+		total := 0.0
+		for m, s := range shares {
+			total += s
+			if s > 2.0/float64(n) || s < 0.5/float64(n) {
+				t.Errorf("n=%d: member %s arc share %.3f outside [%.3f, %.3f]",
+					n, m, s, 0.5/float64(n), 2.0/float64(n))
+			}
+		}
+		if total < 0.999 || total > 1.001 {
+			t.Errorf("n=%d: arc shares sum to %.6f, want 1", n, total)
+		}
+	}
+}
+
+// TestRingMinimalRemappingOnJoin: growing an N-node ring by one node
+// remaps at most 2/N of the keys, and every remapped key moves TO the
+// new node (no unrelated churn).
+func TestRingMinimalRemappingOnJoin(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("http://node-%d:8380", i)
+		}
+		joined := append(append([]string{}, members...), "http://node-new:8380")
+		before := mustRing(t, members, 0)
+		after := mustRing(t, joined, 0)
+
+		keys := testKeys(20000)
+		moved := 0
+		for _, k := range keys {
+			was, now := before.Owner(k), after.Owner(k)
+			if was == now {
+				continue
+			}
+			moved++
+			if now != "http://node-new:8380" {
+				t.Fatalf("n=%d: key %s moved %s → %s, not to the joining node", n, k, was, now)
+			}
+		}
+		bound := 2.0 / float64(n) * float64(len(keys))
+		if float64(moved) > bound {
+			t.Errorf("n=%d: join remapped %d/%d keys, bound 2/N = %.0f", n, moved, len(keys), bound)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d: join remapped nothing — new node owns no keys", n)
+		}
+	}
+}
+
+// TestRingMinimalRemappingOnLeave: removing one node remaps only that
+// node's keys, at most 2/N of the space; keys owned by survivors stay.
+func TestRingMinimalRemappingOnLeave(t *testing.T) {
+	for _, n := range []int{3, 4, 8} {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("http://node-%d:8380", i)
+		}
+		gone := members[n/2]
+		var rest []string
+		for _, m := range members {
+			if m != gone {
+				rest = append(rest, m)
+			}
+		}
+		before := mustRing(t, members, 0)
+		after := mustRing(t, rest, 0)
+
+		keys := testKeys(20000)
+		moved := 0
+		for _, k := range keys {
+			was, now := before.Owner(k), after.Owner(k)
+			if was == now {
+				continue
+			}
+			moved++
+			if was != gone {
+				t.Fatalf("n=%d: key %s moved %s → %s although its owner never left", n, k, was, now)
+			}
+		}
+		bound := 2.0 / float64(n) * float64(len(keys))
+		if float64(moved) > bound {
+			t.Errorf("n=%d: leave remapped %d/%d keys, bound 2/N = %.0f", n, moved, len(keys), bound)
+		}
+	}
+}
+
+// TestRingSingleMember: every key maps to the only node.
+func TestRingSingleMember(t *testing.T) {
+	r := mustRing(t, []string{"http://solo:1"}, 4)
+	for _, k := range testKeys(100) {
+		if r.Owner(k) != "http://solo:1" {
+			t.Fatalf("single-member ring routed %s elsewhere", k)
+		}
+	}
+}

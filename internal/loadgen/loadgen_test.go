@@ -1,0 +1,297 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/soteria-analysis/soteria/internal/market"
+)
+
+// fakeDaemon answers /v1/analyze (cached on repeat keys, per-daemon)
+// and /v1/cluster/status with a fixed queue depth.
+type fakeDaemon struct {
+	mu      sync.Mutex
+	seen    map[string]bool
+	hits    atomic.Int64
+	total   atomic.Int64
+	queue   int64
+	fail    atomic.Bool
+	statusN atomic.Int64
+}
+
+func (d *fakeDaemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
+		d.total.Add(1)
+		if d.fail.Load() {
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "backpressure"})
+			return
+		}
+		var req struct {
+			Name   string `json:"name"`
+			Source string `json:"source"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Source == "" {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		d.mu.Lock()
+		cached := d.seen[req.Source]
+		d.seen[req.Source] = true
+		d.mu.Unlock()
+		if cached {
+			d.hits.Add(1)
+		}
+		json.NewEncoder(w).Encode(map[string]any{"status": "done", "cached": cached})
+	})
+	mux.HandleFunc("GET /v1/cluster/status", func(w http.ResponseWriter, r *http.Request) {
+		d.statusN.Add(1)
+		json.NewEncoder(w).Encode(map[string]any{"queue_depth": d.queue, "inflight": 1})
+	})
+	return mux
+}
+
+func newFakeDaemon(queue int64) (*fakeDaemon, *httptest.Server) {
+	d := &fakeDaemon{seen: make(map[string]bool), queue: queue}
+	return d, httptest.NewServer(d.handler())
+}
+
+func TestMarketItemsCoverCorpus(t *testing.T) {
+	items := MarketItems()
+	if len(items) != len(market.All()) {
+		t.Fatalf("MarketItems = %d, want %d", len(items), len(market.All()))
+	}
+	for _, it := range items {
+		var req struct {
+			Name   string `json:"name"`
+			Source string `json:"source"`
+		}
+		if err := json.Unmarshal(it.Body, &req); err != nil {
+			t.Fatalf("item %s body: %v", it.Key, err)
+		}
+		if req.Name == "" || req.Source == "" {
+			t.Fatalf("item %s missing name or source", it.Key)
+		}
+	}
+}
+
+func TestSyntheticItemsHaveDistinctSources(t *testing.T) {
+	items := SyntheticItems(130) // exceeds corpus to force wraparound
+	seen := map[string]bool{}
+	for _, it := range items {
+		var req struct {
+			Source string `json:"source"`
+		}
+		if err := json.Unmarshal(it.Body, &req); err != nil {
+			t.Fatal(err)
+		}
+		if seen[req.Source] {
+			t.Fatalf("duplicate synthetic source for %s", it.Key)
+		}
+		seen[req.Source] = true
+	}
+	if len(items) != 130 {
+		t.Fatalf("len = %d, want 130", len(items))
+	}
+}
+
+func TestClosedLoopRun(t *testing.T) {
+	d, srv := newFakeDaemon(3)
+	defer srv.Close()
+	items := MarketItems()[:5]
+	res, err := Run(context.Background(), Config{
+		Targets:     []string{srv.URL},
+		Items:       items,
+		Concurrency: 4,
+		Requests:    20, // 4 passes over 5 items: 15 repeats are cache hits
+		QueueSample: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "closed" || res.Concurrency != 4 {
+		t.Fatalf("mode/concurrency = %s/%d", res.Mode, res.Concurrency)
+	}
+	if res.Requests != 20 || res.Errors != 0 {
+		t.Fatalf("requests=%d errors=%d, want 20/0", res.Requests, res.Errors)
+	}
+	if got := d.total.Load(); got != 20 {
+		t.Fatalf("daemon saw %d requests, want 20", got)
+	}
+	if res.CacheHits != 15 {
+		t.Fatalf("cache hits = %d, want 15", res.CacheHits)
+	}
+	if res.CacheHit < 0.74 || res.CacheHit > 0.76 {
+		t.Fatalf("cache hit rate = %v, want 0.75", res.CacheHit)
+	}
+	if res.P50MS <= 0 || res.P99MS < res.P50MS || res.MaxMS < res.P99MS {
+		t.Fatalf("percentiles out of order: p50=%v p99=%v max=%v", res.P50MS, res.P99MS, res.MaxMS)
+	}
+	if res.ThroughputRPS <= 0 {
+		t.Fatalf("throughput = %v", res.ThroughputRPS)
+	}
+}
+
+func TestClosedLoopCountsErrors(t *testing.T) {
+	d, srv := newFakeDaemon(0)
+	defer srv.Close()
+	d.fail.Store(true)
+	res, err := Run(context.Background(), Config{
+		Targets:     []string{srv.URL},
+		Items:       MarketItems()[:3],
+		Concurrency: 2,
+		Requests:    6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 6 || res.Rejected != 6 {
+		t.Fatalf("errors=%d rejected=%d, want 6/6", res.Errors, res.Rejected)
+	}
+	if res.FirstError == "" {
+		t.Fatal("FirstError empty")
+	}
+}
+
+func TestOpenLoopRun(t *testing.T) {
+	_, srv := newFakeDaemon(1)
+	defer srv.Close()
+	res, err := Run(context.Background(), Config{
+		Targets:  []string{srv.URL},
+		Items:    MarketItems()[:3],
+		Rate:     200,
+		Duration: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "open" || res.RateRPS != 200 {
+		t.Fatalf("mode/rate = %s/%v", res.Mode, res.RateRPS)
+	}
+	if res.Requests == 0 {
+		t.Fatal("open loop issued no requests")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d (%s)", res.Errors, res.FirstError)
+	}
+}
+
+func TestQueueDepthSampling(t *testing.T) {
+	d, srv := newFakeDaemon(7)
+	defer srv.Close()
+	res, err := Run(context.Background(), Config{
+		Targets:     []string{srv.URL},
+		Items:       MarketItems()[:2],
+		Concurrency: 1,
+		Requests:    40,
+		QueueSample: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, ok := res.QueueDepth[srv.URL]
+	if !ok {
+		t.Fatal("no queue stats for target")
+	}
+	if qs.Samples == 0 {
+		t.Skip("run finished before the first queue sample (slow CI tick)")
+	}
+	if qs.Max != 7 || qs.Mean != 7 {
+		t.Fatalf("queue stats = %+v, want max/mean 7", qs)
+	}
+	if qs.MaxInflight != 1 {
+		t.Fatalf("max inflight = %d, want 1", qs.MaxInflight)
+	}
+	if d.statusN.Load() == 0 {
+		t.Fatal("daemon status endpoint never polled")
+	}
+}
+
+func TestRunRoundRobinsTargets(t *testing.T) {
+	d1, srv1 := newFakeDaemon(0)
+	defer srv1.Close()
+	d2, srv2 := newFakeDaemon(0)
+	defer srv2.Close()
+	res, err := Run(context.Background(), Config{
+		Targets:     []string{srv1.URL, srv2.URL},
+		Items:       MarketItems()[:4],
+		Concurrency: 2,
+		Requests:    10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d (%s)", res.Errors, res.FirstError)
+	}
+	if d1.total.Load() != 5 || d2.total.Load() != 5 {
+		t.Fatalf("split = %d/%d, want 5/5", d1.total.Load(), d2.total.Load())
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Items: MarketItems()}); err == nil {
+		t.Fatal("no targets accepted")
+	}
+	if _, err := Run(context.Background(), Config{Targets: []string{"http://x"}}); err == nil {
+		t.Fatal("no items accepted")
+	}
+}
+
+func TestSeedShufflesDeterministically(t *testing.T) {
+	items := MarketItems()
+	// Two runs with the same seed must replay in the same order; verify
+	// via the request sequence observed by a single-worker run.
+	order := func(seed int64) []string {
+		var mu sync.Mutex
+		var got []string
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			var req struct {
+				Name string `json:"name"`
+			}
+			json.NewDecoder(r.Body).Decode(&req)
+			mu.Lock()
+			got = append(got, req.Name)
+			mu.Unlock()
+			json.NewEncoder(w).Encode(map[string]any{"status": "done"})
+		}))
+		defer srv.Close()
+		_, err := Run(context.Background(), Config{
+			Targets: []string{srv.URL}, Items: items, Concurrency: 1, Requests: 10, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := order(42), order(42)
+	c := order(7)
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("lengths %d/%d", len(a), len(b))
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different orders")
+	}
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical orders (suspicious)")
+	}
+}

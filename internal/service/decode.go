@@ -275,6 +275,7 @@ func (s *Server) parseBatch(data []byte) (*job, *httpError) {
 		opts:    opts,
 		async:   req.Async,
 		timings: req.Timings,
+		breq:    &req,
 		status:  statusQueued,
 		done:    make(chan struct{}),
 	}, nil

@@ -25,6 +25,8 @@ const TraceHeader = "X-Soteria-Trace"
 //	POST /v1/batch          analyze many items in one job
 //	GET  /v1/jobs/{id}      poll an async job
 //	GET  /v1/results/{hash} look up a stored record by content address
+//	PUT  /v1/results/{hash} park a record in this node's local store
+//	GET  /v1/cluster/status fleet membership, shares, routing counters
 //	GET  /healthz           liveness (503 while draining)
 //	GET  /metrics           Prometheus text metrics
 func (s *Server) Handler() http.Handler {
@@ -33,6 +35,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
+	mux.HandleFunc("PUT /v1/results/{hash}", s.handlePutResult)
+	mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.logRequests(mux)
@@ -96,6 +100,9 @@ type jobResponse struct {
 	Cached bool           `json:"cached,omitempty"`
 	Result *report.Record `json:"result,omitempty"`
 	Error  string         `json:"error,omitempty"`
+	// Node attributes a routed result to the fleet member that
+	// produced it (empty on single-node daemons and local results).
+	Node string `json:"node,omitempty"`
 	// Batch fields.
 	Results []batchItemResponse `json:"results,omitempty"`
 }
@@ -106,6 +113,7 @@ type batchItemResponse struct {
 	Cached bool           `json:"cached"`
 	Result *report.Record `json:"result,omitempty"`
 	Error  string         `json:"error,omitempty"`
+	Node   string         `json:"node,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -180,6 +188,7 @@ func respondJob(w http.ResponseWriter, code int, j *job) {
 				Cached: it.Cached,
 				Result: withTiming(it.Record),
 				Error:  it.Err,
+				Node:   it.Node,
 			})
 		}
 	} else if len(results) == 1 {
@@ -187,6 +196,7 @@ func respondJob(w http.ResponseWriter, code int, j *job) {
 		resp.Cached = results[0].Cached
 		resp.Result = withTiming(results[0].Record)
 		resp.Error = results[0].Err
+		resp.Node = results[0].Node
 	}
 	writeJSON(w, code, resp)
 }
@@ -222,6 +232,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			herr = applyIdemHeader(j, r)
 		}
 		if herr == nil {
+			j.raw = data
 			s.finishOrQueue(w, r, j)
 			return
 		}
@@ -261,6 +272,7 @@ func (s *Server) finishOrQueue(w http.ResponseWriter, r *http.Request, j *job) {
 	// idempotency index, the journal, the queue): every log line and
 	// response about this job carries the same ID.
 	j.trace = requestTrace(r)
+	j.forwarded = r.Header.Get(ForwardedHeader) != ""
 	if j.idemKey != "" {
 		if prev, claimed := s.claimIdem(j.idemKey, j); !claimed {
 			// Resubmission: the key's original job answers, whatever
@@ -279,6 +291,9 @@ func (s *Server) finishOrQueue(w http.ResponseWriter, r *http.Request, j *job) {
 	if s.finishFromStore(j) {
 		s.registerJob(j)
 		respondJob(w, http.StatusOK, j)
+		return
+	}
+	if s.maybeRoute(w, r, j) {
 		return
 	}
 	if err := s.journal.append(acceptedEvent(j)); err != nil {
@@ -318,11 +333,13 @@ func (s *Server) finishOrQueue(w http.ResponseWriter, r *http.Request, j *job) {
 	}
 }
 
-// finishFromStore serves a whole job from the persistent store. All
-// items must hit; a partial hit set still queues the job (the worker's
-// cache reuses whatever is warm).
+// finishFromStore serves a whole job from the persistent backend —
+// the local store, or the fleet's peer-routed view of it, so a node
+// answers from any replica's cache before analyzing or forwarding.
+// All items must hit; a partial hit set still queues the job (the
+// worker's cache reuses whatever is warm).
 func (s *Server) finishFromStore(j *job) bool {
-	if s.cfg.Store == nil {
+	if s.cfg.Store == nil && s.cfg.Cluster == nil {
 		return false
 	}
 	root := obs.NewRoot("job")
@@ -331,7 +348,7 @@ func (s *Server) finishFromStore(j *job) bool {
 	results := make([]itemResult, len(j.items))
 	for i, it := range j.items {
 		key := core.AnalysisKey(it.Sources, j.opts)
-		rec, ok := s.cfg.Store.Get(key)
+		rec, ok := s.backend.Get(key)
 		if !ok {
 			return false
 		}
@@ -360,7 +377,11 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	respondJob(w, http.StatusOK, j)
 }
 
-// handleResult serves GET /v1/results/{hash} straight from the store.
+// handleResult serves GET /v1/results/{hash} straight from the LOCAL
+// store — deliberately not the cluster backend. Peers resolve a key by
+// asking its owner on this endpoint, so an owner answering from its
+// own disk (and never re-routing) is what terminates every cross-node
+// read in one hop.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
 	rec, ok := s.cfg.Store.Get(hash)

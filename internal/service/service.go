@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/soteria-analysis/soteria/internal/cluster"
 	"github.com/soteria-analysis/soteria/internal/core"
 	"github.com/soteria-analysis/soteria/internal/fsio"
 	"github.com/soteria-analysis/soteria/internal/guard"
@@ -74,6 +75,12 @@ type Config struct {
 	// Store is the persistent result store; nil disables cross-restart
 	// memoization (in-process caching still applies).
 	Store *store.Store
+	// Cluster, when non-nil, turns this node into one member of a
+	// sharded fleet: sync requests route to each key's ring owner and
+	// federate back, and the result store reads and writes through the
+	// owning replica (Store becomes the node's local shard). Nil keeps
+	// the single-node behavior unchanged.
+	Cluster *cluster.Cluster
 	// JournalPath enables the durable job journal ("" disables): every
 	// accepted job is journaled and fsynced before its acknowledgment,
 	// and on restart the journal is replayed — incomplete jobs
@@ -142,6 +149,7 @@ type itemResult struct {
 	Cached   bool           // served from cache without re-analysis
 	Record   *report.Record // nil when Err != ""
 	Err      string
+	Node     string // fleet member that produced the result ("" = this node, pre-cluster)
 }
 
 // job is one queued unit of work: a single analysis or a batch.
@@ -159,6 +167,15 @@ type job struct {
 	trace string
 	// timings requests the span tree in the job's response records.
 	timings bool
+	// forwarded marks a request that already crossed a routing hop: it
+	// is served locally, never re-routed (the loop guard).
+	forwarded bool
+	// raw is the validated request body, kept for forwarding a
+	// single-analysis job to its ring owner byte-for-byte.
+	raw []byte
+	// breq is the decoded batch request, kept for splitting a batch
+	// into per-owner sub-batches (nil for single analyses).
+	breq *batchRequest
 	// queuedAt feeds the queue-wait histogram (zero = not queued).
 	queuedAt time.Time
 
@@ -198,6 +215,9 @@ type Server struct {
 	cfg    Config
 	cache  *store.AnalysisCache
 	logger *slog.Logger
+	// backend is the persistent level requests read through: the local
+	// store alone, or the cluster's peer-routed view of it.
+	backend store.Backend
 
 	queue    chan *job
 	quiesce  sync.RWMutex // submitters hold R; Shutdown holds W to close queue
@@ -210,6 +230,10 @@ type Server struct {
 	inflight   guard.Gauge
 
 	jobsDone, jobsFailed, jobsRejected atomic.Int64
+
+	// Cluster-routing counters: requests (or batch groups) forwarded to
+	// their ring owner, and owner-unreachable local fallbacks.
+	routeForwards, routeFallbacks atomic.Int64
 
 	// journal is the durable job log (nil when Config.JournalPath is
 	// empty — every append is then a no-op).
@@ -263,9 +287,14 @@ func New(cfg Config) (*Server, error) {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	var backend store.Backend = cfg.Store
+	if cfg.Cluster != nil {
+		backend = cfg.Cluster.Backend(cfg.Store)
+	}
 	s := &Server{
 		cfg:        cfg,
-		cache:      store.NewAnalysisCache(cfg.Store),
+		cache:      store.NewAnalysisCache(backend),
+		backend:    backend,
 		logger:     cfg.Logger,
 		baseCtx:    ctx,
 		cancel:     cancel,
@@ -294,7 +323,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.journal = jr
-		out := replayEvents(events, cfg.Store)
+		out := replayEvents(events, s.backend)
 		s.jobsReplayed.Store(int64(len(out.jobs)))
 		s.journalDupKeys.Store(int64(out.dupKeys))
 		for _, j := range out.jobs { // oldest first, so newest ends in front
@@ -343,10 +372,13 @@ type replayOutcome struct {
 }
 
 // replayEvents folds journal events into jobs. Terminal results are
-// rehydrated from the content-addressed store when it still holds the
-// record (a missing record leaves the result's store key and status —
-// the verdict bytes are re-derivable by resubmission).
-func replayEvents(events []journalEvent, st *store.Store) replayOutcome {
+// rehydrated from the content-addressed backend when it still holds
+// the record — on a fleet member that read goes through the owning
+// peer, since write-through placed the record on the key's owner, not
+// necessarily on the node that ran the job. A missing record leaves
+// the result's store key and status; the verdict bytes are
+// re-derivable by resubmission.
+func replayEvents(events []journalEvent, st store.Backend) replayOutcome {
 	out := replayOutcome{idem: map[string]*job{}}
 	byID := map[string]*job{}
 	rejected := map[string]bool{}
@@ -402,7 +434,7 @@ func replayEvents(events []journalEvent, st *store.Store) replayOutcome {
 			j.elapsed = time.Duration(ev.ElapsedMS) * time.Millisecond
 			for _, r := range ev.Results {
 				ir := itemResult{Key: r.Key, StoreKey: r.StoreKey, Cached: r.Cached, Err: r.Err}
-				if r.Err == "" && r.StoreKey != "" {
+				if r.Err == "" && r.StoreKey != "" && st != nil {
 					if rec, ok := st.Get(r.StoreKey); ok {
 						ir.Record = rec
 					}

@@ -1,0 +1,28 @@
+package store
+
+import "github.com/soteria-analysis/soteria/internal/report"
+
+// Backend is the pluggable result-store contract the serving tier
+// reads and writes through. The local disk Store is the canonical
+// implementation; the cluster's PeerBackend implements it by routing
+// each key to its owning replica, so a node that analyzed a key once
+// serves the whole fleet's cache hits for it.
+//
+// Semantics every implementation must honor:
+//
+//   - Get is a cache lookup, never an error source: unreachable
+//     replicas, corrupt records, and invalid keys are all misses.
+//   - Put is best-effort durable: an error means the record is not
+//     promised to survive, and callers degrade to re-analysis rather
+//     than failing the request.
+//   - Records are immutable and canonical (report.Encode): two Puts
+//     under one key carry byte-identical payloads, so replicas never
+//     need conflict resolution.
+//   - All methods are safe for concurrent use.
+type Backend interface {
+	Get(key string) (*report.Record, bool)
+	Put(key string, rec *report.Record) error
+	Stats() Stats
+}
+
+var _ Backend = (*Store)(nil)

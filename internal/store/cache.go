@@ -21,14 +21,21 @@ import (
 //
 // It also forwards SourceParser to the in-process cache, so batch runs
 // keep per-source IR memoization.
+//
+// The persistent level is any Backend: the local disk Store for a
+// single node, the cluster's peer-routed backend for a fleet — the
+// pipeline cannot tell the difference.
 type AnalysisCache struct {
 	mem  *core.Cache
-	disk *Store
+	disk Backend
 }
 
 // NewAnalysisCache creates a write-through cache over disk. A nil disk
-// store degrades to in-process memoization only.
-func NewAnalysisCache(disk *Store) *AnalysisCache {
+// backend degrades to in-process memoization only.
+func NewAnalysisCache(disk Backend) *AnalysisCache {
+	if disk == nil {
+		disk = (*Store)(nil) // nil *Store is inert: misses, drops, zero stats
+	}
 	return &AnalysisCache{mem: core.NewCache(), disk: disk}
 }
 

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# cluster-bench.sh — record BENCH_cluster.json: the same market-corpus
+# load swept over a 1-node daemon and a 3-node fleet, so the artifact
+# answers "what does sharding buy (and cost) on this host?".
+#
+# Usage: scripts/cluster-bench.sh [OUT.json]
+#
+# Boots the daemons itself on loopback ports, runs cmd/soteria-load at
+# three closed-loop concurrency levels per fleet, and merges the two
+# runs with soteria-load -merge. No external dependencies beyond the
+# repo's own binaries.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_cluster.json}"
+LEVELS="${LEVELS:-1,4,16}"
+REQUESTS="${REQUESTS:-195}"
+WORKDIR="$(mktemp -d)"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "== building binaries" >&2
+go build -o "$WORKDIR/soteriad" ./cmd/soteriad
+go build -o "$WORKDIR/soteria-load" ./cmd/soteria-load
+
+# pick_port: choose a high loopback port not currently listening.
+pick_port() {
+  local port
+  for _ in $(seq 1 50); do
+    port=$((20000 + RANDOM % 20000))
+    if ! (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then
+      echo "$port"
+      return 0
+    fi
+    exec 3>&- 2>/dev/null || true
+  done
+  echo "could not find a free port" >&2
+  exit 1
+}
+
+# start_daemon NAME ADDR [EXTRA_FLAGS...]: boot one soteriad and wait
+# for /healthz.
+start_daemon() {
+  local name=$1 addr=$2; shift 2
+  "$WORKDIR/soteriad" -addr "$addr" \
+    -store "$WORKDIR/$name-store" -journal "$WORKDIR/$name.wal" \
+    -workers 2 -queue 128 "$@" >"$WORKDIR/$name.log" 2>&1 &
+  PIDS+=($!)
+  for _ in $(seq 1 200); do
+    if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.05
+  done
+  echo "daemon $name never became healthy:" >&2
+  cat "$WORKDIR/$name.log" >&2
+  exit 1
+}
+
+echo "== 1-node run" >&2
+P0=$(pick_port)
+start_daemon single "127.0.0.1:$P0"
+"$WORKDIR/soteria-load" -targets "http://127.0.0.1:$P0" \
+  -label 1-node -levels "$LEVELS" -requests "$REQUESTS" \
+  -out "$WORKDIR/bench-1node.json"
+kill "${PIDS[@]}" 2>/dev/null || true
+wait 2>/dev/null || true
+PIDS=()
+
+echo "== 3-node fleet run" >&2
+P1=$(pick_port); P2=$(pick_port); P3=$(pick_port)
+PEERS="http://127.0.0.1:$P1,http://127.0.0.1:$P2,http://127.0.0.1:$P3"
+start_daemon node1 "127.0.0.1:$P1" -node "http://127.0.0.1:$P1" -peers "$PEERS"
+start_daemon node2 "127.0.0.1:$P2" -node "http://127.0.0.1:$P2" -peers "$PEERS"
+start_daemon node3 "127.0.0.1:$P3" -node "http://127.0.0.1:$P3" -peers "$PEERS"
+"$WORKDIR/soteria-load" -targets "$PEERS" \
+  -label 3-node -levels "$LEVELS" -requests "$REQUESTS" \
+  -out "$WORKDIR/bench-3node.json"
+
+echo "== merging → $OUT" >&2
+"$WORKDIR/soteria-load" \
+  -merge "1-node=$WORKDIR/bench-1node.json,3-node=$WORKDIR/bench-3node.json" \
+  -out "$OUT"
+echo "wrote $OUT" >&2

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI smoke test for the soteriad daemon, in four phases:
+# CI smoke test for the soteriad daemon, in five phases:
 #   1. serve-and-cache: analyze a paper app over HTTP, assert the
 #      repeated request is served from the store, SIGTERM drains cleanly;
 #   2. backpressure: with a 1-worker/1-deep queue, overflow submissions
@@ -12,7 +12,10 @@
 #      timings request returns a span tree + X-Soteria-Trace header,
 #      the trace ID appears in the daemon's log, the slow-job span dump
 #      fires, pprof answers on its own listener, and soteria
-#      -explain-timing prints a local span tree.
+#      -explain-timing prints a local span tree;
+#   5. fleet: three daemons formed with -peers report 3 ring members,
+#      and an analysis submitted to node 1 is answered from the shared
+#      sharded store (cached:true) when resubmitted to node 2.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,7 +46,10 @@ fi
 second=$(curl -fsS -X POST --data-binary @"$workdir/req.json" "$base/v1/analyze")
 echo "$second" | grep -q '"cached":true' || { echo "repeat not served from store: $second"; exit 1; }
 
-curl -fsS "$base/metrics" | grep -Eq 'soteriad_store_hits_total [1-9]' \
+# Buffered: grep -q quitting mid-stream would break curl's pipe and
+# fail the pipeline under pipefail even on a successful match.
+metrics=$(curl -fsS "$base/metrics")
+echo "$metrics" | grep -Eq 'soteriad_store_hits_total [1-9]' \
     || { echo "store hit counter did not increment"; exit 1; }
 
 kill -TERM "$pid"
@@ -205,4 +211,44 @@ go run ./cmd/soteria -explain-timing "$workdir/smoke.groovy" 2> "$workdir/timing
 grep -q 'statemodel' "$workdir/timing.err" \
     || { echo "-explain-timing printed no span tree:"; cat "$workdir/timing.err"; exit 1; }
 echo "phase 4 OK: metrics exposition + tracing + slow-job + pprof + explain-timing"
+
+# --- Phase 5: multi-node fleet ---------------------------------------
+# Three daemons share one static -peers list. Any node answers any key:
+# a result produced via node 1 lives on its ring owner's shard, so the
+# same submission against node 2 must come back cached, and every node
+# must report the full membership.
+fa=127.0.0.1:8396; fb=127.0.0.1:8397; fc=127.0.0.1:8398
+peers="http://$fa,http://$fb,http://$fc"
+go run ./scripts/smokereq -variant 600 > "$workdir/fleet.json"
+
+fpids=()
+for a in "$fa" "$fb" "$fc"; do
+    "$workdir/soteriad" -addr "$a" -node "http://$a" -peers "$peers" \
+        -store "$workdir/store-$a" -journal "$workdir/journal-$a.wal" \
+        -workers 1 2> "$workdir/fleet-$a.log" &
+    fpids+=($!)
+done
+trap 'kill -9 "${fpids[@]}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+for a in "$fa" "$fb" "$fc"; do
+    wait_healthy "http://$a"
+done
+
+for a in "$fa" "$fb" "$fc"; do
+    curl -fsS "http://$a/v1/cluster/status" | grep -q '"members":3' \
+        || { echo "node $a does not see 3 fleet members"; exit 1; }
+done
+
+via1=$(curl -fsS -X POST --data-binary @"$workdir/fleet.json" "http://$fa/v1/analyze")
+echo "$via1" | grep -q '"schema":1' || { echo "fleet analysis failed: $via1"; exit 1; }
+
+via2=$(curl -fsS -X POST --data-binary @"$workdir/fleet.json" "http://$fb/v1/analyze")
+echo "$via2" | grep -q '"cached":true' \
+    || { echo "cross-node resubmission not served from the sharded store: $via2"; exit 1; }
+
+for p in "${fpids[@]}"; do kill -TERM "$p" 2>/dev/null || true; done
+for p in "${fpids[@]}"; do
+    wait "$p" || { echo "fleet daemon exited non-zero on SIGTERM"; exit 1; }
+done
+trap 'rm -rf "$workdir"' EXIT
+echo "phase 5 OK: 3-member fleet + cross-node cache hit"
 echo "soteriad smoke OK"

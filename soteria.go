@@ -32,6 +32,7 @@ import (
 	"log/slog"
 	"time"
 
+	"github.com/soteria-analysis/soteria/internal/cluster"
 	"github.com/soteria-analysis/soteria/internal/core"
 	"github.com/soteria-analysis/soteria/internal/fsio"
 	"github.com/soteria-analysis/soteria/internal/guard"
@@ -573,6 +574,19 @@ type ServiceConfig struct {
 	// SlowJobThreshold, when positive, logs the full span tree of any
 	// job whose wall time meets or exceeds it (0 disables).
 	SlowJobThreshold time.Duration
+
+	// Peers, when set, joins this node to a sharded fleet: the full
+	// static member list (this node's advertised URL included). Each
+	// analysis key is owned by one member of a consistent-hash ring;
+	// sync requests route to their owner and federate back, and the
+	// result store reads/writes through the owning replica. Every node
+	// must be started with the same list (order is irrelevant).
+	Peers []string
+	// SelfURL is this node's advertised base URL (required with Peers;
+	// must appear in the list).
+	SelfURL string
+	// VirtualNodes is the ring's per-member point count (0 = 128).
+	VirtualNodes int
 }
 
 // NewService starts an analysis service (its worker pool is live on
@@ -591,6 +605,18 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 			return nil, err
 		}
 	}
+	var cl *cluster.Cluster
+	if len(cfg.Peers) > 0 {
+		var err error
+		cl, err = cluster.New(cluster.Config{
+			Self:         cfg.SelfURL,
+			Peers:        cfg.Peers,
+			VirtualNodes: cfg.VirtualNodes,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	return service.New(service.Config{
 		Workers:          cfg.Workers,
 		QueueDepth:       cfg.QueueDepth,
@@ -599,6 +625,7 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		Parallel:         cfg.Parallel,
 		Limits:           cfg.Limits.internal(),
 		Store:            st,
+		Cluster:          cl,
 		JournalPath:      cfg.JournalPath,
 		FS:               fs,
 		Logger:           cfg.Logger,
