@@ -12,6 +12,9 @@
 //	soteria-conform -seed 7 -count 5000 -engines explicit,bdd
 //	soteria-conform -states 20 -density 0.3 -depth 7 -no-shrink
 //	soteria-conform -golden            # print the golden-corpus verdicts
+//	soteria-conform -taint 200         # taint differential: 200 seeded
+//	                                   # tainted/sanitized app pairs
+//	soteria-conform -golden-taint      # print the golden taint verdicts
 //
 // Exit status: 0 on full agreement, 1 on any mismatch, 2 on bad flags.
 package main
@@ -36,6 +39,8 @@ func main() {
 	depth := flag.Int("depth", 0, "max formula nesting depth (0 = default)")
 	maxMismatches := flag.Int("max-mismatches", 5, "stop after this many disagreements (0 = collect all)")
 	golden := flag.Bool("golden", false, "print the golden-corpus verdicts (paper properties over paperapps) and exit")
+	taintCount := flag.Int("taint", 0, "run the taint differential over this many seeded tainted/sanitized app pairs and exit")
+	goldenTaint := flag.Bool("golden-taint", false, "print the golden taint verdicts and exit")
 	quiet := flag.Bool("q", false, "suppress the summary line")
 	flag.Parse()
 
@@ -46,6 +51,34 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(out)
+		return
+	}
+	if *goldenTaint {
+		out, err := conformance.TaintGoldenReport()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "soteria-conform: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
+	if *taintCount > 0 {
+		t0 := time.Now()
+		rep := conformance.RunTaint(conformance.TaintOptions{
+			Seed:          *seed,
+			Count:         *taintCount,
+			MaxMismatches: *maxMismatches,
+		})
+		if !*quiet {
+			fmt.Printf("soteria-conform: taint differential seed=%d pairs=%d mismatches=%d (%.2fs)\n",
+				*seed, rep.Cases, len(rep.Mismatches), time.Since(t0).Seconds())
+		}
+		for i, m := range rep.Mismatches {
+			fmt.Printf("--- taint mismatch %d/%d ---\n%s\n", i+1, len(rep.Mismatches), m.Error())
+		}
+		if !rep.OK() {
+			os.Exit(1)
+		}
 		return
 	}
 

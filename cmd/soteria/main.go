@@ -6,7 +6,9 @@
 //	soteria [flags] app.groovy [app2.groovy ...]
 //
 // With several files the apps are analyzed together as one environment
-// (the paper's multi-app analysis). Flags:
+// (the paper's multi-app analysis). The family flags (-general,
+// -specific, -taint) combine: naming any of them checks exactly the
+// named families. Flags:
 //
 //	-ir        print each app's intermediate representation
 //	-dot       print the state model in Graphviz format
@@ -17,6 +19,9 @@
 //	-witness F produce a trace demonstrating an existential formula
 //	-general   check only the general properties (S.1–S.5)
 //	-specific  check only the app-specific properties (P.1–P.30)
+//	-taint     check only the taint properties (T.1–T.6)
+//	-properties IDs check only the listed property IDs (comma-separated,
+//	           e.g. "P.10,T.2"; "T.*" selects the whole taint family)
 //	-parallel N check properties with N concurrent workers
 //	-timeout D abort the analysis after the wall-clock duration D
 //	-max-states N cap state-model enumeration at N states
@@ -53,6 +58,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"github.com/soteria-analysis/soteria"
 	"github.com/soteria-analysis/soteria/internal/obs"
@@ -69,6 +75,8 @@ func main() {
 		ltlProp   = flag.String("ltl", "", "additionally check this LTL formula (G/F/X/U/R) over all paths")
 		general   = flag.Bool("general", false, "check only general properties (S.1-S.5)")
 		specific  = flag.Bool("specific", false, "check only app-specific properties (P.1-P.30)")
+		taintOnly = flag.Bool("taint", false, "check only taint properties (T.1-T.6)")
+		propIDs   = flag.String("properties", "", "check only these comma-separated property IDs (e.g. \"P.10,T.2\"; \"T.*\" selects the taint family)")
 		list      = flag.Bool("list", false, "list the property catalogue and exit")
 		jsonOut   = flag.Bool("json", false, "emit the analysis result as JSON")
 		parallel  = flag.Int("parallel", 1, "check properties with this many concurrent workers (results are identical at any setting)")
@@ -111,6 +119,8 @@ func main() {
 			paths:         flag.Args(),
 			general:       *general,
 			specific:      *specific,
+			taint:         *taintOnly,
+			properties:    splitIDs(*propIDs),
 			parallel:      *parallel,
 			timeout:       *timeout,
 			maxStates:     *maxStates,
@@ -140,11 +150,11 @@ func main() {
 	}
 
 	var opts []soteria.Option
-	if *general && !*specific {
-		opts = append(opts, soteria.WithGeneralOnly())
+	if *general || *specific || *taintOnly {
+		opts = append(opts, soteria.WithChecks(*general, *specific, *taintOnly))
 	}
-	if *specific && !*general {
-		opts = append(opts, soteria.WithAppSpecificOnly())
+	if ids := splitIDs(*propIDs); len(ids) > 0 {
+		opts = append(opts, soteria.WithProperties(ids...))
 	}
 	if *parallel > 1 {
 		opts = append(opts, soteria.WithParallel(*parallel))
@@ -201,8 +211,16 @@ func main() {
 	}
 	for _, v := range res.Violations {
 		fmt.Printf("VIOLATION %s [%s]: %s\n  %s\n", v.ID, v.Kind, v.Description, v.Detail)
-		if v.Counterexample != "" {
+		// Taint witnesses render in full in the flow section below.
+		if v.Counterexample != "" && v.Kind != soteria.TaintViolation {
 			fmt.Printf("  counterexample: %s\n", v.Counterexample)
+		}
+	}
+	for _, f := range res.TaintFlows {
+		fmt.Printf("TAINT FLOW %s [%s]: %s -> %s (%s channel, line %d)\n",
+			f.ID, f.App, f.Source, f.Sink, f.Channel, f.Line)
+		for _, step := range f.Witness {
+			fmt.Printf("  %s\n", step)
 		}
 	}
 
@@ -269,6 +287,17 @@ func exitCode(res *soteria.Result) int {
 		return 1
 	}
 	return 0
+}
+
+// splitIDs parses a comma-separated -properties value, trimming blanks.
+func splitIDs(s string) []string {
+	var ids []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			ids = append(ids, part)
+		}
+	}
+	return ids
 }
 
 func num(id string) int {

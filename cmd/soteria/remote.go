@@ -20,6 +20,8 @@ type remoteRun struct {
 	paths         []string
 	general       bool
 	specific      bool
+	taint         bool
+	properties    []string
 	parallel      int
 	timeout       time.Duration
 	maxStates     int
@@ -40,14 +42,13 @@ func runRemote(run remoteRun) int {
 		apps = append(apps, client.App{Name: filepath.Base(path), Source: string(src)})
 	}
 
-	opts := &client.Options{MaxStates: run.maxStates}
-	if run.general && !run.specific {
-		f := false
-		opts.AppSpecific = &f
-	}
-	if run.specific && !run.general {
-		f := false
-		opts.General = &f
+	opts := &client.Options{MaxStates: run.maxStates, Properties: run.properties}
+	if run.general || run.specific || run.taint {
+		// Family flags combine: naming any of them checks exactly the
+		// named families (same semantics as a local run).
+		opts.General = &run.general
+		opts.AppSpecific = &run.specific
+		opts.Taint = &run.taint
 	}
 	if run.parallel > 1 {
 		opts.Parallel = run.parallel
@@ -152,8 +153,16 @@ func renderRecord(rec *report.Record, cached bool, jsonOut bool) int {
 	}
 	for _, v := range rec.Violations {
 		fmt.Printf("VIOLATION %s [%s]: %s\n  %s\n", v.ID, v.Kind, v.Description, v.Detail)
-		if v.Counterexample != "" {
+		// Taint witnesses render in full in the flow section below.
+		if v.Counterexample != "" && v.Kind != "taint" {
 			fmt.Printf("  counterexample: %s\n", v.Counterexample)
+		}
+	}
+	for _, f := range rec.TaintFlows {
+		fmt.Printf("TAINT FLOW %s [%s]: %s -> %s (%s channel, line %d)\n",
+			f.ID, f.App, f.Source, f.Sink, f.Channel, f.Line)
+		for _, step := range f.Witness {
+			fmt.Printf("  %s\n", step)
 		}
 	}
 	if rec.Incomplete {

@@ -16,6 +16,7 @@ import (
 
 	"github.com/soteria-analysis/soteria/internal/client"
 	"github.com/soteria-analysis/soteria/internal/paperapps"
+	"github.com/soteria-analysis/soteria/internal/report"
 )
 
 // buildOnce compiles the real soteriad binary one time per test run.
@@ -226,7 +227,7 @@ func TestKillRestartLosesNoAcceptedJob(t *testing.T) {
 		if j.Status != "done" {
 			t.Fatalf("job %d (%s) ended %q: %+v", i, id, j.Status, j)
 		}
-		if j.Result == nil || j.Result.Schema != 1 {
+		if j.Result == nil || j.Result.Schema != report.Schema {
 			t.Fatalf("job %d (%s) has no valid record after restart", i, id)
 		}
 	}
@@ -263,7 +264,7 @@ func TestKillRestartLosesNoAcceptedJob(t *testing.T) {
 		if err != nil {
 			t.Fatalf("result %s: %v", j.Key, err)
 		}
-		if rec.Schema != 1 || len(rec.Apps) == 0 {
+		if rec.Schema != report.Schema || len(rec.Apps) == 0 {
 			t.Fatalf("stored record for job %d is not sound: %+v", i, rec)
 		}
 	}
@@ -311,7 +312,7 @@ func TestKillMidWriteServesNoTornRecord(t *testing.T) {
 	if err != nil {
 		t.Fatalf("re-analysis: %v", err)
 	}
-	if again.Status != "done" || again.Result == nil || again.Result.Schema != 1 {
+	if again.Status != "done" || again.Result == nil || again.Result.Schema != report.Schema {
 		t.Fatalf("re-analysis after mid-write crash: %+v", again)
 	}
 

@@ -146,6 +146,7 @@ type App struct {
 type Options struct {
 	General     *bool    `json:"general,omitempty"`
 	AppSpecific *bool    `json:"app_specific,omitempty"`
+	Taint       *bool    `json:"taint,omitempty"`
 	Properties  []string `json:"properties,omitempty"`
 	TimeoutMS   int64    `json:"timeout_ms,omitempty"`
 	MaxStates   int      `json:"max_states,omitempty"`

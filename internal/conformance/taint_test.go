@@ -1,0 +1,111 @@
+package conformance
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTaintGenDeterministic requires equal seeds to generate equal
+// pair sequences — the property CI replays rely on.
+func TestTaintGenDeterministic(t *testing.T) {
+	a := rand.New(rand.NewSource(7))
+	b := rand.New(rand.NewSource(7))
+	for i := 0; i < 48; i++ {
+		ca, cb := GenTaintCase(a, i), GenTaintCase(b, i)
+		if ca.Name != cb.Name || ca.Tainted != cb.Tainted || ca.Sanitized != cb.Sanitized {
+			t.Fatalf("case %d diverges across equal seeds:\n%s\n---\n%s", i, ca.Name, cb.Name)
+		}
+		if ca.Tainted == ca.Sanitized {
+			t.Fatalf("case %d: variants are identical", i)
+		}
+		// The variants differ exactly by the sanitizer call: stripping
+		// "<sanitizer>(" and the matching ")" from the sanitized source
+		// must recover the tainted source.
+		stripped := strings.Replace(ca.Sanitized, ca.Sanitizer+"(", "", -1)
+		stripped = strings.Replace(stripped, ")}", "}", -1)
+		if stripped != ca.Tainted {
+			t.Fatalf("case %d: variants differ beyond the sanitizer:\n%s\n---\n%s",
+				i, ca.Tainted, ca.Sanitized)
+		}
+	}
+}
+
+// TestTaintGenCoversFamily checks any 24-case window hits all six
+// properties under all four shapes.
+func TestTaintGenCoversFamily(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	props := map[string]int{}
+	shapes := map[string]bool{}
+	for i := 0; i < 24; i++ {
+		c := GenTaintCase(rng, i)
+		props[c.PropID]++
+		shapes[strings.Fields(c.Name)[3]] = true
+	}
+	for _, id := range []string{"T.1", "T.2", "T.3", "T.4", "T.5", "T.6"} {
+		if props[id] != 4 {
+			t.Errorf("%s generated %d times in 24 cases, want 4", id, props[id])
+		}
+	}
+	if len(shapes) != 4 {
+		t.Errorf("shapes covered = %v, want 4", shapes)
+	}
+}
+
+// TestTaintDifferential is the in-tree slice of the taint soak: 48
+// seeded pairs (two full family×shape sweeps) through the oracle.
+// CI runs longer sweeps via soteria-conform -taint.
+func TestTaintDifferential(t *testing.T) {
+	rep := RunTaint(TaintOptions{Seed: 0xDEC0DE, Count: 48})
+	if rep.Cases != 48 {
+		t.Fatalf("cases = %d", rep.Cases)
+	}
+	for _, m := range rep.Mismatches {
+		t.Errorf("%v", m)
+	}
+}
+
+// TestGoldenTaintCorpus locks the verdicts of the golden taint pairs
+// (50 verdict lines: 25 pairs × 2 variants). Regenerate intended
+// changes with
+//
+//	go test ./internal/conformance -run TestGoldenTaint -update
+func TestGoldenTaintCorpus(t *testing.T) {
+	got, err := TaintGoldenReport()
+	if err != nil {
+		t.Fatalf("TaintGoldenReport: %v", err)
+	}
+	path := filepath.Join("testdata", "taint.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (regenerate with -update): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		g, w := "", ""
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Errorf("taint golden verdicts diverge at line %d:\n  got:  %q\n  want: %q", i+1, g, w)
+		}
+	}
+}

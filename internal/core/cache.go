@@ -56,7 +56,7 @@ func AnalysisKey(sources []NamedSource, o Options) string {
 	for _, s := range sources {
 		fmt.Fprintf(h, "%s\x00", SourceHash(s))
 	}
-	fmt.Fprintf(h, "g=%t|a=%t|ids=%q|lim=%+v", o.General, o.AppSpecific, o.PropertyIDs, o.Limits)
+	fmt.Fprintf(h, "g=%t|a=%t|t=%t|ids=%q|lim=%+v", o.General, o.AppSpecific, o.Taint, o.PropertyIDs, o.Limits)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

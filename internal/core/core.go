@@ -24,6 +24,7 @@ import (
 	"github.com/soteria-analysis/soteria/internal/smv"
 	"github.com/soteria-analysis/soteria/internal/statemodel"
 	"github.com/soteria-analysis/soteria/internal/symbolic"
+	"github.com/soteria-analysis/soteria/internal/taint"
 )
 
 // Options selects which property families to verify.
@@ -32,10 +33,15 @@ type Options struct {
 	General bool
 	// AppSpecific enables the P.1–P.30 catalogue.
 	AppSpecific bool
+	// Taint enables the T.1–T.6 sensitive-data-flow checks
+	// (internal/taint): sources (device state, location mode, user
+	// input) flowing to sinks (network calls, messages).
+	Taint bool
 	// PropertyIDs restricts the app-specific catalogue to the listed
 	// IDs (empty = all). The filter is applied before dispatch: only
 	// the requested properties are built and checked, and Checked
-	// reflects the filter.
+	// reflects the filter. Taint IDs (T.n, or the "T.*" wildcard)
+	// restrict the taint family the same way.
 	PropertyIDs []string
 	// Parallel is the number of concurrent property-check workers
 	// (values below 2 check sequentially). Workers share the Kripke
@@ -50,7 +56,7 @@ type Options struct {
 
 // DefaultOptions checks everything.
 func DefaultOptions() Options {
-	return Options{General: true, AppSpecific: true}
+	return Options{General: true, AppSpecific: true, Taint: true}
 }
 
 // Timings records per-stage durations (§6.3).
@@ -76,6 +82,9 @@ type Analysis struct {
 	// Checked lists the app-specific property IDs that were fully
 	// decided, in catalogue order.
 	Checked []string
+	// TaintFlows are the sensitive-data-flow findings (T.1–T.6),
+	// sorted and deduplicated; each also appears as a Violation.
+	TaintFlows []taint.Flow
 	// lim reproduces per-resource limits for post-hoc formula checks.
 	lim guard.Limits
 }
@@ -228,6 +237,27 @@ func AnalyzeAppsContext(ctx context.Context, opts Options, apps ...*ir.App) (*An
 				a.Incomplete = true
 			}
 			a.Violations = append(a.Violations, rep.Violations...)
+		}
+		if opts.Taint && a.Model != nil {
+			// The taint family is evaluated over the symbolic-execution
+			// results the model already retains — no re-execution. It
+			// runs in the coordinating goroutine and sorts its flows, so
+			// parallel and sequential runs report identical bytes.
+			tsp := obs.Start(ctx, "check.taint")
+			terr := guard.Run("properties.taint", func() error {
+				faultinject.Hit(faultinject.SiteTaint)
+				a.TaintFlows = taint.FromModel(a.Model, opts.PropertyIDs)
+				a.Violations = append(a.Violations, taint.Violations(a.TaintFlows)...)
+				return nil
+			})
+			tsp.SetInt("flows", int64(len(a.TaintFlows)))
+			tsp.End()
+			if terr != nil {
+				if !recoverable(terr) {
+					return terr
+				}
+				a.markIncomplete(guard.Diagnose("properties.taint", "", "", terr))
+			}
 		}
 		return nil
 	})

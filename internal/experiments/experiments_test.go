@@ -61,7 +61,7 @@ func TestMalIoTTable(t *testing.T) {
 	if len(tbl.Rows) != 17 {
 		t.Errorf("rows = %d", len(tbl.Rows))
 	}
-	if res.Identified != 17 || res.GroundTruth != 20 || res.FalsePositives != 1 {
+	if res.Identified != 18 || res.GroundTruth != 20 || res.FalsePositives != 1 {
 		t.Errorf("headline = %d/%d, FP %d", res.Identified, res.GroundTruth, res.FalsePositives)
 	}
 }

@@ -25,6 +25,8 @@ const (
 	SiteKripke = "kripke.from"
 	// SiteGeneral is the S.1–S.5 / nondeterminism check stage.
 	SiteGeneral = "properties.general"
+	// SiteTaint is the T.1–T.6 sensitive-data-flow check stage.
+	SiteTaint = "properties.taint"
 	// SiteProperty is the per-property check boundary; HitKey passes
 	// the property ID.
 	SiteProperty = "properties.property"
@@ -62,7 +64,7 @@ const (
 // fault-injection sweeps.
 func Sites() []string {
 	return []string{
-		SiteAnalyze, SiteStateModel, SiteKripke, SiteGeneral,
+		SiteAnalyze, SiteStateModel, SiteKripke, SiteGeneral, SiteTaint,
 		SiteProperty, SiteEngineExplicit, SiteEngineBDD, SiteEngineBMC,
 		SiteEngineLTL, SiteCTLParse, SiteLTLParse, SiteSATSolve,
 		SiteBatchItem,

@@ -290,13 +290,16 @@ def onHandler(evt) {
 	{
 		ID: "App11", Name: "MalIoT-App11",
 		Description: "The app notifies the user when the kids leave home — and also leaks the event to an attacker's phone number.",
-		Expected:    nil,
-		Outcome:     OutOfScope, GroundTruthViolations: 1,
+		Expected:    []string{"T.2"},
+		Outcome:     TruePositive, GroundTruthViolations: 1,
 		Details: "Multiple sensitive data leaks",
 		Source: `
 /* Ground truth: sensitive data leak via sendSms to a hard-coded
-   number; data-flow privacy is outside Soteria's property model
-   (paper §6.2 defers it to taint-tracking tools). */
+   number. The taint family flags it as T.2 (device state over the
+   messaging channel): evt.displayName and evt.date flow into the
+   second sendSms payload. The first sendSms is benign — its payload
+   is a constant and the user-chosen recipient position is not a
+   leak. */
 definition(name: "MalIoT-App11", namespace: "maliot", author: "MalIoT", category: "Family")
 preferences {
     section("Devices") {

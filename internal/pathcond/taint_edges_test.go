@@ -1,0 +1,165 @@
+// Table-driven tests for the path-condition edges the taint family
+// leans on: the guard of every reported flow is built by conjoining
+// branch atoms (negated on else-edges), pruned by Feasible before a
+// sink is reported, and rendered through Canonical for byte-stable
+// reports. These tables pin that fragment precisely.
+package pathcond
+
+import "testing"
+
+// TestBranchNegationChains models if / else-if / else ladders the way
+// symexec builds them: each else-edge conjoins the negation of every
+// earlier branch condition. The table walks the polarity combinations
+// and pins which are feasible.
+func TestBranchNegationChains(t *testing.T) {
+	// The ladder predicate set for a presence handler:
+	//   if (evt.value == "present") ...            — p
+	//   else if (power > 50) ...                   — q
+	//   else ...
+	p := str("evt.value", EQ, "present")
+	q := num("meter.power", GT, 50)
+	cases := []struct {
+		name  string
+		atoms []Atom
+		want  bool
+	}{
+		{"then-edge", []Atom{p}, true},
+		{"else-if edge: !p && q", []Atom{p.Negated(), q}, true},
+		{"final else: !p && !q", []Atom{p.Negated(), q.Negated()}, true},
+		{"re-testing p on the else edge contradicts", []Atom{p.Negated(), p}, false},
+		{"re-testing q on the final else contradicts", []Atom{p.Negated(), q.Negated(), q}, false},
+		{"double negation restores the then edge", []Atom{p.Negated().Negated(), p}, true},
+		{"both polarities of the ladder head", []Atom{p, p.Negated()}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Feasible(Cond{Atoms: tc.atoms}); got != tc.want {
+				t.Errorf("Feasible(%s) = %t, want %t", Cond{Atoms: tc.atoms}, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestContradictionPruningMixedKinds covers the conjunctions that
+// decide whether a sink's guard survives taint reporting: numeric
+// intervals, string enums, and symbolic thresholds mixed in one
+// condition, exactly the shape nested handler branches produce.
+func TestContradictionPruningMixedKinds(t *testing.T) {
+	cases := []struct {
+		name  string
+		atoms []Atom
+		want  bool
+	}{
+		{
+			"subscription value + agreeing branch",
+			[]Atom{str("evt.value", EQ, "not present"), str("evt.value", NE, "present")},
+			true,
+		},
+		{
+			"subscription value + contradicting inner branch",
+			[]Atom{str("evt.value", EQ, "not present"), str("evt.value", EQ, "present")},
+			false,
+		},
+		{
+			"numeric window around a threshold",
+			[]Atom{num("meter.power", GT, 5), num("meter.power", LT, 50), num("meter.power", EQ, 10)},
+			true,
+		},
+		{
+			"numeric window excludes the tested point",
+			[]Atom{num("meter.power", GT, 5), num("meter.power", LT, 50), num("meter.power", EQ, 50)},
+			false,
+		},
+		{
+			"string and numeric constraints on distinct vars are independent",
+			[]Atom{str("mode", EQ, "away"), num("battery.battery", LT, 20)},
+			true,
+		},
+		{
+			"symbolic threshold both polarities",
+			[]Atom{sym("battery.battery", LT, "thrshld"), sym("battery.battery", GE, "thrshld")},
+			false,
+		},
+		{
+			"symbolic threshold vs a different symbol is unconstrained",
+			[]Atom{sym("battery.battery", LT, "thrshld"), sym("battery.battery", GE, "other")},
+			true,
+		},
+		{
+			"equalities to two enum values contradict",
+			[]Atom{str("mode", EQ, "away"), str("mode", EQ, "home")},
+			false,
+		},
+		{
+			"point interval carved out by a disequality",
+			[]Atom{num("level", GE, 7), num("level", LE, 7), num("level", NE, 7)},
+			false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Feasible(Cond{Atoms: tc.atoms}); got != tc.want {
+				t.Errorf("Feasible(%s) = %t, want %t", Cond{Atoms: tc.atoms}, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestOpaqueNegationRendering pins the `!(term)` rendering of negated
+// opaque predicates — it appears verbatim in taint witness conditions —
+// and that opaque terms of either polarity never prune a path.
+func TestOpaqueNegationRendering(t *testing.T) {
+	c := True().WithOpaque("isDaytime()", true)
+	if got := c.String(); got != "!(isDaytime())" {
+		t.Errorf("negated opaque rendering = %q", got)
+	}
+	if !Feasible(c) {
+		t.Error("negated opaque term must stay satisfiable")
+	}
+	both := c.WithOpaque("isDaytime()", false)
+	if !Feasible(both) {
+		t.Error("opaque contradiction is deliberately not modeled")
+	}
+}
+
+// TestCanonicalCollapsesRepeatedBranchAtoms covers the loop re-entry
+// shape: a while body re-tested once conjoins the same branch atom
+// twice, and Canonical must collapse the duplicates so the witness
+// condition renders each predicate once.
+func TestCanonicalCollapsesRepeatedBranchAtoms(t *testing.T) {
+	a := num("retries", LT, 3)
+	b := str("evt.value", EQ, "wet")
+	c := Cond{Atoms: []Atom{a, b, a, b, a}}
+	want := Cond{Atoms: []Atom{a, b}}.Canonical()
+	if got := c.Canonical(); got != want {
+		t.Errorf("Canonical() = %q, want %q", got, want)
+	}
+	// And() preserves operand atoms verbatim; only Canonical dedupes.
+	d := Cond{Atoms: []Atom{a}}.And(Cond{Atoms: []Atom{a}})
+	if len(d.Atoms) != 2 {
+		t.Errorf("And kept %d atoms, want 2", len(d.Atoms))
+	}
+	if d.Canonical() != (Cond{Atoms: []Atom{a}}).Canonical() {
+		t.Errorf("canonical of a && a differs from a: %q", d.Canonical())
+	}
+}
+
+// TestImpliesAcrossNegatedEdges checks Implies on every operator pair
+// produced by branch negation: the taken edge implies the negation of
+// the not-taken edge's atom and vice versa.
+func TestImpliesAcrossNegatedEdges(t *testing.T) {
+	ops := []Op{EQ, NE, LT, LE, GT, GE}
+	for _, op := range ops {
+		a := num("x", op, 5)
+		c := True().WithAtom(a)
+		if !Implies(c, a) {
+			t.Errorf("%s does not imply itself", a)
+		}
+		if Feasible(c.WithAtom(a.Negated())) {
+			t.Errorf("%s && %s should be infeasible", a, a.Negated())
+		}
+		if a.Negated().Negated() != a {
+			t.Errorf("%s negation is not an involution", a)
+		}
+	}
+}

@@ -6,17 +6,19 @@ import (
 )
 
 // IDRank maps a property ID to its catalogue position for report
-// ordering: S.1–S.5 first, then P.1–P.30, then the nondeterminism
-// marker ND, with unknown IDs last (ordered lexically among
-// themselves). Reports sorted by IDRank are stable across runs
-// regardless of the order verdicts arrive in — the invariant the
-// parallel property checker relies on.
+// ordering: S.1–S.5 first, then P.1–P.30, then the taint family
+// T.1–T.6, then the nondeterminism marker ND, with unknown IDs last
+// (ordered lexically among themselves). Reports sorted by IDRank are
+// stable across runs regardless of the order verdicts arrive in — the
+// invariant the parallel property checker relies on.
 func IDRank(id string) int {
 	switch {
 	case strings.HasPrefix(id, "S."):
 		return idNum(id)
 	case strings.HasPrefix(id, "P."):
 		return 100 + idNum(id)
+	case strings.HasPrefix(id, "T."):
+		return 500 + idNum(id)
 	case id == "ND":
 		return 1000
 	}

@@ -30,6 +30,9 @@ const (
 	AppSpecific
 	// Nondeterminism marks nondeterministic state models (§4.2).
 	Nondeterminism
+	// Taint marks T.1–T.6 sensitive-data-flow violations (the
+	// SainT-style source→sink family; internal/taint).
+	Taint
 )
 
 func (k Kind) String() string {
@@ -40,6 +43,8 @@ func (k Kind) String() string {
 		return "app-specific"
 	case Nondeterminism:
 		return "nondeterminism"
+	case Taint:
+		return "taint"
 	}
 	return "unknown"
 }
@@ -52,6 +57,8 @@ func KindFromString(s string) Kind {
 		return AppSpecific
 	case "nondeterminism":
 		return Nondeterminism
+	case "taint":
+		return Taint
 	}
 	return General
 }

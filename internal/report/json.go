@@ -17,12 +17,15 @@ import (
 	"github.com/soteria-analysis/soteria/internal/core"
 	"github.com/soteria-analysis/soteria/internal/guard"
 	"github.com/soteria-analysis/soteria/internal/properties"
+	"github.com/soteria-analysis/soteria/internal/taint"
 )
 
 // Schema is the current record schema version. Decode rejects records
 // with a different version (treated as a cache miss by the store), so
 // a schema change never serves mis-shaped results — it just re-analyzes.
-const Schema = 1
+// Version 2 added the taint_flows section (T.1–T.6 sensitive-data-flow
+// findings).
+const Schema = 2
 
 // Record is one analysis result in schema-versioned form.
 type Record struct {
@@ -33,8 +36,12 @@ type Record struct {
 	States                int `json:"states"`
 	StatesBeforeReduction int `json:"states_before_reduction"`
 	Transitions           int `json:"transitions"`
-	// Violations are in catalogue order (S.1–S.5, P.1–P.30, ND).
+	// Violations are in catalogue order (S.1–S.5, P.1–P.30, T.1–T.6, ND).
 	Violations []Violation `json:"violations"`
+	// TaintFlows are the sensitive-data-flow findings, sorted. They are
+	// persisted in full (not just as violations) so rehydrated cache
+	// hits serve byte-identical flow sections.
+	TaintFlows []TaintFlow `json:"taint_flows"`
 	// Checked lists the fully decided app-specific property IDs.
 	Checked []string `json:"checked"`
 	// Incomplete marks partial results (budget, cancellation, contained
@@ -58,6 +65,24 @@ type Violation struct {
 	Counterexample string   `json:"counterexample,omitempty"`
 }
 
+// TaintFlow is one sensitive-data flow in record form: a source
+// reaching a transmission sink with a satisfiable path condition and a
+// rendered witness path.
+type TaintFlow struct {
+	ID          string   `json:"id"`
+	App         string   `json:"app"`
+	Handler     string   `json:"handler"`
+	Event       string   `json:"event"`
+	Source      string   `json:"source"`
+	SourceClass string   `json:"source_class"`
+	Via         string   `json:"via,omitempty"`
+	Sink        string   `json:"sink"`
+	Channel     string   `json:"channel"`
+	Line        int      `json:"line"`
+	Condition   string   `json:"condition"`
+	Witness     []string `json:"witness"`
+}
+
 // Diagnostic is one contained failure in record form. Stacks are
 // deliberately dropped: they vary run to run (addresses, goroutine
 // IDs) and would break byte-stability.
@@ -75,6 +100,7 @@ func FromAnalysis(an *core.Analysis) *Record {
 		Schema:      Schema,
 		Apps:        []string{},
 		Violations:  []Violation{},
+		TaintFlows:  []TaintFlow{},
 		Checked:     append([]string{}, an.Checked...),
 		Incomplete:  an.Incomplete,
 		Diagnostics: []Diagnostic{},
@@ -95,6 +121,22 @@ func FromAnalysis(an *core.Analysis) *Record {
 			Detail:         v.Detail,
 			Apps:           v.Apps,
 			Counterexample: v.Counterexample,
+		})
+	}
+	for _, f := range an.TaintFlows {
+		rec.TaintFlows = append(rec.TaintFlows, TaintFlow{
+			ID:          f.ID,
+			App:         f.App,
+			Handler:     f.Handler,
+			Event:       f.Event,
+			Source:      f.Source,
+			SourceClass: f.SourceClass,
+			Via:         f.Via,
+			Sink:        f.Sink,
+			Channel:     f.Channel,
+			Line:        f.Line,
+			Condition:   f.Condition,
+			Witness:     f.Witness,
 		})
 	}
 	for _, d := range an.Diagnostics {
@@ -128,6 +170,22 @@ func ToAnalysis(rec *Record) *core.Analysis {
 			Detail:         v.Detail,
 			Apps:           v.Apps,
 			Counterexample: v.Counterexample,
+		})
+	}
+	for _, f := range rec.TaintFlows {
+		an.TaintFlows = append(an.TaintFlows, taint.Flow{
+			ID:          f.ID,
+			App:         f.App,
+			Handler:     f.Handler,
+			Event:       f.Event,
+			Source:      f.Source,
+			SourceClass: f.SourceClass,
+			Via:         f.Via,
+			Sink:        f.Sink,
+			Channel:     f.Channel,
+			Line:        f.Line,
+			Condition:   f.Condition,
+			Witness:     f.Witness,
 		})
 	}
 	for _, d := range rec.Diagnostics {

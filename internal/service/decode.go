@@ -12,6 +12,7 @@ import (
 
 	"github.com/soteria-analysis/soteria/internal/core"
 	"github.com/soteria-analysis/soteria/internal/properties"
+	"github.com/soteria-analysis/soteria/internal/taint"
 )
 
 // httpError is a client-visible request failure. Every path out of the
@@ -44,6 +45,7 @@ type appSource struct {
 type requestOptions struct {
 	General     *bool    `json:"general,omitempty"`
 	AppSpecific *bool    `json:"app_specific,omitempty"`
+	Taint       *bool    `json:"taint,omitempty"`
 	Properties  []string `json:"properties,omitempty"`
 	TimeoutMS   int64    `json:"timeout_ms,omitempty"`
 	MaxStates   int      `json:"max_states,omitempty"`
@@ -113,12 +115,17 @@ func decodeJSON(data []byte, dst any) *httpError {
 	return nil
 }
 
-// catalogueIDs memoizes the valid app-specific property-ID set.
+// catalogueIDs memoizes the valid property-ID set: the app-specific
+// catalogue plus the taint family (exact IDs and the "T.*" wildcard).
 var catalogueIDs = sync.OnceValue(func() map[string]bool {
 	ids := map[string]bool{}
 	for _, p := range properties.Catalogue() {
 		ids[p.ID] = true
 	}
+	for _, id := range taint.IDs() {
+		ids[id] = true
+	}
+	ids["T.*"] = true
 	return ids
 })
 
@@ -153,8 +160,11 @@ func (s *Server) coreOptions(o requestOptions) (core.Options, *httpError) {
 	if o.AppSpecific != nil {
 		opts.AppSpecific = *o.AppSpecific
 	}
-	if !opts.General && !opts.AppSpecific {
-		return opts, badRequest("options: nothing to check (general and app_specific both disabled)")
+	if o.Taint != nil {
+		opts.Taint = *o.Taint
+	}
+	if !opts.General && !opts.AppSpecific && !opts.Taint {
+		return opts, badRequest("options: nothing to check (general, app_specific, and taint all disabled)")
 	}
 	valid := catalogueIDs()
 	for _, id := range o.Properties {

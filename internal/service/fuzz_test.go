@@ -105,7 +105,7 @@ func checkDecodeOutcome(t *testing.T, j *job, herr *httpError) {
 			t.Fatalf("accepted job item %d has no sources", i)
 		}
 	}
-	if !j.opts.General && !j.opts.AppSpecific {
+	if !j.opts.General && !j.opts.AppSpecific && !j.opts.Taint {
 		t.Fatal("accepted job checks nothing")
 	}
 	_ = fmt.Sprintf("%v", j.opts) // options must be render-safe

@@ -97,7 +97,7 @@ func TestAnalyzeEndToEnd(t *testing.T) {
 	if !ok {
 		t.Fatalf("no result in response: %v", body)
 	}
-	if result["schema"] != float64(1) || result["states"] == float64(0) {
+	if result["schema"] != float64(2) || result["states"] == float64(0) {
 		t.Fatalf("unexpected record: %v", result)
 	}
 	key, _ := body["key"].(string)
@@ -129,7 +129,7 @@ func TestAnalyzeEndToEnd(t *testing.T) {
 
 	// The record is addressable by content hash.
 	resp3, rec := getJSON(t, ts.URL+"/v1/results/"+key)
-	if resp3.StatusCode != http.StatusOK || rec["schema"] != float64(1) {
+	if resp3.StatusCode != http.StatusOK || rec["schema"] != float64(2) {
 		t.Fatalf("GET /v1/results/%s: %d %v", key, resp3.StatusCode, rec)
 	}
 }
@@ -154,7 +154,7 @@ func TestBatchEndpoint(t *testing.T) {
 		t.Fatalf("batch results: %v", body)
 	}
 	first := results[0].(map[string]any)
-	if first["key"] != "smoke" || first["result"].(map[string]any)["schema"] != float64(1) {
+	if first["key"] != "smoke" || first["result"].(map[string]any)["schema"] != float64(2) {
 		t.Fatalf("batch item 0: %v", first)
 	}
 	// A broken app fails its item, not the batch.
@@ -198,7 +198,7 @@ func TestAsyncJobsPoll(t *testing.T) {
 			t.Fatalf("poll: %d", resp.StatusCode)
 		}
 		if body["status"] == "done" {
-			if body["result"].(map[string]any)["schema"] != float64(1) {
+			if body["result"].(map[string]any)["schema"] != float64(2) {
 				t.Fatalf("done job has no record: %v", body)
 			}
 			break
@@ -227,7 +227,7 @@ func TestRequestValidation(t *testing.T) {
 		{"trailing", `{"name":"x","source":"y"}{}`, http.StatusBadRequest},
 		{"bad property", `{"name":"x","source":"y","options":{"properties":["P.999"]}}`, http.StatusBadRequest},
 		{"negative timeout", `{"name":"x","source":"y","options":{"timeout_ms":-1}}`, http.StatusBadRequest},
-		{"nothing to check", `{"name":"x","source":"y","options":{"general":false,"app_specific":false}}`, http.StatusBadRequest},
+		{"nothing to check", `{"name":"x","source":"y","options":{"general":false,"app_specific":false,"taint":false}}`, http.StatusBadRequest},
 		{"oversized source", fmt.Sprintf(`{"name":"x","source":%q}`, strings.Repeat("a", 4096)), http.StatusRequestEntityTooLarge},
 	}
 	for _, tc := range cases {

@@ -46,7 +46,27 @@ func (x *executor) eval(e groovy.Expr, p *pstate) []out {
 		return one(p, x.evalProp(ex, p))
 	case *groovy.IndexExpr:
 		return one(p, SymVal(groovy.Format(ex), pathcond.UnknownSource))
-	case *groovy.ListLit, *groovy.MapLit, *groovy.ClosureLit:
+	case *groovy.ListLit:
+		// Opaque as a value, but element taint flows into the list
+		// (lists are passed whole into sinks: sendSms body lists,
+		// httpPost params).
+		v := SymVal(groovy.Format(ex), pathcond.UnknownSource)
+		sets := make([][]Label, 0, len(ex.Elems))
+		for _, el := range ex.Elems {
+			sets = append(sets, x.evalPure(el, p).Labels())
+		}
+		v.Taint = unionLabels(sets...)
+		return one(p, v)
+	case *groovy.MapLit:
+		// Same for map values ([uri: "...", body: evt.value]).
+		v := SymVal(groovy.Format(ex), pathcond.UnknownSource)
+		sets := make([][]Label, 0, len(ex.Entries))
+		for _, en := range ex.Entries {
+			sets = append(sets, x.evalPure(en.Value, p).Labels())
+		}
+		v.Taint = unionLabels(sets...)
+		return one(p, v)
+	case *groovy.ClosureLit:
 		return one(p, SymVal(groovy.Format(ex), pathcond.UnknownSource))
 	case *groovy.NewExpr:
 		return one(p, SymVal("new "+ex.Type, pathcond.UnknownSource))
@@ -146,24 +166,35 @@ func (x *executor) evalGString(g *groovy.GStringLit, p *pstate) Value {
 	if s, static := g.StaticText(); static {
 		return StrVal(s)
 	}
-	// Interpolated: concrete only if all parts are concrete.
+	// Interpolated: concrete only if all parts are concrete. Every part
+	// is evaluated regardless so a symbolic result carries the union of
+	// the parts' taint marks ("${evt.displayName} left" is as sensitive
+	// as evt.displayName itself).
 	var sb []byte
+	concrete := true
+	var sets [][]Label
 	for _, part := range g.Parts {
 		if !part.IsExpr {
 			sb = append(sb, part.Text...)
 			continue
 		}
 		v := x.evalPure(part.Expr, p)
+		sets = append(sets, v.Labels())
 		switch v.Kind {
 		case KStr:
 			sb = append(sb, v.Str...)
 		case KNum:
 			sb = append(sb, fmt.Sprintf("%g", v.Num)...)
 		default:
-			return SymVal(`"`+g.Raw+`"`, pathcond.UnknownSource)
+			concrete = false
 		}
 	}
-	return StrVal(string(sb))
+	if concrete {
+		return StrVal(string(sb))
+	}
+	v := SymVal(`"`+g.Raw+`"`, pathcond.UnknownSource)
+	v.Taint = unionLabels(sets...)
+	return v
 }
 
 func (x *executor) evalUnary(u *groovy.UnaryExpr, p *pstate) []out {
@@ -175,13 +206,17 @@ func (x *executor) evalUnary(u *groovy.UnaryExpr, p *pstate) []out {
 			if v.Kind == KNum {
 				outs[i].v = NumVal(-v.Num)
 			} else {
-				outs[i].v = SymVal("-"+v.Label(), pathcond.UnknownSource)
+				nv := SymVal("-"+v.Label(), pathcond.UnknownSource)
+				nv.Taint = v.Labels()
+				outs[i].v = nv
 			}
 		case groovy.NOT:
 			if v.Kind == KBool {
 				outs[i].v = BoolVal(!v.Bool)
 			} else {
-				outs[i].v = SymVal("!"+v.Label(), pathcond.UnknownSource)
+				nv := SymVal("!"+v.Label(), pathcond.UnknownSource)
+				nv.Taint = v.Labels()
+				outs[i].v = nv
 			}
 		}
 	}
@@ -249,7 +284,11 @@ func (x *executor) combine(op groovy.TokKind, l, r Value, b *groovy.BinaryExpr) 
 			return BoolVal(l.Bool != r.Bool)
 		}
 	}
-	return SymVal(groovy.Format(b), pathcond.UnknownSource)
+	// Symbolic result: data flows through operators ("x" + evt.value),
+	// so the operands' taint marks union onto it.
+	v := SymVal(groovy.Format(b), pathcond.UnknownSource)
+	v.Taint = unionLabels(l.Labels(), r.Labels())
+	return v
 }
 
 // ---------------------------------------------------------------------------
@@ -310,8 +349,18 @@ func (x *executor) evalCall(c *groovy.CallExpr, p *pstate) []out {
 	}
 
 	// httpGet-style platform calls with trailing closures: execute the
-	// closure body (its effects are real; its inputs are symbolic).
+	// closure body (its effects are real; its inputs are symbolic). The
+	// call itself may be a transmission sink (httpGet(url){resp -> ...});
+	// its arguments are inspected without committing effects so the
+	// path structure stays exactly as before.
 	if c.Closure != nil && c.Recv == nil {
+		if sinkCalls[c.Name] {
+			vals := make([]Value, len(c.Args))
+			for i, a := range c.Args {
+				vals[i] = x.evalPure(a, p)
+			}
+			recordSink(p, c, vals)
+		}
 		p.pushFrame()
 		for _, param := range c.Closure.Params {
 			p.setLocal(param, SymVal(param, pathcond.UnknownSource))
@@ -330,19 +379,78 @@ func (x *executor) evalCall(c *groovy.CallExpr, p *pstate) []out {
 	}
 
 	// Anything else (platform calls, collection methods) is an opaque
-	// symbolic value; arguments are still evaluated for their effects.
-	outs := []out{{p: p}}
+	// symbolic value; arguments are still evaluated for their effects,
+	// and their values are kept per path for sink recording and taint
+	// propagation.
+	argOuts := []out{{p: p}}
+	argVals := [][]Value{nil}
 	for _, a := range c.Args {
 		var next []out
-		for _, o := range outs {
-			next = append(next, x.eval(a, o.p)...)
+		var nextVals [][]Value
+		for i, o := range argOuts {
+			for _, r := range x.eval(a, o.p) {
+				next = append(next, r)
+				nextVals = append(nextVals, append(append([]Value{}, argVals[i]...), r.v))
+			}
 		}
-		outs = next
+		argOuts = next
+		argVals = nextVals
 	}
-	for i := range outs {
-		outs[i].v = SymVal(groovy.Format(c), pathcond.UnknownSource)
+	for i := range argOuts {
+		if c.Recv == nil && sinkCalls[c.Name] {
+			recordSink(argOuts[i].p, c, argVals[i])
+		}
+		v := SymVal(groovy.Format(c), pathcond.UnknownSource)
+		if !(c.Recv == nil && sanitizers[c.Name]) {
+			// The opaque result derives from its inputs: union the
+			// receiver's and arguments' taint marks onto it. Sanitizer
+			// calls are the exception — their whole point is returning a
+			// scrubbed value.
+			sets := make([][]Label, 0, len(argVals[i])+1)
+			if c.Recv != nil {
+				sets = append(sets, x.evalPure(c.Recv, argOuts[i].p).Labels())
+			}
+			for _, av := range argVals[i] {
+				sets = append(sets, av.Labels())
+			}
+			v.Taint = unionLabels(sets...)
+		}
+		argOuts[i].v = v
 	}
-	return outs
+	return argOuts
+}
+
+// sinkCalls names the SmartThings transmission primitives: once data
+// reaches one of these, it leaves the hub (SainT's sink set). Payload
+// vs recipient argument positions are policy, decided by
+// internal/taint; symexec records every argument.
+var sinkCalls = map[string]bool{
+	"sendSms": true, "sendSmsMessage": true,
+	"sendPush": true, "sendPushMessage": true,
+	"sendNotification": true, "sendNotificationToContacts": true,
+	"sendNotificationEvent": true,
+	"httpGet": true, "httpPost": true, "httpPostJson": true,
+	"httpPut": true, "httpPutJson": true, "httpDelete": true,
+	"httpHead": true,
+}
+
+// sanitizers are declassification primitives: their return value is
+// derived from sensitive data but deliberately scrubbed, so taint does
+// not propagate through them. An app method with one of these names is
+// inlined instead (free-standing app-method calls are resolved before
+// the opaque fallback), so only platform-level sanitizers clear marks.
+var sanitizers = map[string]bool{
+	"redact": true, "anonymize": true, "obfuscate": true,
+}
+
+// recordSink appends a transmission call to the path's sink log with
+// the call-site guard and each argument's rendered value and taint.
+func recordSink(p *pstate, c *groovy.CallExpr, vals []Value) {
+	s := SinkCall{Name: c.Name, Pos: c.Pos, Guard: p.guard}
+	for _, v := range vals {
+		s.Args = append(s.Args, SinkArg{Text: v.Label(), Taint: v.Labels()})
+	}
+	p.sinks = append(p.sinks, s)
 }
 
 // recordAction appends the device action's attribute effects to the

@@ -18,6 +18,7 @@ package symexec
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"github.com/soteria-analysis/soteria/internal/groovy"
@@ -45,6 +46,71 @@ type Value struct {
 	Bool    bool
 	Sym     string // canonical name, e.g. "evt.value", "the_battery.battery", "thrshld"
 	SymKind pathcond.SourceKind
+	// Taint carries explicit taint marks accumulated by propagation
+	// through expressions (string interpolation, concatenation, opaque
+	// calls). When empty, marks are derived from the value's own
+	// provenance — see Labels.
+	Taint []Label
+}
+
+// Label is one taint mark on a value: the provenance kind and the
+// canonical source variable the data came from.
+type Label struct {
+	Kind pathcond.SourceKind
+	Var  string
+}
+
+// Labels returns the value's taint marks. Explicit marks win;
+// otherwise a mark is derived from the value's provenance: event
+// fields ("evt", "evt.value"), device attribute reads
+// ("the_battery.battery", "location.mode"), install-time user inputs,
+// and persistent state fields are sensitive sources. Bare
+// pseudo-globals ("location", "state", "settings", ...) and opaque
+// symbols are not.
+func (v Value) Labels() []Label {
+	if len(v.Taint) > 0 {
+		return v.Taint
+	}
+	if v.Kind != KSym {
+		return nil
+	}
+	switch v.SymKind {
+	case pathcond.UserDefined, pathcond.StateVariable:
+		return []Label{{Kind: v.SymKind, Var: v.Sym}}
+	case pathcond.DeviceState:
+		// "evt" is the event object itself; dotted symbols are attribute
+		// reads. Bare device handles and pseudo-globals stay unmarked —
+		// reading an attribute off them mints a fresh symbol anyway.
+		if v.Sym == "evt" || strings.Contains(v.Sym, ".") {
+			return []Label{{Kind: pathcond.DeviceState, Var: v.Sym}}
+		}
+	}
+	return nil
+}
+
+// unionLabels merges label sets into one deduplicated, sorted set so
+// downstream renderings are deterministic.
+func unionLabels(sets ...[]Label) []Label {
+	var all []Label
+	for _, s := range sets {
+		all = append(all, s...)
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Kind != all[j].Kind {
+			return all[i].Kind < all[j].Kind
+		}
+		return all[i].Var < all[j].Var
+	})
+	out := all[:1]
+	for _, l := range all[1:] {
+		if l != out[len(out)-1] {
+			out = append(out, l)
+		}
+	}
+	return out
 }
 
 // NumVal constructs a concrete numeric value.
@@ -114,12 +180,50 @@ func (p Path) ActionsSignature() string {
 	return strings.Join(parts, ";")
 }
 
+// SinkCall is one call to a transmission primitive (messaging or
+// network) observed on some path, with the path condition that reaches
+// the call site and the taint marks of every evaluated argument. Sinks
+// are recorded outside Path on purpose: they must not perturb ESP
+// merging, the action signatures, or the state model.
+type SinkCall struct {
+	Name string // platform call name ("sendSms", "httpPost", ...)
+	Pos  groovy.Pos
+	Args []SinkArg
+	// Guard is the path condition at the call site (not the path's
+	// final guard): the condition under which the transmission happens.
+	Guard pathcond.Cond
+}
+
+// SinkArg is one evaluated sink argument.
+type SinkArg struct {
+	Text  string // rendered argument value
+	Taint []Label
+}
+
+// identity keys a sink call for deduplication across the path states
+// that observed it: call site, rendered arguments, and their taint.
+func (s SinkCall) identity() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s@%d:%d", s.Name, s.Pos.Line, s.Pos.Col)
+	for _, a := range s.Args {
+		sb.WriteString("|")
+		sb.WriteString(a.Text)
+		for _, l := range a.Taint {
+			fmt.Fprintf(&sb, "^%d:%s", l.Kind, l.Var)
+		}
+	}
+	return sb.String()
+}
+
 // Result is the symbolic execution outcome for one entry point.
 type Result struct {
 	Entry    *ir.EntryPoint
 	Paths    []Path
 	Explored int // paths explored before ESP merging
 	Merged   int // paths merged away by ESP merging
+	// Sinks are the transmission calls observed across all paths,
+	// deduplicated, with ESP-style guard merging, in source order.
+	Sinks    []SinkCall
 	Warnings []string
 }
 
@@ -148,7 +252,57 @@ func Execute(app *ir.App, ep *ir.EntryPoint) *Result {
 	final := x.execBlock(ep.Handler.Body, []*pstate{seed})
 	res := &Result{Entry: ep, Explored: len(final), Warnings: x.warnings}
 	res.Paths, res.Merged = mergePaths(final)
+	res.Sinks = collectSinks(final)
 	return res
+}
+
+// collectSinks deduplicates the sink calls recorded across final path
+// states. A sink recorded before a fork appears in every descendant
+// state with the same call-site guard — those collapse to one entry —
+// while identical transmissions reached on complementary branches have
+// their guards merged the same way path guards are.
+func collectSinks(finals []*pstate) []SinkCall {
+	type group struct {
+		sink   SinkCall
+		guards []pathcond.Cond
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, p := range finals {
+		for _, s := range p.sinks {
+			k := s.identity()
+			g, ok := groups[k]
+			if !ok {
+				g = &group{sink: s}
+				groups[k] = g
+				order = append(order, k)
+			}
+			g.guards = append(g.guards, s.Guard)
+		}
+	}
+	var out []SinkCall
+	for _, k := range order {
+		g := groups[k]
+		guards, _ := mergeGuards(g.guards)
+		for _, gu := range guards {
+			s := g.sink
+			s.Guard = gu
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		if out[i].Pos.Col != out[j].Pos.Col {
+			return out[i].Pos.Col < out[j].Pos.Col
+		}
+		if ki, kj := out[i].identity(), out[j].identity(); ki != kj {
+			return ki < kj
+		}
+		return out[i].Guard.Canonical() < out[j].Guard.Canonical()
+	})
+	return out
 }
 
 // ExecuteAll runs Execute for every entry point.
@@ -165,7 +319,8 @@ type pstate struct {
 	guard   pathcond.Cond
 	frames  []map[string]Value // innermost frame last
 	actions []Action
-	ret     *Value // non-nil once a return executed in the current method
+	sinks   []SinkCall // transmission calls observed on this path
+	ret     *Value     // non-nil once a return executed in the current method
 	depth   int
 	stack   []string // inlined call stack (recursion guard)
 }
@@ -179,6 +334,7 @@ func (p *pstate) clone() *pstate {
 		guard:   p.guard,
 		frames:  make([]map[string]Value, len(p.frames)),
 		actions: append([]Action{}, p.actions...),
+		sinks:   append([]SinkCall{}, p.sinks...),
 		depth:   p.depth,
 		stack:   append([]string{}, p.stack...),
 	}

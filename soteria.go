@@ -11,7 +11,9 @@
 // transitions, with property abstraction collapsing numeric
 // attributes), and model-checks the model against five general
 // properties (S.1–S.5), thirty application-specific properties
-// (P.1–P.30), and any user-supplied CTL formula.
+// (P.1–P.30), six sensitive-data-flow properties (T.1–T.6, SainT-style
+// taint tracking from device/location/user-input sources to
+// messaging and network sinks), and any user-supplied CTL formula.
 //
 // Quick start:
 //
@@ -41,6 +43,7 @@ import (
 	"github.com/soteria-analysis/soteria/internal/report"
 	"github.com/soteria-analysis/soteria/internal/service"
 	"github.com/soteria-analysis/soteria/internal/store"
+	"github.com/soteria-analysis/soteria/internal/taint"
 )
 
 // App is a parsed SmartThings app.
@@ -91,12 +94,14 @@ const (
 	AppSpecificViolation ViolationKind = "app-specific"
 	// NondeterminismViolation flags a nondeterministic state model.
 	NondeterminismViolation ViolationKind = "nondeterminism"
+	// TaintViolation is a T.1–T.6 sensitive-data-flow violation.
+	TaintViolation ViolationKind = "taint"
 )
 
 // Violation is one property violation found by the analysis.
 type Violation struct {
-	// ID is the property identifier: "S.1".."S.5", "P.1".."P.30", or
-	// "ND" for nondeterminism.
+	// ID is the property identifier: "S.1".."S.5", "P.1".."P.30",
+	// "T.1".."T.6", or "ND" for nondeterminism.
 	ID          string
 	Kind        ViolationKind
 	Description string
@@ -214,8 +219,41 @@ type Result struct {
 	// Checked lists the app-specific property IDs that were fully
 	// decided, in catalogue order.
 	Checked []string
+	// TaintFlows lists every sensitive-data flow found (each also
+	// surfaces as a TaintViolation in Violations), sorted.
+	TaintFlows []TaintFlow
 
 	analysis *core.Analysis
+}
+
+// TaintFlow is one sensitive-data flow: a source value reaching a
+// transmission sink over a feasible path.
+type TaintFlow struct {
+	// ID is the violated catalogue property, "T.1".."T.6".
+	ID  string
+	App string
+	// Handler and Event identify the subscription handler the flow
+	// executes in and the event that triggers it.
+	Handler string
+	Event   string
+	// Source is the sensitive value ("evt.displayName",
+	// "location.mode", an input handle); SourceClass classifies it
+	// ("device-state", "location-mode", "user-input").
+	Source      string
+	SourceClass string
+	// Via names the persistent state field the value flowed through
+	// ("state.lastSeen"); empty for direct flows.
+	Via string
+	// Sink and Channel identify the transmission; Line is the sink
+	// call's source line.
+	Sink    string
+	Channel string
+	Line    int
+	// Condition is the path condition under which the sink is reached
+	// ("true" when unconditional); it is satisfiable by construction.
+	Condition string
+	// Witness is the rendered source→sink path, one step per line.
+	Witness []string
 }
 
 // Option configures an analysis.
@@ -224,16 +262,32 @@ type Option func(*core.Options)
 // WithGeneralOnly restricts checking to the general properties
 // S.1–S.5 (plus nondeterminism).
 func WithGeneralOnly() Option {
-	return func(o *core.Options) { o.AppSpecific = false }
+	return func(o *core.Options) { o.AppSpecific = false; o.Taint = false }
 }
 
 // WithAppSpecificOnly restricts checking to the P.1–P.30 catalogue.
 func WithAppSpecificOnly() Option {
-	return func(o *core.Options) { o.General = false }
+	return func(o *core.Options) { o.General = false; o.Taint = false }
 }
 
-// WithProperties restricts the app-specific catalogue to the given IDs
-// (e.g. "P.10", "P.30").
+// WithTaintOnly restricts checking to the T.1–T.6 sensitive-data-flow
+// family.
+func WithTaintOnly() Option {
+	return func(o *core.Options) { o.General = false; o.AppSpecific = false }
+}
+
+// WithChecks selects exactly which property families run: the general
+// S.1–S.5 checks, the app-specific P.1–P.30 catalogue, and the
+// T.1–T.6 taint family. It subsumes the *Only options for callers
+// that need an arbitrary combination.
+func WithChecks(general, appSpecific, taint bool) Option {
+	return func(o *core.Options) {
+		o.General, o.AppSpecific, o.Taint = general, appSpecific, taint
+	}
+}
+
+// WithProperties restricts the app-specific and taint catalogues to
+// the given IDs (e.g. "P.10", "T.2", or the "T.*" wildcard).
 func WithProperties(ids ...string) Option {
 	return func(o *core.Options) { o.PropertyIDs = ids }
 }
@@ -344,6 +398,22 @@ func resultFrom(an *core.Analysis, appNames []string) *Result {
 			Counterexample: v.Counterexample,
 		})
 	}
+	for _, f := range an.TaintFlows {
+		res.TaintFlows = append(res.TaintFlows, TaintFlow{
+			ID:          f.ID,
+			App:         f.App,
+			Handler:     f.Handler,
+			Event:       f.Event,
+			Source:      f.Source,
+			SourceClass: f.SourceClass,
+			Via:         f.Via,
+			Sink:        f.Sink,
+			Channel:     f.Channel,
+			Line:        f.Line,
+			Condition:   f.Condition,
+			Witness:     append([]string{}, f.Witness...),
+		})
+	}
 	return res
 }
 
@@ -407,6 +477,8 @@ func kindOf(k properties.Kind) ViolationKind {
 		return AppSpecificViolation
 	case properties.Nondeterminism:
 		return NondeterminismViolation
+	case properties.Taint:
+		return TaintViolation
 	}
 	return ViolationKind("unknown")
 }
@@ -507,7 +579,7 @@ func (r *Result) Violated(id string) bool {
 
 // JSON renders the result as the schema-versioned canonical record —
 // the same encoding soteriad stores and serves (deterministic: equal
-// results encode to equal bytes; `"schema": 1`).
+// results encode to equal bytes; `"schema": 2`).
 func (r *Result) JSON() ([]byte, error) {
 	if r.analysis != nil {
 		return report.Encode(report.FromAnalysis(r.analysis))
@@ -633,12 +705,15 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	})
 }
 
-// PropertyIDs returns the full app-specific catalogue IDs with
-// descriptions, for discovery and documentation tooling.
+// PropertyIDs returns the full app-specific and taint catalogue IDs
+// with descriptions, for discovery and documentation tooling.
 func PropertyIDs() map[string]string {
 	out := map[string]string{}
 	for _, p := range properties.Catalogue() {
 		out[p.ID] = p.Description
+	}
+	for _, s := range taint.Catalogue() {
+		out[s.ID] = s.Description
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package soteria
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -142,11 +143,15 @@ func TestCheckFormulaParseError(t *testing.T) {
 
 func TestPropertyIDs(t *testing.T) {
 	ids := PropertyIDs()
-	if len(ids) != 30 {
+	// 30 app-specific + 6 taint.
+	if len(ids) != 36 {
 		t.Errorf("catalogue size = %d", len(ids))
 	}
 	if ids["P.30"] == "" {
 		t.Error("P.30 missing")
+	}
+	if ids["T.6"] == "" {
+		t.Error("T.6 missing")
 	}
 }
 
@@ -284,5 +289,73 @@ func TestCheckLTL(t *testing.T) {
 	}
 	if _, _, err := gres.CheckLTL("(("); err == nil {
 		t.Error("expected parse error")
+	}
+}
+
+// taintLeakSrc exfiltrates device state over SMS — exactly one T.2
+// flow for the family-selection tests below.
+const taintLeakSrc = `
+definition(name: "leak", namespace: "t", author: "t")
+preferences {
+    section("Devices") { input "kids", "capability.presenceSensor" }
+}
+def installed() { subscribe(kids, "presence.not present", h) }
+def h(evt) {
+    sendSms("555-0100", "left: ${evt.displayName}")
+}
+`
+
+func TestTaintOptionFiltering(t *testing.T) {
+	app := parse(t, "leak", taintLeakSrc)
+
+	res, err := Analyze(app, WithTaintOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TaintFlows) != 1 || res.TaintFlows[0].ID != "T.2" {
+		t.Fatalf("taint flows = %+v, want one T.2", res.TaintFlows)
+	}
+	if !res.Violated("T.2") {
+		t.Error("T.2 should be flagged")
+	}
+	for _, v := range res.Violations {
+		if v.Kind != TaintViolation {
+			t.Errorf("non-taint violation with WithTaintOnly: %v", v)
+		}
+	}
+
+	// WithChecks(taint=false) must suppress the family entirely.
+	res, err = Analyze(app, WithChecks(true, true, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TaintFlows) != 0 || res.Violated("T.2") {
+		t.Errorf("taint results despite WithChecks(_, _, false): %+v", res.TaintFlows)
+	}
+
+	// The T.* wildcard expands to the family; a mismatched ID filter
+	// silences it.
+	res, err = Analyze(app, WithTaintOnly(), WithProperties("T.*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violated("T.2") {
+		t.Error("T.* filter should still flag T.2")
+	}
+	res, err = Analyze(app, WithTaintOnly(), WithProperties("T.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TaintFlows) != 0 {
+		t.Errorf("T.1 filter leaked T.2 flows: %+v", res.TaintFlows)
+	}
+
+	// AnalyzeContext is the same analysis under a live context.
+	cres, err := AnalyzeContext(context.Background(), app, WithTaintOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cres.TaintFlows) != 1 {
+		t.Errorf("AnalyzeContext flows = %+v", cres.TaintFlows)
 	}
 }
